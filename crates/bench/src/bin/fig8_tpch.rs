@@ -1,0 +1,56 @@
+//! Experiment E10 — Figure 8: TPC-H Queries 1, 3 and 10.
+//!
+//! Systems compared (substitutions documented in `DESIGN.md`):
+//!
+//! * *Generic iterators over NSM* — stands in for PostgreSQL (traditional
+//!   interpreted, I/O-optimized design).
+//! * *Optimized iterators over NSM* — stands in for the commercial
+//!   "System X" (still iterator-based; its software prefetching is not
+//!   modelled).
+//! * *DSM column engine* — stands in for MonetDB.
+//! * *HIQUE* — holistic generated code.
+//!
+//! Scale factor defaults to 0.02 so the harness finishes quickly; set
+//! `HIQUE_TPCH_SF=1.0` (and several GiB of RAM + a few minutes) for the
+//! paper's scale factor.
+
+use hique_bench::runner::{plan_sql, run_engine, Engine};
+use hique_dsm::DsmDatabase;
+use hique_plan::PlannerConfig;
+use hique_tpch::queries::all_queries;
+
+fn main() {
+    let sf: f64 = std::env::var("HIQUE_TPCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    eprintln!("generating TPC-H data at SF={sf} ...");
+    let catalog = hique_tpch::generate_into_catalog(sf).expect("tpch generation");
+    let dsm = DsmDatabase::from_catalog(&catalog);
+    eprintln!("data ready: {} lineitem rows", catalog.table("lineitem").unwrap().row_count());
+
+    println!("== Figure 8: TPC-H (SF = {sf}) ==");
+    println!(
+        "{:<8} {:<28} {:>12} {:>10}",
+        "query", "system", "time (ms)", "rows"
+    );
+    for (name, sql) in all_queries() {
+        let plan = plan_sql(sql, &catalog, &PlannerConfig::default()).expect("plan");
+        for (engine, label) in [
+            (Engine::GenericIterators, "PostgreSQL-class (iterators)"),
+            (Engine::OptimizedIterators, "System X-class (opt. iter.)"),
+            (Engine::Dsm, "MonetDB-class (DSM)"),
+            (Engine::Hique, "HIQUE"),
+        ] {
+            let m = run_engine(engine, &plan, &catalog, Some(&dsm), true).expect("run");
+            println!(
+                "{:<8} {:<28} {:>12.2} {:>10}",
+                name,
+                label,
+                m.elapsed.as_secs_f64() * 1000.0,
+                m.rows
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,16 @@
+//! # hique-bench
+//!
+//! The benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§VI).  See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! * [`workload`] — the synthetic join/aggregation micro-benchmark tables
+//!   (72-byte tuples) and the multi-way join workload.
+//! * [`handcoded`] — the hand-written "generic hard-coded" and "optimized
+//!   hard-coded" implementations compared in Figures 5 and 6.
+//! * [`runner`] — planning/execution/timing helpers and the table renderers
+//!   used by the `fig*`/`table*` harness binaries.
+
+pub mod handcoded;
+pub mod runner;
+pub mod workload;

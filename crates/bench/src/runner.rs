@@ -1,0 +1,242 @@
+//! Shared helpers for the experiment harness binaries and Criterion benches:
+//! planning a SQL query, running it on each engine, timing it and printing
+//! result tables in the shape the paper reports.
+
+use std::time::{Duration, Instant};
+
+use hique_dsm::DsmDatabase;
+use hique_holistic::ExecOptions;
+use hique_iter::ExecMode;
+use hique_plan::{plan_query, CatalogProvider, PhysicalPlan, PlannerConfig};
+use hique_storage::Catalog;
+use hique_types::{ExecStats, QueryResult, Result};
+
+/// The engine configurations compared by the paper's micro-benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Generic iterators (Volcano, fully generic field access).
+    GenericIterators,
+    /// Optimized iterators (Volcano, type-specialized predicates).
+    OptimizedIterators,
+    /// The DSM / column-at-a-time baseline (MonetDB-class).
+    Dsm,
+    /// HIQUE: holistic generated code.
+    Hique,
+}
+
+impl Engine {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::GenericIterators => "Generic Iterators",
+            Engine::OptimizedIterators => "Optimized Iterators",
+            Engine::Dsm => "MonetDB-class (DSM)",
+            Engine::Hique => "HIQUE",
+        }
+    }
+}
+
+/// Parse, analyze and optimize a SQL query against a catalog.
+pub fn plan_sql(sql: &str, catalog: &Catalog, config: &PlannerConfig) -> Result<PhysicalPlan> {
+    let parsed = hique_sql::parse_query(sql)?;
+    let bound = hique_sql::analyze(&parsed, &CatalogProvider::new(catalog))?;
+    plan_query(&bound, catalog, config)
+}
+
+/// One measured execution.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Engine label.
+    pub engine: String,
+    /// Wall-clock execution time (excluding planning and code generation).
+    pub elapsed: Duration,
+    /// Engine counters.
+    pub stats: ExecStats,
+    /// Number of result rows (or counted output rows when rows are not
+    /// materialized).
+    pub rows: u64,
+}
+
+/// Execute a plan on one engine and measure it.
+///
+/// `materialize_output` mirrors the paper's methodology switch: the
+/// micro-benchmarks do not materialize query output.
+pub fn run_engine(
+    engine: Engine,
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    dsm: Option<&DsmDatabase>,
+    materialize_output: bool,
+) -> Result<Measurement> {
+    let start = Instant::now();
+    let result: QueryResult = match engine {
+        Engine::GenericIterators => {
+            hique_iter::execute_plan_with(plan, catalog, ExecMode::Generic, materialize_output)?
+        }
+        Engine::OptimizedIterators => {
+            hique_iter::execute_plan_with(plan, catalog, ExecMode::Optimized, materialize_output)?
+        }
+        Engine::Dsm => {
+            let owned;
+            let db = match dsm {
+                Some(db) => db,
+                None => {
+                    owned = DsmDatabase::from_catalog(catalog);
+                    &owned
+                }
+            };
+            hique_dsm::execute_plan(plan, db)?
+        }
+        Engine::Hique => {
+            let generated = hique_holistic::generate(plan)?;
+            generated.execute_with(
+                catalog,
+                &ExecOptions {
+                    collect_rows: materialize_output,
+                },
+            )?
+        }
+    };
+    let elapsed = start.elapsed();
+    let rows = if result.rows.is_empty() {
+        result.stats.rows_out
+    } else {
+        result.rows.len() as u64
+    };
+    Ok(Measurement {
+        engine: engine.label().to_string(),
+        elapsed,
+        stats: result.stats,
+        rows,
+    })
+}
+
+/// Time a closure (single run).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Render a table of measurements with normalized counter columns, mirroring
+/// the layout of the paper's Figure 5(c)/(d) and 6(c)/(d) tables.
+pub fn render_profile_table(title: &str, measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<26} {:>10} {:>12} {:>14} {:>12} {:>14} {:>10}\n",
+        "implementation", "time (ms)", "rows", "func calls %", "cmps %", "bytes %", "speedup"
+    ));
+    let base_calls = measurements
+        .first()
+        .map(|m| m.stats.function_calls.max(1))
+        .unwrap_or(1);
+    let base_cmps = measurements
+        .first()
+        .map(|m| m.stats.comparisons.max(1))
+        .unwrap_or(1);
+    let base_bytes = measurements
+        .first()
+        .map(|m| m.stats.bytes_touched.max(1))
+        .unwrap_or(1);
+    let base_time = measurements
+        .first()
+        .map(|m| m.elapsed.as_secs_f64())
+        .unwrap_or(1.0);
+    for m in measurements {
+        out.push_str(&format!(
+            "{:<26} {:>10.2} {:>12} {:>13.2}% {:>11.2}% {:>13.2}% {:>9.2}x\n",
+            m.engine,
+            m.elapsed.as_secs_f64() * 1000.0,
+            m.rows,
+            100.0 * m.stats.function_calls as f64 / base_calls as f64,
+            100.0 * m.stats.comparisons as f64 / base_cmps as f64,
+            100.0 * m.stats.bytes_touched as f64 / base_bytes as f64,
+            base_time / m.elapsed.as_secs_f64().max(1e-9),
+        ));
+    }
+    out
+}
+
+/// Render a simple series table (figure-style output: one row per x value,
+/// one column per engine/algorithm).
+pub fn render_series_table(
+    title: &str,
+    x_label: &str,
+    columns: &[&str],
+    rows: &[(String, Vec<Duration>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{x_label:<24}"));
+    for c in columns {
+        out.push_str(&format!(" {c:>24}"));
+    }
+    out.push('\n');
+    for (x, times) in rows {
+        out.push_str(&format!("{x:<24}"));
+        for t in times {
+            out.push_str(&format!(" {:>21.2} ms", t.as_secs_f64() * 1000.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Scale factor / size multiplier taken from the `HIQUE_BENCH_SCALE`
+/// environment variable (default 1.0 = quick sizes; the paper's full sizes
+/// need roughly 100× and several GiB of RAM).
+pub fn bench_scale() -> f64 {
+    std::env::var("HIQUE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{agg_workload, join_workload};
+
+    #[test]
+    fn all_engines_agree_on_the_micro_join() {
+        let catalog = join_workload(100, 500, 5).unwrap();
+        let plan = plan_sql(crate::workload::join_query_sql(), &catalog, &PlannerConfig::default())
+            .unwrap();
+        let mut rows = Vec::new();
+        for engine in [
+            Engine::GenericIterators,
+            Engine::OptimizedIterators,
+            Engine::Dsm,
+            Engine::Hique,
+        ] {
+            let m = run_engine(engine, &plan, &catalog, None, true).unwrap();
+            rows.push(m.rows);
+        }
+        assert!(rows.iter().all(|&r| r == rows[0]));
+        assert_eq!(rows[0], 500);
+    }
+
+    #[test]
+    fn profile_table_renders_all_engines() {
+        let catalog = agg_workload(2000, 10).unwrap();
+        let plan = plan_sql(crate::workload::agg_query_sql(), &catalog, &PlannerConfig::default())
+            .unwrap();
+        let ms: Vec<Measurement> = [Engine::GenericIterators, Engine::Hique]
+            .iter()
+            .map(|&e| run_engine(e, &plan, &catalog, None, true).unwrap())
+            .collect();
+        let table = render_profile_table("test", &ms);
+        assert!(table.contains("Generic Iterators"));
+        assert!(table.contains("HIQUE"));
+        assert!(table.contains("speedup"));
+        let series = render_series_table(
+            "s",
+            "x",
+            &["a"],
+            &[("1".to_string(), vec![Duration::from_millis(3)])],
+        );
+        assert!(series.contains("3.00 ms"));
+        assert!(bench_scale() > 0.0);
+    }
+}

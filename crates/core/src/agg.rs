@@ -1,0 +1,441 @@
+//! Aggregation kernels: sort, hybrid hash-sort and map aggregation over
+//! packed record buffers (paper §V-B).
+//!
+//! The kernels are instantiated with compiled group-key accessors and
+//! compiled aggregate argument expressions, so the per-tuple work is a few
+//! primitive reads, arithmetic operations and accumulator updates — no
+//! function calls, no boxed values (those appear only when the handful of
+//! result groups is converted to output rows).
+
+use hique_plan::AggregateSpec;
+use hique_sql::ast::AggFunc;
+use hique_types::{DataType, ExecStats, HiqueError, Result, Row, Schema, Value};
+
+use crate::kernel::{compare_keys, CompiledExpr, CompiledKey};
+use crate::relation::StagedRelation;
+
+/// A compiled aggregation: group-key accessors + per-aggregate argument
+/// kernels, instantiated against the input relation's schema.
+#[derive(Debug, Clone)]
+pub struct CompiledAgg {
+    group_keys: Vec<CompiledKey>,
+    funcs: Vec<AggFunc>,
+    args: Vec<Option<CompiledExpr>>,
+    dtypes: Vec<DataType>,
+}
+
+/// Fixed-size numeric accumulator (one per aggregate per group).
+#[derive(Debug, Clone, Copy)]
+struct Accum {
+    sum: f64,
+    count: i64,
+    min: f64,
+    max: f64,
+}
+
+impl Accum {
+    fn new() -> Self {
+        Accum {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline(always)]
+    fn update(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    #[inline(always)]
+    fn update_count_only(&mut self) {
+        self.count += 1;
+    }
+
+    fn finish(&self, func: AggFunc, dtype: DataType) -> Value {
+        match func {
+            AggFunc::Count => Value::Int64(self.count),
+            AggFunc::Sum => match dtype {
+                DataType::Int64 => Value::Int64(self.sum as i64),
+                DataType::Int32 => Value::Int32(self.sum as i32),
+                _ => Value::Float64(self.sum),
+            },
+            AggFunc::Avg => Value::Float64(if self.count == 0 {
+                f64::NAN
+            } else {
+                self.sum / self.count as f64
+            }),
+            AggFunc::Min => Value::Float64(self.min),
+            AggFunc::Max => Value::Float64(self.max),
+        }
+    }
+}
+
+impl CompiledAgg {
+    /// Instantiate the aggregation templates for `spec` over `input_schema`.
+    pub fn compile(spec: &AggregateSpec, input_schema: &Schema) -> Result<Self> {
+        let group_keys = spec
+            .group_columns
+            .iter()
+            .map(|&c| CompiledKey::compile(input_schema, c))
+            .collect();
+        let mut funcs = Vec::new();
+        let mut args = Vec::new();
+        let mut dtypes = Vec::new();
+        for a in &spec.aggregates {
+            if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                if let Some(arg) = &a.arg {
+                    if matches!(arg.dtype(), DataType::Char(_)) {
+                        return Err(HiqueError::Codegen(
+                            "MIN/MAX over string columns is not supported by the holistic kernels"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+            funcs.push(a.func);
+            args.push(match &a.arg {
+                Some(e) => Some(CompiledExpr::compile(e, input_schema)?),
+                None => None,
+            });
+            dtypes.push(a.dtype);
+        }
+        Ok(CompiledAgg {
+            group_keys,
+            funcs,
+            args,
+            dtypes,
+        })
+    }
+
+    /// Number of aggregates.
+    pub fn num_aggregates(&self) -> usize {
+        self.funcs.len()
+    }
+
+    #[inline(always)]
+    fn update_all(&self, accums: &mut [Accum], record: &[u8]) {
+        for (i, arg) in self.args.iter().enumerate() {
+            match arg {
+                Some(expr) => accums[i].update(expr.eval(record)),
+                None => accums[i].update_count_only(),
+            }
+        }
+    }
+
+    fn group_values(&self, record: &[u8]) -> Vec<Value> {
+        self.group_keys.iter().map(|k| k.value(record)).collect()
+    }
+
+    fn finish_row(&self, group: Vec<Value>, accums: &[Accum]) -> Row {
+        let mut values = group;
+        for (i, acc) in accums.iter().enumerate() {
+            values.push(acc.finish(self.funcs[i], self.dtypes[i]));
+        }
+        Row::new(values)
+    }
+
+    /// Sort aggregation: the input must already be ordered on the grouping
+    /// columns (each partition independently); a single linear scan detects
+    /// group boundaries.
+    pub fn sort_aggregate(
+        &self,
+        input: &StagedRelation,
+        stats: &mut ExecStats,
+    ) -> Vec<Row> {
+        stats.add_calls(1);
+        let mut out = Vec::new();
+        let ts = input.tuple_size();
+        for p in 0..input.num_partitions() {
+            let buf = input.partition(p);
+            let n = buf.len() / ts;
+            if n == 0 {
+                continue;
+            }
+            let mut accums = vec![Accum::new(); self.funcs.len()];
+            let mut group_start = 0usize;
+            for i in 0..n {
+                let rec = &buf[i * ts..(i + 1) * ts];
+                stats.tuples_processed += 1;
+                stats.bytes_touched += ts as u64;
+                if i > group_start {
+                    let prev = &buf[(i - 1) * ts..i * ts];
+                    stats.comparisons += self.group_keys.len() as u64;
+                    if compare_keys(&self.group_keys, prev, rec) != std::cmp::Ordering::Equal {
+                        out.push(self.finish_row(self.group_values(prev), &accums));
+                        accums = vec![Accum::new(); self.funcs.len()];
+                        group_start = i;
+                    }
+                }
+                self.update_all(&mut accums, rec);
+            }
+            let last = &buf[(n - 1) * ts..n * ts];
+            out.push(self.finish_row(self.group_values(last), &accums));
+        }
+        out
+    }
+
+    /// Hybrid hash-sort aggregation: partition on the first grouping column,
+    /// sort each partition on all grouping columns, then scan (paper §V-B).
+    pub fn hybrid_aggregate(
+        &self,
+        input: &StagedRelation,
+        partitions: usize,
+        stats: &mut ExecStats,
+    ) -> Vec<Row> {
+        stats.add_calls(1);
+        if self.group_keys.is_empty() {
+            return self.sort_aggregate(input, stats);
+        }
+        let first = self.group_keys[0];
+        let m = partitions.max(1);
+        let mut staged = if input.num_partitions() == m {
+            input.clone()
+        } else {
+            stats.partition_passes += 1;
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
+            for rec in input.records() {
+                stats.add_hashes(1);
+                parts[(first.hash(rec) as usize) % m].extend_from_slice(rec);
+            }
+            stats.add_materialized(parts.iter().map(|p| p.len()).sum());
+            StagedRelation::from_partitions(input.schema().clone(), parts)
+        };
+        stats.sort_passes += staged.num_partitions() as u64;
+        staged.sort_all(&self.group_keys);
+        self.sort_aggregate(&staged, stats)
+    }
+
+    /// Map aggregation: one value directory per grouping attribute maps each
+    /// tuple to an offset in dense aggregate arrays; a single scan, no
+    /// staging (paper §V-B, Figure 4).
+    ///
+    /// The directories are built in a light pre-pass over the grouping
+    /// columns (the paper assumes the domains are known from the catalogue);
+    /// the main pass is pure offset arithmetic.
+    pub fn map_aggregate(&self, input: &StagedRelation, stats: &mut ExecStats) -> Vec<Row> {
+        stats.add_calls(1);
+        let ts = input.tuple_size();
+        if self.group_keys.is_empty() {
+            // Single global group.
+            let mut accums = vec![Accum::new(); self.funcs.len()];
+            for rec in input.records() {
+                stats.tuples_processed += 1;
+                stats.bytes_touched += ts as u64;
+                self.update_all(&mut accums, rec);
+            }
+            return vec![self.finish_row(Vec::new(), &accums)];
+        }
+
+        // Pre-pass: sorted value directory per grouping attribute.
+        let mut directories: Vec<Vec<i64>> = vec![Vec::new(); self.group_keys.len()];
+        for rec in input.records() {
+            for (d, k) in directories.iter_mut().zip(&self.group_keys) {
+                let v = k.as_i64(rec);
+                if let Err(pos) = d.binary_search(&v) {
+                    d.insert(pos, v);
+                }
+            }
+        }
+        // |M_i| products for the offset formula of Figure 4(b).
+        let mut multipliers = vec![1usize; self.group_keys.len()];
+        for i in (0..self.group_keys.len().saturating_sub(1)).rev() {
+            multipliers[i] = multipliers[i + 1] * directories[i + 1].len().max(1);
+        }
+        let total: usize = directories.iter().map(|d| d.len().max(1)).product();
+
+        // Dense aggregate arrays + representative record per occupied group
+        // (to decode the group's attribute values for the output).
+        let mut accums = vec![vec![Accum::new(); self.funcs.len()]; total];
+        let mut representative: Vec<Option<usize>> = vec![None; total];
+        let records: Vec<&[u8]> = input.records().collect();
+        for (ri, rec) in records.iter().enumerate() {
+            stats.tuples_processed += 1;
+            stats.bytes_touched += ts as u64;
+            let mut offset = 0usize;
+            for ((d, k), m) in directories.iter().zip(&self.group_keys).zip(&multipliers) {
+                stats.comparisons += (d.len().max(2) as f64).log2().ceil() as u64;
+                let id = d.binary_search(&k.as_i64(rec)).expect("value present in directory");
+                offset += id * m;
+            }
+            self.update_all(&mut accums[offset], rec);
+            if representative[offset].is_none() {
+                representative[offset] = Some(ri);
+            }
+        }
+
+        let mut out = Vec::new();
+        for (offset, rep) in representative.iter().enumerate() {
+            if let Some(ri) = rep {
+                out.push(self.finish_row(self.group_values(records[*ri]), &accums[offset]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_plan::AggAlgorithm;
+    use hique_sql::analyze::{BoundAggregate, ScalarExpr};
+    use hique_types::{result::sort_rows, Column};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("g1", DataType::Int32),
+            Column::new("g2", DataType::Char(1)),
+            Column::new("v", DataType::Float64),
+        ])
+    }
+
+    fn relation(n: usize) -> StagedRelation {
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32((i % 5) as i32),
+                    Value::Str(if i % 2 == 0 { "A" } else { "B" }.into()),
+                    Value::Float64((i % 10) as f64),
+                ])
+            })
+            .collect();
+        StagedRelation::from_rows(schema(), &rows).unwrap()
+    }
+
+    fn spec() -> AggregateSpec {
+        AggregateSpec {
+            group_columns: vec![0, 1],
+            aggregates: vec![
+                BoundAggregate {
+                    func: AggFunc::Sum,
+                    arg: Some(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                    dtype: DataType::Float64,
+                },
+                BoundAggregate { func: AggFunc::Count, arg: None, dtype: DataType::Int64 },
+                BoundAggregate {
+                    func: AggFunc::Avg,
+                    arg: Some(ScalarExpr::Binary {
+                        op: hique_sql::ast::BinOp::Mul,
+                        left: Box::new(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                        right: Box::new(ScalarExpr::Literal(Value::Int32(2))),
+                        dtype: DataType::Float64,
+                    }),
+                    dtype: DataType::Float64,
+                },
+                BoundAggregate {
+                    func: AggFunc::Min,
+                    arg: Some(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                    dtype: DataType::Float64,
+                },
+                BoundAggregate {
+                    func: AggFunc::Max,
+                    arg: Some(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                    dtype: DataType::Float64,
+                },
+            ],
+            algorithm: AggAlgorithm::Map,
+            group_domain_sizes: vec![5, 2],
+        }
+    }
+
+    fn normalized(mut rows: Vec<Row>) -> Vec<Row> {
+        sort_rows(&mut rows, &[(0, true), (1, true)]);
+        rows
+    }
+
+    #[test]
+    fn all_three_algorithms_agree() {
+        let input = relation(1000);
+        let compiled = CompiledAgg::compile(&spec(), input.schema()).unwrap();
+        assert_eq!(compiled.num_aggregates(), 5);
+
+        let mut s1 = ExecStats::new();
+        let mut sorted_input = input.clone();
+        sorted_input.sort_all(&[
+            CompiledKey::compile(input.schema(), 0),
+            CompiledKey::compile(input.schema(), 1),
+        ]);
+        let sort_res = normalized(compiled.sort_aggregate(&sorted_input, &mut s1));
+
+        let mut s2 = ExecStats::new();
+        let hybrid_res = normalized(compiled.hybrid_aggregate(&input, 16, &mut s2));
+
+        let mut s3 = ExecStats::new();
+        let map_res = normalized(compiled.map_aggregate(&input, &mut s3));
+
+        assert_eq!(sort_res.len(), 10);
+        assert_eq!(sort_res, hybrid_res);
+        assert_eq!(sort_res, map_res);
+        // Group (0, "A"): i in {0,10,20,...,990} intersect i%5==0 and even ->
+        // i % 10 == 0, 100 rows, each v = 0.0.
+        let g0a = &sort_res[0];
+        assert_eq!(g0a.get(0), &Value::Int32(0));
+        assert_eq!(g0a.get(1), &Value::Str("A".into()));
+        assert_eq!(g0a.get(2), &Value::Float64(0.0));
+        assert_eq!(g0a.get(3), &Value::Int64(100));
+        assert!(s2.sort_passes > 0);
+        assert!(s3.comparisons > 0);
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let input = relation(100);
+        let mut s = spec();
+        s.group_columns = vec![];
+        s.group_domain_sizes = vec![];
+        let compiled = CompiledAgg::compile(&s, input.schema()).unwrap();
+        let mut stats = ExecStats::new();
+        for rows in [
+            compiled.map_aggregate(&input, &mut stats),
+            compiled.sort_aggregate(&input, &mut stats),
+            compiled.hybrid_aggregate(&input, 4, &mut stats),
+        ] {
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].get(1), &Value::Int64(100));
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_no_groups() {
+        let input = StagedRelation::new(schema());
+        let compiled = CompiledAgg::compile(&spec(), input.schema()).unwrap();
+        let mut stats = ExecStats::new();
+        assert!(compiled.sort_aggregate(&input, &mut stats).is_empty());
+        assert!(compiled.hybrid_aggregate(&input, 4, &mut stats).is_empty());
+        assert!(compiled.map_aggregate(&input, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn string_min_max_rejected() {
+        let mut s = spec();
+        s.aggregates.push(BoundAggregate {
+            func: AggFunc::Min,
+            arg: Some(ScalarExpr::Column { index: 1, dtype: DataType::Char(1) }),
+            dtype: DataType::Char(1),
+        });
+        assert!(CompiledAgg::compile(&s, &schema()).is_err());
+    }
+
+    #[test]
+    fn sum_int_and_accumulator_finishes() {
+        let mut acc = Accum::new();
+        for v in [1.0, 2.0, 5.0] {
+            acc.update(v);
+        }
+        assert_eq!(acc.finish(AggFunc::Sum, DataType::Int64), Value::Int64(8));
+        assert_eq!(acc.finish(AggFunc::Sum, DataType::Int32), Value::Int32(8));
+        assert_eq!(acc.finish(AggFunc::Count, DataType::Int64), Value::Int64(3));
+        assert_eq!(acc.finish(AggFunc::Min, DataType::Float64), Value::Float64(1.0));
+        assert_eq!(acc.finish(AggFunc::Max, DataType::Float64), Value::Float64(5.0));
+        let avg = acc.finish(AggFunc::Avg, DataType::Float64);
+        assert!((avg.as_f64().unwrap() - 8.0 / 3.0).abs() < 1e-12);
+    }
+}

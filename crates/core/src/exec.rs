@@ -1,0 +1,508 @@
+//! Execution of a generated query program.
+//!
+//! The executor plays the role of the paper's composed `evaluate_query`
+//! function: it calls the instantiated staging kernels, the join kernels in
+//! plan order (materializing intermediate results as temporary relations,
+//! or streaming the final join straight into the output sink), the
+//! aggregation kernel, and finally orders/limits the result.
+
+use std::time::Instant;
+
+use hique_plan::{AggAlgorithm, JoinAlgorithm, StagingStrategy};
+use hique_storage::Catalog;
+use hique_types::{
+    result::finalize_rows, ExecStats, HiqueError, PhaseTimings, QueryResult, Result, Row, Value,
+};
+
+use crate::generator::{GeneratedQuery, OutputKernel};
+use crate::join::{fine_partition_join, hybrid_join, merge_join, team_join};
+use crate::kernel::CompiledKey;
+use crate::relation::StagedRelation;
+use crate::staging::{stage_table, StagedInput};
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// When `false`, the final result rows are not materialized — the
+    /// executor only counts them (`stats.rows_out`), mirroring the paper's
+    /// methodology of not materializing query output in the
+    /// micro-benchmarks.  Aggregate results (a handful of groups) are always
+    /// materialized.
+    pub collect_rows: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { collect_rows: true }
+    }
+}
+
+/// A sink receiving final (non-aggregated) output tuples.
+enum OutputSink<'a> {
+    Collect {
+        kernels: &'a [OutputKernel],
+        rows: Vec<Row>,
+    },
+    Count(u64),
+}
+
+impl OutputSink<'_> {
+    #[inline]
+    fn consume(&mut self, record: &[u8]) {
+        match self {
+            OutputSink::Collect { kernels, rows } => {
+                let values: Vec<Value> = kernels
+                    .iter()
+                    .map(|k| match k {
+                        OutputKernel::Column(key) => key.value(record),
+                        OutputKernel::Expr(expr, dtype) => {
+                            let v = expr.eval(record);
+                            match dtype {
+                                hique_types::DataType::Int32 => Value::Int32(v as i32),
+                                hique_types::DataType::Int64 => Value::Int64(v as i64),
+                                hique_types::DataType::Date => Value::Date(v as i32),
+                                _ => Value::Float64(v),
+                            }
+                        }
+                        OutputKernel::GroupPosition(_) | OutputKernel::AggregatePosition(_) => {
+                            unreachable!("aggregate kernels in a non-aggregate sink")
+                        }
+                    })
+                    .collect();
+                rows.push(Row::new(values));
+            }
+            OutputSink::Count(n) => *n += 1,
+        }
+    }
+}
+
+/// Execute the generated program.
+pub fn execute(
+    generated: &GeneratedQuery,
+    catalog: &Catalog,
+    options: &ExecOptions,
+) -> Result<QueryResult> {
+    let plan = &generated.plan;
+    let mut stats = ExecStats::new();
+    let mut timings = PhaseTimings::new();
+
+    // ---- Staging -----------------------------------------------------------
+    let t0 = Instant::now();
+    let mut staged: Vec<Option<StagedInput>> = (0..plan.staged.len()).map(|_| None).collect();
+    for &t in &plan.join_order {
+        let info = catalog.table(&plan.staged[t].table_name)?;
+        staged[t] = Some(stage_table(&info.heap, &plan.staged[t], &mut stats)?);
+    }
+    timings.record("staging", t0.elapsed());
+
+    // ---- Joins --------------------------------------------------------------
+    let t1 = Instant::now();
+    let streams_to_sink = plan.aggregate.is_none();
+    let mut sink = if options.collect_rows {
+        OutputSink::Collect {
+            kernels: &generated.outputs,
+            rows: Vec::new(),
+        }
+    } else {
+        OutputSink::Count(0)
+    };
+
+    // The relation feeding aggregation / output when not streaming.
+    let mut final_relation: Option<StagedInput> = None;
+
+    if plan.staged.len() == 1 {
+        final_relation = staged[plan.join_order[0]].take();
+    } else if let Some(team) = &plan.join_team {
+        let inputs: Vec<&StagedRelation> = team
+            .members
+            .iter()
+            .map(|&m| &staged[m].as_ref().expect("staged").relation)
+            .collect();
+        let keys: Vec<CompiledKey> = team
+            .members
+            .iter()
+            .zip(&team.key_columns)
+            .map(|(&m, &kc)| CompiledKey::compile(&plan.staged[m].schema, kc))
+            .collect();
+        let joined_width = plan.joined_schema.tuple_size();
+        let mut buf = vec![0u8; joined_width];
+        if streams_to_sink {
+            team_join(&inputs, &keys, &mut stats, &mut |records| {
+                concat_records(records, &mut buf);
+                sink.consume(&buf);
+            });
+        } else {
+            let mut out = StagedRelation::new(plan.joined_schema.clone());
+            team_join(&inputs, &keys, &mut stats, &mut |records| {
+                concat_records(records, &mut buf);
+                out.push(&buf);
+            });
+            stats.add_materialized(out.data_bytes());
+            final_relation = Some(StagedInput::unpartitioned(out));
+        }
+    } else {
+        // Binary cascade.
+        let mut current = staged[plan.join_order[0]]
+            .take()
+            .expect("first input staged");
+        let mut current_schema = plan.staged[plan.join_order[0]].schema.clone();
+        // Which column (if any) the current intermediate is sorted on.
+        let mut sorted_on: Option<usize> = match &plan.staged[plan.join_order[0]].strategy {
+            StagingStrategy::Sort { key_columns } => key_columns.first().copied(),
+            _ => None,
+        };
+
+        for (i, step) in plan.joins.iter().enumerate() {
+            let right_desc = &plan.staged[step.right];
+            let right = staged[step.right].take().expect("right input staged");
+            let out_schema = current_schema.join(&right_desc.schema);
+            let left_key = CompiledKey::compile(&current_schema, step.left_key);
+            let right_key = CompiledKey::compile(&right_desc.schema, step.right_key);
+            let last = i == plan.joins.len() - 1;
+            let stream_this = last && streams_to_sink;
+
+            let mut out = StagedRelation::new(out_schema.clone());
+            let mut buf = vec![0u8; out_schema.tuple_size()];
+            {
+                let mut consume = |lrec: &[u8], rrec: &[u8]| {
+                    buf[..lrec.len()].copy_from_slice(lrec);
+                    buf[lrec.len()..].copy_from_slice(rrec);
+                    if stream_this {
+                        sink.consume(&buf);
+                    } else {
+                        out.push(&buf);
+                    }
+                };
+                match step.algorithm {
+                    JoinAlgorithm::Merge => {
+                        let mut left_rel = current.relation;
+                        if sorted_on != Some(step.left_key) {
+                            left_rel.flatten();
+                            stats.sort_passes += 1;
+                            left_rel.sort_all(&[left_key]);
+                        }
+                        merge_join(&left_rel, &right.relation, left_key, right_key, &mut stats, &mut consume);
+                    }
+                    JoinAlgorithm::Partition => {
+                        fine_partition_join(&current, &right, left_key, right_key, &mut stats, &mut consume);
+                    }
+                    JoinAlgorithm::HybridHashSortMerge => {
+                        let partitions = match &right_desc.strategy {
+                            StagingStrategy::PartitionThenSort { partitions, .. }
+                            | StagingStrategy::PartitionCoarse { partitions, .. } => *partitions,
+                            _ => 64,
+                        };
+                        let mut left_rel = current.relation;
+                        let mut right_rel = right.relation;
+                        hybrid_join(
+                            &mut left_rel,
+                            &mut right_rel,
+                            left_key,
+                            right_key,
+                            partitions,
+                            &mut stats,
+                            &mut consume,
+                        );
+                    }
+                    JoinAlgorithm::NestedLoops => {
+                        return Err(HiqueError::Unsupported(
+                            "nested-loops cross products are not generated".into(),
+                        ))
+                    }
+                }
+            }
+            if !stream_this {
+                stats.add_materialized(out.data_bytes());
+                sorted_on = match step.algorithm {
+                    // Merge-join output is ordered by the join key.
+                    JoinAlgorithm::Merge => Some(step.left_key),
+                    _ => None,
+                };
+                current = StagedInput::unpartitioned(out);
+                current_schema = out_schema;
+            } else {
+                current = StagedInput::unpartitioned(StagedRelation::new(out_schema.clone()));
+                current_schema = out_schema;
+            }
+        }
+        if !streams_to_sink {
+            final_relation = Some(current);
+        }
+    }
+    timings.record("join", t1.elapsed());
+
+    // ---- Aggregation ----------------------------------------------------------
+    let mut rows: Vec<Row> = Vec::new();
+    if let Some(spec) = &plan.aggregate {
+        let t2 = Instant::now();
+        let compiled = generated
+            .aggregation
+            .as_ref()
+            .expect("aggregation kernels generated");
+        let input = final_relation
+            .take()
+            .ok_or_else(|| HiqueError::Execution("aggregation input missing".into()))?;
+        let group_keys: Vec<CompiledKey> = spec
+            .group_columns
+            .iter()
+            .map(|&c| CompiledKey::compile(&plan.joined_schema, c))
+            .collect();
+        let group_rows = match spec.algorithm {
+            AggAlgorithm::Map => compiled.map_aggregate(&input.relation, &mut stats),
+            AggAlgorithm::HybridHashSort => {
+                let partitions = input.relation.num_partitions().max(
+                    (input.relation.data_bytes() / (1 << 20)).next_power_of_two(),
+                );
+                compiled.hybrid_aggregate(&input.relation, partitions, &mut stats)
+            }
+            AggAlgorithm::Sort => {
+                // Sort the input on the grouping columns unless staging
+                // already produced exactly that interesting order.
+                let already_sorted = plan.staged.len() == 1
+                    && matches!(
+                        &plan.staged[plan.join_order[0]].strategy,
+                        StagingStrategy::Sort { key_columns } if *key_columns == spec.group_columns
+                    );
+                if already_sorted {
+                    compiled.sort_aggregate(&input.relation, &mut stats)
+                } else {
+                    let mut rel = input.relation;
+                    rel.flatten();
+                    stats.sort_passes += 1;
+                    rel.sort_all(&group_keys);
+                    compiled.sort_aggregate(&rel, &mut stats)
+                }
+            }
+        };
+        // Map aggregation rows to output columns.
+        let group_count = spec.group_columns.len();
+        for grow in group_rows {
+            let values: Vec<Value> = generated
+                .outputs
+                .iter()
+                .map(|k| match k {
+                    OutputKernel::GroupPosition(p) => grow.get(*p).clone(),
+                    OutputKernel::AggregatePosition(i) => grow.get(group_count + i).clone(),
+                    _ => unreachable!("scalar output in aggregate query"),
+                })
+                .collect();
+            rows.push(Row::new(values));
+        }
+        timings.record("aggregation", t2.elapsed());
+    } else if let Some(input) = final_relation.take() {
+        // Non-aggregate single-table (or materialized) result: run the
+        // output kernels over every record.
+        let t3 = Instant::now();
+        for rec in input.relation.records() {
+            sink.consume(rec);
+        }
+        timings.record("output", t3.elapsed());
+    }
+
+    // ---- Finalize ---------------------------------------------------------------
+    let t4 = Instant::now();
+    match sink {
+        OutputSink::Collect { rows: sink_rows, .. } if plan.aggregate.is_none() => {
+            rows = sink_rows;
+        }
+        OutputSink::Count(n) if plan.aggregate.is_none() => {
+            stats.rows_out = n;
+        }
+        _ => {}
+    }
+    finalize_rows(&mut rows, &plan.order_by, plan.limit);
+    if options.collect_rows || plan.aggregate.is_some() {
+        stats.rows_out = rows.len() as u64;
+    }
+    timings.record("output", t4.elapsed());
+
+    Ok(QueryResult {
+        schema: plan.output_schema.clone(),
+        rows,
+        stats,
+        timings,
+    })
+}
+
+/// Concatenate one record per team member into `buf` (sized to the joined
+/// schema's tuple width).
+#[inline]
+fn concat_records(records: &[&[u8]], buf: &mut [u8]) {
+    let mut off = 0usize;
+    for r in records {
+        buf[off..off + r.len()].copy_from_slice(r);
+        off += r.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use hique_plan::{plan_query, CatalogProvider, PlannerConfig};
+    use hique_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("v", DataType::Float64),
+                Column::new("tag", DataType::Char(4)),
+            ]),
+        )
+        .unwrap();
+        cat.create_table(
+            "s",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("w", DataType::Int32),
+            ]),
+        )
+        .unwrap();
+        cat.create_table(
+            "u",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("z", DataType::Int32),
+            ]),
+        )
+        .unwrap();
+        for i in 0..200 {
+            cat.table_mut("r")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![
+                    Value::Int32(i % 20),
+                    Value::Float64(i as f64),
+                    Value::Str(if i % 2 == 0 { "ev" } else { "od" }.into()),
+                ]))
+                .unwrap();
+        }
+        for i in 0..40 {
+            cat.table_mut("s")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i % 20), Value::Int32(i)]))
+                .unwrap();
+        }
+        for i in 0..20 {
+            cat.table_mut("u")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i), Value::Int32(100 + i)]))
+                .unwrap();
+        }
+        for t in ["r", "s", "u"] {
+            cat.analyze_table(t).unwrap();
+        }
+        cat
+    }
+
+    fn run(sql: &str, cat: &Catalog, config: &PlannerConfig) -> QueryResult {
+        let q = hique_sql::parse_query(sql).unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(cat)).unwrap();
+        let plan = plan_query(&bound, cat, config).unwrap();
+        generate(&plan).unwrap().execute(cat).unwrap()
+    }
+
+    fn run_iter(sql: &str, cat: &Catalog, config: &PlannerConfig) -> QueryResult {
+        let q = hique_sql::parse_query(sql).unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(cat)).unwrap();
+        let plan = plan_query(&bound, cat, config).unwrap();
+        hique_iter::execute_plan(&plan, cat, hique_iter::ExecMode::Optimized).unwrap()
+    }
+
+    #[test]
+    fn holistic_matches_iterator_engine_on_filters_and_projection() {
+        let cat = catalog();
+        let sql = "select v, tag from r where k = 3 and v < 100 order by v";
+        let h = run(sql, &cat, &PlannerConfig::default());
+        let i = run_iter(sql, &cat, &PlannerConfig::default());
+        assert_eq!(h.rows, i.rows);
+        assert_eq!(h.num_rows(), 5);
+        // The holistic engine makes far fewer "function calls".
+        assert!(h.stats.function_calls < i.stats.function_calls / 10);
+    }
+
+    #[test]
+    fn holistic_matches_iterator_engine_on_joins_and_aggregation() {
+        let cat = catalog();
+        let sql = "select r.k, sum(r.v) as sv, count(*) as n from r, s \
+                   where r.k = s.k group by r.k order by r.k limit 5";
+        for algo in [
+            JoinAlgorithm::Merge,
+            JoinAlgorithm::Partition,
+            JoinAlgorithm::HybridHashSortMerge,
+        ] {
+            let config = PlannerConfig::default().with_join_algorithm(algo);
+            let h = run(sql, &cat, &config);
+            let i = run_iter(sql, &cat, &config);
+            assert_eq!(h.rows, i.rows, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn aggregation_algorithms_agree_with_iterator_engine() {
+        let cat = catalog();
+        let sql =
+            "select tag, sum(v) as sv, avg(v) as av, min(v) as mn, max(v) as mx, count(*) as n \
+             from r group by tag order by tag";
+        for algo in [AggAlgorithm::Sort, AggAlgorithm::HybridHashSort, AggAlgorithm::Map] {
+            let config = PlannerConfig::default().with_agg_algorithm(algo);
+            let h = run(sql, &cat, &config);
+            let i = run_iter(sql, &cat, &config);
+            assert_eq!(h.rows, i.rows, "{algo:?}");
+            assert_eq!(h.num_rows(), 2);
+        }
+    }
+
+    #[test]
+    fn join_team_streams_and_matches_cascade() {
+        let cat = catalog();
+        let sql = "select r.v, s.w, u.z from r, s, u \
+                   where r.k = s.k and r.k = u.k order by r.v, s.w limit 11";
+        let team = run(sql, &cat, &PlannerConfig::default());
+        let cascade = run(sql, &cat, &PlannerConfig::default().with_join_teams(false));
+        let iter = run_iter(sql, &cat, &PlannerConfig::default().with_join_teams(false));
+        assert_eq!(team.rows, cascade.rows);
+        assert_eq!(team.rows, iter.rows);
+        assert_eq!(team.num_rows(), 11);
+    }
+
+    #[test]
+    fn count_only_execution_skips_row_materialization() {
+        let cat = catalog();
+        let q = hique_sql::parse_query(
+            "select r.v, s.w from r, s where r.k = s.k",
+        )
+        .unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        let plan = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
+        let generated = generate(&plan).unwrap();
+        let counted = generated
+            .execute_with(&cat, &ExecOptions { collect_rows: false })
+            .unwrap();
+        let collected = generated.execute(&cat).unwrap();
+        assert!(counted.rows.is_empty());
+        assert_eq!(counted.stats.rows_out, collected.num_rows() as u64);
+        // 200 r-rows, each matching 2 s-rows.
+        assert_eq!(counted.stats.rows_out, 400);
+    }
+
+    #[test]
+    fn global_aggregate_and_phase_timings() {
+        let cat = catalog();
+        let res = run(
+            "select count(*) as n, max(v) as mx from r where tag = 'ev'",
+            &cat,
+            &PlannerConfig::default(),
+        );
+        assert_eq!(res.num_rows(), 1);
+        assert_eq!(res.rows[0].get(0), &Value::Int64(100));
+        assert_eq!(res.rows[0].get(1), &Value::Float64(198.0));
+        assert!(res.timings.get("staging").is_some());
+        assert!(res.timings.get("aggregation").is_some());
+    }
+}

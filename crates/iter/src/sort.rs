@@ -1,0 +1,148 @@
+//! Blocking sort iterator.
+
+use hique_types::{result::sort_rows, Result, Row, Schema};
+
+use crate::iterator::{ExecContext, QueryIterator};
+use crate::BoxedIterator;
+
+/// Materializes its child on `open()` and emits the rows sorted by the given
+/// keys.  Used for merge-join inputs, sort aggregation inputs and the final
+/// `ORDER BY`.
+pub struct SortIterator<'a> {
+    child: BoxedIterator<'a>,
+    keys: Vec<(usize, bool)>,
+    ctx: ExecContext,
+    rows: Vec<Row>,
+    pos: usize,
+    schema: Schema,
+}
+
+impl<'a> SortIterator<'a> {
+    /// Sort `child` by `keys` (column index, ascending), major key first.
+    pub fn new(child: BoxedIterator<'a>, keys: Vec<(usize, bool)>, ctx: ExecContext) -> Self {
+        let schema = child.schema().clone();
+        SortIterator {
+            child,
+            keys,
+            ctx,
+            rows: Vec::new(),
+            pos: 0,
+            schema,
+        }
+    }
+
+    /// Sort ascending on the given columns.
+    pub fn ascending(child: BoxedIterator<'a>, columns: &[usize], ctx: ExecContext) -> Self {
+        Self::new(child, columns.iter().map(|&c| (c, true)).collect(), ctx)
+    }
+}
+
+impl QueryIterator for SortIterator<'_> {
+    fn open(&mut self) -> Result<()> {
+        self.ctx.add_calls(1);
+        self.child.open()?;
+        self.rows.clear();
+        while let Some(row) = self.child.next()? {
+            self.ctx.add_materialized(self.schema.tuple_size());
+            self.rows.push(row);
+        }
+        self.child.close();
+        let n = self.rows.len() as u64;
+        self.ctx.add_sort_pass();
+        // n log n comparisons, each through the generic comparator in the
+        // iterator engine.
+        if n > 1 {
+            self.ctx
+                .add_comparisons((n as f64 * (n as f64).log2()).ceil() as u64);
+        }
+        sort_rows(&mut self.rows, &self.keys);
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        self.ctx.add_calls(2);
+        if self.pos < self.rows.len() {
+            let row = self.rows[self.pos].clone();
+            self.pos += 1;
+            Ok(Some(row))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.ctx.add_calls(1);
+        self.rows.clear();
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterator::{drain, ExecMode};
+    use crate::scan::ScanIterator;
+    use hique_plan::{StagedTable, StagingStrategy};
+    use hique_storage::TableHeap;
+    use hique_types::{Column, DataType, Value};
+
+    fn make_scan<'a>(heap: &'a TableHeap, ctx: &ExecContext) -> BoxedIterator<'a> {
+        let staged = StagedTable {
+            table: 0,
+            table_name: "t".into(),
+            filters: vec![],
+            keep: vec![0, 1],
+            schema: heap.schema().clone(),
+            strategy: StagingStrategy::None,
+            estimated_rows: 0,
+        };
+        Box::new(ScanIterator::new(heap, staged, ctx.clone()))
+    }
+
+    fn heap() -> TableHeap {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("v", DataType::Int32),
+        ]);
+        TableHeap::from_rows(
+            schema,
+            [5, 3, 9, 1, 3].iter().enumerate().map(|(i, &k)| {
+                Row::new(vec![Value::Int32(k), Value::Int32(i as i32)])
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sorts_ascending_and_descending() {
+        let heap = heap();
+        let ctx = ExecContext::new(ExecMode::Optimized);
+        let mut sorted = SortIterator::ascending(make_scan(&heap, &ctx), &[0], ctx.clone());
+        let rows = drain(&mut sorted, &ctx).unwrap();
+        let keys: Vec<i32> = rows.iter().map(|r| r.get(0).as_i64().unwrap() as i32).collect();
+        assert_eq!(keys, vec![1, 3, 3, 5, 9]);
+        assert!(ctx.stats().sort_passes >= 1);
+        assert!(ctx.stats().bytes_materialized > 0);
+
+        let ctx = ExecContext::new(ExecMode::Optimized);
+        let mut sorted = SortIterator::new(make_scan(&heap, &ctx), vec![(0, false)], ctx.clone());
+        let rows = drain(&mut sorted, &ctx).unwrap();
+        let keys: Vec<i32> = rows.iter().map(|r| r.get(0).as_i64().unwrap() as i32).collect();
+        assert_eq!(keys, vec![9, 5, 3, 3, 1]);
+    }
+
+    #[test]
+    fn stable_for_equal_keys() {
+        let heap = heap();
+        let ctx = ExecContext::new(ExecMode::Generic);
+        let mut sorted = SortIterator::ascending(make_scan(&heap, &ctx), &[0], ctx.clone());
+        let rows = drain(&mut sorted, &ctx).unwrap();
+        // The two k=3 rows keep their original relative order (v=1 then v=4).
+        assert_eq!(rows[1].get(1), &Value::Int32(1));
+        assert_eq!(rows[2].get(1), &Value::Int32(4));
+    }
+}

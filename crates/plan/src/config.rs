@@ -1,0 +1,111 @@
+//! Planner configuration: hardware parameters and algorithm overrides.
+//!
+//! The paper's generated code is customized to the host's cache hierarchy
+//! (Table I: 32 KiB D1, 2 MiB L2).  The planner carries those parameters and
+//! uses them to size staging partitions and to decide between map
+//! aggregation and staged aggregation.  Benchmarks can force particular
+//! algorithms to reproduce individual curves of Figures 5–7.
+
+use crate::physical::{AggAlgorithm, JoinAlgorithm};
+
+/// Tunables for plan generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Size of the first-level data cache in bytes (paper's testbed: 32 KiB).
+    pub d1_cache_bytes: usize,
+    /// Size of the second-level cache in bytes (paper's testbed: 2 MiB).
+    pub l2_cache_bytes: usize,
+    /// Force every join to use this algorithm (benchmarks only).
+    pub force_join_algorithm: Option<JoinAlgorithm>,
+    /// Force aggregation to use this algorithm (benchmarks only).
+    pub force_agg_algorithm: Option<AggAlgorithm>,
+    /// Allow multi-way joins over a common key to be fused into a join team
+    /// (paper §V-B, Figure 7(b)).
+    pub enable_join_teams: bool,
+    /// Maximum number of distinct values for which fine-grained partitioning
+    /// (a value→partition map) is preferred over coarse hashing.
+    pub fine_partition_limit: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            d1_cache_bytes: 32 * 1024,
+            l2_cache_bytes: 2 * 1024 * 1024,
+            force_join_algorithm: None,
+            force_agg_algorithm: None,
+            enable_join_teams: true,
+            fine_partition_limit: 1024,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Configuration matching the paper's Intel Core 2 Duo 6300 testbed.
+    pub fn paper_testbed() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style override of the forced join algorithm.
+    pub fn with_join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
+        self.force_join_algorithm = Some(algorithm);
+        self
+    }
+
+    /// Builder-style override of the forced aggregation algorithm.
+    pub fn with_agg_algorithm(mut self, algorithm: AggAlgorithm) -> Self {
+        self.force_agg_algorithm = Some(algorithm);
+        self
+    }
+
+    /// Builder-style toggle for join teams.
+    pub fn with_join_teams(mut self, enabled: bool) -> Self {
+        self.enable_join_teams = enabled;
+        self
+    }
+
+    /// Number of groups up to which the map-aggregation value directories
+    /// and aggregate arrays comfortably fit in the L2 cache.
+    ///
+    /// Each group needs roughly one directory entry plus one accumulator per
+    /// aggregate; we charge 64 bytes per group per aggregate as a
+    /// conservative estimate (paper §VI-B observes the crossover when the
+    /// auxiliary structures span the L2 cache).
+    pub fn map_agg_group_limit(&self, num_aggregates: usize) -> usize {
+        self.l2_cache_bytes / (64 * num_aggregates.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = PlannerConfig::default();
+        assert_eq!(c.d1_cache_bytes, 32 * 1024);
+        assert_eq!(c.l2_cache_bytes, 2 * 1024 * 1024);
+        assert!(c.enable_join_teams);
+        assert!(c.force_join_algorithm.is_none());
+        assert_eq!(c, PlannerConfig::paper_testbed());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = PlannerConfig::default()
+            .with_join_algorithm(JoinAlgorithm::Merge)
+            .with_agg_algorithm(AggAlgorithm::Map)
+            .with_join_teams(false);
+        assert_eq!(c.force_join_algorithm, Some(JoinAlgorithm::Merge));
+        assert_eq!(c.force_agg_algorithm, Some(AggAlgorithm::Map));
+        assert!(!c.enable_join_teams);
+    }
+
+    #[test]
+    fn map_agg_limit_scales_with_cache_and_aggs() {
+        let c = PlannerConfig::default();
+        assert_eq!(c.map_agg_group_limit(1), 32 * 1024);
+        assert_eq!(c.map_agg_group_limit(2), 16 * 1024);
+        assert_eq!(c.map_agg_group_limit(0), 32 * 1024);
+    }
+}

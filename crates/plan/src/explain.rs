@@ -1,0 +1,162 @@
+//! Plan explanation: a human-readable rendering of a [`PhysicalPlan`].
+//!
+//! Mirrors the shape of the paper's operator-descriptor list: staging
+//! descriptors first, then joins (or the fused join team), then aggregation
+//! and ordering.  Used by the examples and by `EXPERIMENTS.md` to document
+//! which plan each benchmark executes.
+
+use std::fmt::Write as _;
+
+use hique_sql::analyze::OutputExpr;
+
+use crate::physical::{PhysicalPlan, StagingStrategy};
+
+/// Render a multi-line explanation of the plan.
+pub fn explain(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Physical plan");
+    let _ = writeln!(out, "=============");
+    for (i, &t) in plan.join_order.iter().enumerate() {
+        let st = &plan.staged[t];
+        let strategy = match &st.strategy {
+            StagingStrategy::None => "scan".to_string(),
+            StagingStrategy::Sort { key_columns } => format!("scan + sort on {key_columns:?}"),
+            StagingStrategy::PartitionFine { key_column, partitions } => {
+                format!("scan + fine partition on #{key_column} into {partitions}")
+            }
+            StagingStrategy::PartitionCoarse { key_column, partitions } => {
+                format!("scan + coarse partition on #{key_column} into {partitions}")
+            }
+            StagingStrategy::PartitionThenSort { key_column, partitions } => {
+                format!("scan + partition on #{key_column} into {partitions} + sort partitions")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "stage[{i}] {} ({} filters, keep {} cols, ~{} rows): {strategy}",
+            st.table_name,
+            st.filters.len(),
+            st.keep.len(),
+            st.estimated_rows
+        );
+    }
+    if let Some(team) = &plan.join_team {
+        let _ = writeln!(
+            out,
+            "join team over {} inputs using {} (keys {:?})",
+            team.members.len(),
+            team.algorithm.name(),
+            team.key_columns
+        );
+    }
+    for (i, j) in plan.joins.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "join[{i}] + {} using {} (left key #{}, right key #{}, ~{} rows)",
+            plan.staged[j.right].table_name,
+            j.algorithm.name(),
+            j.left_key,
+            j.right_key,
+            j.estimated_rows
+        );
+    }
+    if let Some(agg) = &plan.aggregate {
+        let _ = writeln!(
+            out,
+            "aggregate: {} over {} group column(s), {} aggregate(s)",
+            agg.algorithm.name(),
+            agg.group_columns.len(),
+            agg.aggregates.len()
+        );
+    }
+    if !plan.order_by.is_empty() {
+        let keys: Vec<String> = plan
+            .order_by
+            .iter()
+            .map(|(i, asc)| {
+                format!(
+                    "{} {}",
+                    plan.output_schema.column(*i).name,
+                    if *asc { "asc" } else { "desc" }
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "order by: {}", keys.join(", "));
+    }
+    if let Some(l) = plan.limit {
+        let _ = writeln!(out, "limit: {l}");
+    }
+    let outputs: Vec<String> = plan
+        .output
+        .iter()
+        .zip(plan.output_schema.columns())
+        .map(|(o, c)| match o {
+            OutputExpr::GroupColumn(i) => format!("{} := group #{i}", c.name),
+            OutputExpr::Scalar(_) => format!("{} := scalar expr", c.name),
+            OutputExpr::Aggregate(i) => format!("{} := aggregate #{i}", c.name),
+        })
+        .collect();
+    let _ = writeln!(out, "output: {}", outputs.join(", "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlannerConfig;
+    use crate::optimizer::plan_query;
+    use crate::provider::CatalogProvider;
+    use hique_sql::{analyze, parse_query};
+    use hique_storage::Catalog;
+    use hique_types::{Column, DataType, Row, Schema, Value};
+
+    #[test]
+    fn explain_mentions_every_stage() {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("v", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        cat.create_table(
+            "s",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("w", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..100 {
+            cat.table_mut("r")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i), Value::Float64(i as f64)]))
+                .unwrap();
+            cat.table_mut("s")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i % 10), Value::Float64(1.0)]))
+                .unwrap();
+        }
+        cat.analyze_table("r").unwrap();
+        cat.analyze_table("s").unwrap();
+        let q = parse_query(
+            "select r.k, sum(s.w) as total from r, s where r.k = s.k and r.v > 5 \
+             group by r.k order by total desc limit 3",
+        )
+        .unwrap();
+        let bound = analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        let plan = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
+        let text = explain(&plan);
+        assert!(text.contains("stage[0]"));
+        assert!(text.contains("stage[1]"));
+        assert!(text.contains("join[0]"));
+        assert!(text.contains("aggregate:"));
+        assert!(text.contains("order by: total desc"));
+        assert!(text.contains("limit: 3"));
+        assert!(text.contains("output:"));
+    }
+}

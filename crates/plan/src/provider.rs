@@ -1,0 +1,44 @@
+//! Bridging the catalog to the SQL analyzer.
+
+use hique_sql::analyze::SchemaProvider;
+use hique_storage::Catalog;
+use hique_types::Schema;
+
+/// Adapter exposing a [`Catalog`] as the analyzer's [`SchemaProvider`].
+pub struct CatalogProvider<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> CatalogProvider<'a> {
+    /// Wrap a catalog reference.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        CatalogProvider { catalog }
+    }
+}
+
+impl SchemaProvider for CatalogProvider<'_> {
+    fn table_schema(&self, table: &str) -> Option<Schema> {
+        self.catalog.table(table).ok().map(|t| t.schema.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_types::{Column, DataType};
+
+    #[test]
+    fn provider_resolves_registered_tables() {
+        let mut catalog = Catalog::new();
+        catalog
+            .create_table(
+                "t",
+                Schema::new(vec![Column::new("a", DataType::Int32)]),
+            )
+            .unwrap();
+        let provider = CatalogProvider::new(&catalog);
+        assert!(provider.table_schema("t").is_some());
+        assert!(provider.table_schema("T").is_some());
+        assert!(provider.table_schema("missing").is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! Cardinality estimation.
+//!
+//! The paper's optimizer "chooses the optimal evaluation plan using a greedy
+//! approach, with the objective of minimizing the size of intermediate
+//! results".  The estimates here use classic System-R style heuristics over
+//! the catalog statistics gathered by `Catalog::analyze_table`: row counts,
+//! per-column distinct counts and min/max bounds.
+
+use hique_sql::analyze::ColumnFilter;
+use hique_sql::ast::CmpOp;
+use hique_storage::catalog::TableInfo;
+use hique_types::Value;
+
+/// Statistics snapshot of one base table, as the planner sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Total rows in the table.
+    pub rows: usize,
+    /// Distinct values per column (0 when unknown / not analyzed).
+    pub distinct: Vec<usize>,
+    /// Per-column minimum (None when unknown).
+    pub min: Vec<Option<Value>>,
+    /// Per-column maximum (None when unknown).
+    pub max: Vec<Option<Value>>,
+}
+
+impl TableStats {
+    /// Extract a snapshot from catalog metadata.
+    pub fn from_table(info: &TableInfo) -> Self {
+        let n = info.schema.len();
+        let mut distinct = vec![0usize; n];
+        let mut min = vec![None; n];
+        let mut max = vec![None; n];
+        for (i, cs) in info.column_stats.iter().enumerate().take(n) {
+            distinct[i] = cs.distinct;
+            min[i] = cs.min.clone();
+            max[i] = cs.max.clone();
+        }
+        TableStats {
+            rows: info.row_count(),
+            distinct,
+            min,
+            max,
+        }
+    }
+
+    /// Statistics for a table the planner knows nothing about beyond its row
+    /// count (used in unit tests and for freshly generated data).
+    pub fn unknown(rows: usize, columns: usize) -> Self {
+        TableStats {
+            rows,
+            distinct: vec![0; columns],
+            min: vec![None; columns],
+            max: vec![None; columns],
+        }
+    }
+
+    /// Distinct count of a column, falling back to a default guess.
+    pub fn distinct_or(&self, column: usize, default: usize) -> usize {
+        match self.distinct.get(column) {
+            Some(&d) if d > 0 => d,
+            _ => default,
+        }
+    }
+}
+
+/// Estimated selectivity of a single filter.
+///
+/// Equality filters use `1/distinct`; range filters interpolate within the
+/// known [min, max] interval when both bounds and the constant are numeric,
+/// otherwise fall back to the textbook 1/3; inequality keeps almost
+/// everything.
+pub fn filter_selectivity(filter: &ColumnFilter, stats: &TableStats) -> f64 {
+    let distinct = stats.distinct_or(filter.column, 10);
+    match filter.op {
+        CmpOp::Eq => 1.0 / distinct as f64,
+        CmpOp::NotEq => 1.0 - 1.0 / distinct as f64,
+        CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq => {
+            let (min, max) = (
+                stats.min.get(filter.column).and_then(|v| v.clone()),
+                stats.max.get(filter.column).and_then(|v| v.clone()),
+            );
+            if let (Some(min), Some(max)) = (min, max) {
+                if let (Ok(lo), Ok(hi), Ok(c)) = (min.as_f64(), max.as_f64(), filter.value.as_f64())
+                {
+                    if hi > lo {
+                        let frac = ((c - lo) / (hi - lo)).clamp(0.0, 1.0);
+                        return match filter.op {
+                            CmpOp::Lt | CmpOp::LtEq => frac.max(1e-6),
+                            _ => (1.0 - frac).max(1e-6),
+                        };
+                    }
+                }
+            }
+            1.0 / 3.0
+        }
+    }
+}
+
+/// Estimated number of rows of `table` surviving all of `filters`
+/// (independence assumed, as in System R).
+pub fn estimate_filtered_rows(stats: &TableStats, filters: &[&ColumnFilter]) -> usize {
+    let mut rows = stats.rows as f64;
+    for f in filters {
+        rows *= filter_selectivity(f, stats);
+    }
+    rows.round().max(1.0) as usize
+}
+
+/// Estimated cardinality of an equi-join between two inputs.
+///
+/// `|L ⋈ S| = |L| * |R| / max(d_L, d_R)` where `d` are the distinct counts
+/// of the join keys (0 = unknown → assume key-foreign-key, i.e. the larger
+/// row count).
+pub fn estimate_join_rows(
+    left_rows: usize,
+    left_distinct: usize,
+    right_rows: usize,
+    right_distinct: usize,
+) -> usize {
+    let dl = if left_distinct > 0 { left_distinct } else { left_rows.max(1) };
+    let dr = if right_distinct > 0 { right_distinct } else { right_rows.max(1) };
+    let denom = dl.max(dr).max(1);
+    ((left_rows as f64) * (right_rows as f64) / denom as f64)
+        .round()
+        .max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(op: CmpOp, v: f64) -> ColumnFilter {
+        ColumnFilter {
+            table: 0,
+            column: 0,
+            op,
+            value: Value::Float64(v),
+        }
+    }
+
+    fn stats() -> TableStats {
+        TableStats {
+            rows: 1000,
+            distinct: vec![100],
+            min: vec![Some(Value::Float64(0.0))],
+            max: vec![Some(Value::Float64(100.0))],
+        }
+    }
+
+    #[test]
+    fn equality_uses_distinct_count() {
+        let s = stats();
+        let sel = filter_selectivity(&filter(CmpOp::Eq, 5.0), &s);
+        assert!((sel - 0.01).abs() < 1e-9);
+        let sel = filter_selectivity(&filter(CmpOp::NotEq, 5.0), &s);
+        assert!((sel - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_interpolates_within_bounds() {
+        let s = stats();
+        let sel = filter_selectivity(&filter(CmpOp::Lt, 25.0), &s);
+        assert!((sel - 0.25).abs() < 1e-9);
+        let sel = filter_selectivity(&filter(CmpOp::GtEq, 25.0), &s);
+        assert!((sel - 0.75).abs() < 1e-9);
+        // Out-of-range constants clamp.
+        assert!(filter_selectivity(&filter(CmpOp::Lt, -5.0), &s) <= 1e-5);
+        assert!((filter_selectivity(&filter(CmpOp::Gt, -5.0), &s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_without_bounds_falls_back() {
+        let s = TableStats::unknown(1000, 1);
+        let sel = filter_selectivity(&filter(CmpOp::Lt, 25.0), &s);
+        assert!((sel - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.distinct_or(0, 42), 42);
+    }
+
+    #[test]
+    fn filtered_rows_multiply_selectivities() {
+        let s = stats();
+        let f1 = filter(CmpOp::Eq, 5.0);
+        let f2 = filter(CmpOp::Lt, 50.0);
+        let est = estimate_filtered_rows(&s, &[&f1, &f2]);
+        assert_eq!(est, 5); // 1000 * 0.01 * 0.5
+        assert_eq!(estimate_filtered_rows(&s, &[]), 1000);
+    }
+
+    #[test]
+    fn join_estimation() {
+        // Key–foreign-key: 1M rows joining 100k distinct keys on both sides.
+        assert_eq!(estimate_join_rows(1_000_000, 100_000, 100_000, 100_000), 1_000_000);
+        // Unknown distincts assume the larger side is a key.
+        assert_eq!(estimate_join_rows(1000, 0, 100, 0), 100);
+        // Inflationary join: few distinct values on both sides.
+        assert_eq!(estimate_join_rows(10_000, 10, 10_000, 10), 10_000_000);
+    }
+}

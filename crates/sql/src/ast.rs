@@ -1,0 +1,314 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+use hique_types::Value;
+use std::fmt;
+
+/// Binary arithmetic operators usable inside select-list and aggregate
+/// expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate functions (the paper's grammar excludes statistical functions;
+/// these five are the ones its workloads use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `COUNT(*)` or `COUNT(expr)`
+    Count,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operators usable in `WHERE` predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison given the ordering of the operands.
+    #[inline]
+    pub fn matches(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::NotEq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::LtEq => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::GtEq => ord != Less,
+        }
+    }
+
+    /// SQL text of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// An unbound expression as written in the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, possibly qualified (`lineitem.l_quantity`).
+    Column(String),
+    /// A literal constant.
+    Literal(Value),
+    /// An interval literal normalised to days (`INTERVAL '90' DAY`).
+    IntervalDays(i64),
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// An aggregate call; `arg` is `None` for `COUNT(*)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The argument expression, if any.
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// True if the expression contains an aggregate call anywhere.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::IntervalDays(d) => write!(f, "interval '{d}' day"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Aggregate { func, arg } => match arg {
+                Some(a) => write!(f, "{func}({a})"),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression to compute.
+    pub expr: Expr,
+    /// `AS alias`, if present.
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// The output column name: the alias when given, otherwise a rendering
+    /// of the expression.
+    pub fn output_name(&self) -> String {
+        match &self.alias {
+            Some(a) => a.clone(),
+            None => self.expr.to_string(),
+        }
+    }
+}
+
+/// A table in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name as registered in the catalog.
+    pub name: String,
+    /// Optional alias; the effective qualifier of the table's columns.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Alias when present, otherwise the table name.
+    pub fn qualifier(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One conjunct of the `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub left: Expr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Expr,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort key expression (a column or select alias).
+    pub expr: Expr,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT` list.
+    pub select: Vec<SelectItem>,
+    /// `FROM` tables (implicit cross product constrained by equi-joins in
+    /// `WHERE`, as in the paper's conjunctive-query grammar).
+    pub from: Vec<TableRef>,
+    /// Conjuncts of the `WHERE` clause.
+    pub predicates: Vec<Predicate>,
+    /// `GROUP BY` expressions (columns).
+    pub group_by: Vec<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT`, if present.
+    pub limit: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_matches() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.matches(Equal));
+        assert!(!CmpOp::Eq.matches(Less));
+        assert!(CmpOp::NotEq.matches(Greater));
+        assert!(CmpOp::Lt.matches(Less));
+        assert!(CmpOp::LtEq.matches(Equal));
+        assert!(CmpOp::Gt.matches(Greater));
+        assert!(CmpOp::GtEq.matches(Equal));
+        assert!(!CmpOp::GtEq.matches(Less));
+    }
+
+    #[test]
+    fn expr_display_and_aggregate_detection() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(Expr::Column("l_extendedprice".into())),
+            right: Box::new(Expr::Binary {
+                op: BinOp::Sub,
+                left: Box::new(Expr::Literal(Value::Int32(1))),
+                right: Box::new(Expr::Column("l_discount".into())),
+            }),
+        };
+        assert_eq!(e.to_string(), "(l_extendedprice * (1 - l_discount))");
+        assert!(!e.contains_aggregate());
+        let agg = Expr::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(e)),
+        };
+        assert!(agg.contains_aggregate());
+        assert_eq!(
+            agg.to_string(),
+            "sum((l_extendedprice * (1 - l_discount)))"
+        );
+        let count = Expr::Aggregate {
+            func: AggFunc::Count,
+            arg: None,
+        };
+        assert_eq!(count.to_string(), "count(*)");
+    }
+
+    #[test]
+    fn select_item_output_name() {
+        let item = SelectItem {
+            expr: Expr::Column("a".into()),
+            alias: Some("x".into()),
+        };
+        assert_eq!(item.output_name(), "x");
+        let item = SelectItem {
+            expr: Expr::Column("a".into()),
+            alias: None,
+        };
+        assert_eq!(item.output_name(), "a");
+    }
+
+    #[test]
+    fn table_ref_qualifier() {
+        let t = TableRef {
+            name: "orders".into(),
+            alias: Some("o".into()),
+        };
+        assert_eq!(t.qualifier(), "o");
+        let t = TableRef {
+            name: "orders".into(),
+            alias: None,
+        };
+        assert_eq!(t.qualifier(), "orders");
+    }
+}

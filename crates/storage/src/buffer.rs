@@ -1,0 +1,312 @@
+//! LRU buffer pool.
+//!
+//! "A buffer manager is responsible for buffering disk pages ...; it uses the
+//! LRU replacement policy." (paper, §IV).  The pool caches a bounded number
+//! of pages of one [`DiskManager`] file, evicting the least-recently-used
+//! unpinned frame when full, and writes dirty frames back on eviction and on
+//! flush.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hique_types::{HiqueError, Result};
+use parking_lot::Mutex;
+
+use crate::disk::DiskManager;
+use crate::page::Page;
+
+struct Frame {
+    page: Page,
+    pin_count: usize,
+    dirty: bool,
+    /// Logical clock of the last access, for LRU victim selection.
+    last_used: u64,
+}
+
+struct PoolState {
+    frames: HashMap<usize, Frame>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A fixed-capacity LRU cache of disk pages.
+pub struct BufferPool {
+    disk: Arc<DiskManager>,
+    capacity: usize,
+    state: Mutex<PoolState>,
+}
+
+/// Counters describing buffer pool behaviour (exposed for tests and the
+/// experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that had to read from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+impl BufferPool {
+    /// Create a pool of at most `capacity` frames over `disk`.
+    pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(HiqueError::Storage("buffer pool capacity must be > 0".into()));
+        }
+        Ok(BufferPool {
+            disk,
+            capacity,
+            state: Mutex::new(PoolState {
+                frames: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        })
+    }
+
+    /// Maximum number of resident frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> BufferPoolStats {
+        let s = self.state.lock();
+        BufferPoolStats {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+        }
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.state.lock().frames.len()
+    }
+
+    /// Fetch a page (from memory if resident, otherwise from disk), pin it,
+    /// and return a copy of its contents.
+    ///
+    /// The pool hands out copies rather than references so callers never
+    /// hold locks across query execution; `unpin` releases the frame for
+    /// eviction and `write_page` installs modified contents.
+    pub fn fetch_page(&self, page_no: usize) -> Result<Page> {
+        let mut s = self.state.lock();
+        s.clock += 1;
+        let clock = s.clock;
+        if let Some(frame) = s.frames.get_mut(&page_no) {
+            frame.pin_count += 1;
+            frame.last_used = clock;
+            let page = frame.page.clone();
+            s.hits += 1;
+            return Ok(page);
+        }
+        s.misses += 1;
+        // Need to bring the page in; make room first.
+        if s.frames.len() >= self.capacity {
+            Self::evict_one(&mut s, &self.disk)?;
+        }
+        drop(s);
+        let page = self.disk.read_page(page_no)?;
+        let mut s = self.state.lock();
+        let clock = s.clock;
+        s.frames.insert(
+            page_no,
+            Frame {
+                page: page.clone(),
+                pin_count: 1,
+                dirty: false,
+                last_used: clock,
+            },
+        );
+        Ok(page)
+    }
+
+    /// Install new contents for `page_no`, marking the frame dirty.
+    pub fn write_page(&self, page_no: usize, page: Page) -> Result<()> {
+        let mut s = self.state.lock();
+        s.clock += 1;
+        let clock = s.clock;
+        if let Some(frame) = s.frames.get_mut(&page_no) {
+            frame.page = page;
+            frame.dirty = true;
+            frame.last_used = clock;
+            return Ok(());
+        }
+        if s.frames.len() >= self.capacity {
+            Self::evict_one(&mut s, &self.disk)?;
+        }
+        s.frames.insert(
+            page_no,
+            Frame {
+                page,
+                pin_count: 0,
+                dirty: true,
+                last_used: clock,
+            },
+        );
+        Ok(())
+    }
+
+    /// Decrement the pin count of a previously fetched page.
+    pub fn unpin(&self, page_no: usize) -> Result<()> {
+        let mut s = self.state.lock();
+        let frame = s.frames.get_mut(&page_no).ok_or_else(|| {
+            HiqueError::Storage(format!("unpin of non-resident page {page_no}"))
+        })?;
+        if frame.pin_count == 0 {
+            return Err(HiqueError::Storage(format!(
+                "unpin of unpinned page {page_no}"
+            )));
+        }
+        frame.pin_count -= 1;
+        Ok(())
+    }
+
+    /// Write every dirty frame back to disk.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut s = self.state.lock();
+        let dirty: Vec<usize> = s
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&no, _)| no)
+            .collect();
+        for no in dirty {
+            let page = s.frames[&no].page.clone();
+            self.disk.write_page(no, &page)?;
+            s.frames.get_mut(&no).expect("frame exists").dirty = false;
+        }
+        Ok(())
+    }
+
+    fn evict_one(s: &mut PoolState, disk: &DiskManager) -> Result<()> {
+        let victim = s
+            .frames
+            .iter()
+            .filter(|(_, f)| f.pin_count == 0)
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(&no, _)| no)
+            .ok_or_else(|| {
+                HiqueError::Storage("buffer pool exhausted: every frame is pinned".into())
+            })?;
+        let frame = s.frames.remove(&victim).expect("victim exists");
+        if frame.dirty {
+            disk.write_page(victim, &frame.page)?;
+        }
+        s.evictions += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hique_buffer_test_{}_{name}.tbl", std::process::id()));
+        p
+    }
+
+    fn page_with(value: u64) -> Page {
+        let mut p = Page::new(8).unwrap();
+        p.push_record(&value.to_le_bytes()).unwrap();
+        p
+    }
+
+    fn setup(name: &str, pages: usize) -> (Arc<DiskManager>, PathBuf) {
+        let path = temp_path(name);
+        let dm = Arc::new(DiskManager::open(&path).unwrap());
+        for i in 0..pages {
+            dm.write_page(i, &page_with(i as u64)).unwrap();
+        }
+        (dm, path)
+    }
+
+    #[test]
+    fn fetch_hits_after_first_miss() {
+        let (dm, path) = setup("hits", 3);
+        let pool = BufferPool::new(dm, 2).unwrap();
+        pool.fetch_page(0).unwrap();
+        pool.unpin(0).unwrap();
+        pool.fetch_page(0).unwrap();
+        pool.unpin(0).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (dm, path) = setup("lru", 3);
+        let pool = BufferPool::new(dm, 2).unwrap();
+        pool.fetch_page(0).unwrap();
+        pool.unpin(0).unwrap();
+        pool.fetch_page(1).unwrap();
+        pool.unpin(1).unwrap();
+        // Touch page 0 so page 1 becomes the LRU victim.
+        pool.fetch_page(0).unwrap();
+        pool.unpin(0).unwrap();
+        pool.fetch_page(2).unwrap();
+        pool.unpin(2).unwrap();
+        assert_eq!(pool.resident(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        // Page 0 should still be a hit, page 1 a miss.
+        let before = pool.stats().misses;
+        pool.fetch_page(0).unwrap();
+        pool.unpin(0).unwrap();
+        assert_eq!(pool.stats().misses, before);
+        pool.fetch_page(1).unwrap();
+        pool.unpin(1).unwrap();
+        assert_eq!(pool.stats().misses, before + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (dm, path) = setup("pinned", 3);
+        let pool = BufferPool::new(dm, 1).unwrap();
+        pool.fetch_page(0).unwrap(); // stays pinned
+        assert!(pool.fetch_page(1).is_err());
+        pool.unpin(0).unwrap();
+        assert!(pool.fetch_page(1).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction_and_flush() {
+        let (dm, path) = setup("dirty", 2);
+        {
+            let pool = BufferPool::new(Arc::clone(&dm), 1).unwrap();
+            pool.write_page(0, page_with(100)).unwrap();
+            // Evict page 0 by fetching page 1.
+            pool.fetch_page(1).unwrap();
+            pool.unpin(1).unwrap();
+            assert_eq!(dm.read_page(0).unwrap().record(0), &100u64.to_le_bytes());
+            pool.write_page(1, page_with(200)).unwrap();
+            pool.flush_all().unwrap();
+        }
+        assert_eq!(dm.read_page(1).unwrap().record(0), &200u64.to_le_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unpin_errors() {
+        let (dm, path) = setup("unpin", 1);
+        let pool = BufferPool::new(dm, 2).unwrap();
+        assert!(pool.unpin(0).is_err());
+        pool.fetch_page(0).unwrap();
+        pool.unpin(0).unwrap();
+        assert!(pool.unpin(0).is_err());
+        assert!(BufferPool::new(Arc::new(DiskManager::open(&path).unwrap()), 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,287 @@
+//! System catalog: table name → schema, heap, statistics, indexes.
+//!
+//! The paper's storage manager "is responsible for maintaining information
+//! on table/file associations and schemata"; the optimizer additionally
+//! needs cardinalities and per-column distinct-value counts to pick join
+//! orders, join algorithms, and between map/hybrid/sort aggregation.
+//! `ANALYZE`-style statistics collection lives here.
+
+use std::collections::BTreeMap;
+
+use hique_types::tuple::read_value;
+use hique_types::{HiqueError, Result, Schema, Value};
+
+use crate::btree::BPlusTree;
+use crate::heap::TableHeap;
+
+/// Per-column statistics gathered by [`Catalog::analyze_table`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct values observed.
+    pub distinct: usize,
+    /// Minimum value observed (None for an empty table).
+    pub min: Option<Value>,
+    /// Maximum value observed (None for an empty table).
+    pub max: Option<Value>,
+}
+
+/// A table registered in the catalog.
+#[derive(Debug)]
+pub struct TableInfo {
+    /// Table name (lower-cased at registration).
+    pub name: String,
+    /// Record layout.
+    pub schema: Schema,
+    /// The table's data.
+    pub heap: TableHeap,
+    /// Per-column statistics, aligned with `schema.columns()`; empty until
+    /// [`Catalog::analyze_table`] runs.
+    pub column_stats: Vec<ColumnStats>,
+    /// Secondary B+-tree indexes, keyed by indexed column index.
+    pub indexes: BTreeMap<usize, BPlusTree>,
+}
+
+impl TableInfo {
+    /// Number of rows in the table.
+    pub fn row_count(&self) -> usize {
+        self.heap.num_tuples()
+    }
+}
+
+/// The system catalog.
+///
+/// Tables are owned by the catalog; engines borrow heaps for the duration of
+/// a query, which matches the single-query-at-a-time experimental setup of
+/// the paper (concurrency control is orthogonal to holistic evaluation and
+/// out of scope, as the paper argues).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableInfo>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a new table with an empty heap.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(HiqueError::Catalog(format!("table '{name}' already exists")));
+        }
+        let heap = TableHeap::new(schema.clone())?;
+        self.tables.insert(
+            key.clone(),
+            TableInfo {
+                name: key,
+                schema,
+                heap,
+                column_stats: Vec::new(),
+                indexes: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a table with pre-populated data.
+    pub fn register_table(&mut self, name: &str, heap: TableHeap) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(HiqueError::Catalog(format!("table '{name}' already exists")));
+        }
+        self.tables.insert(
+            key.clone(),
+            TableInfo {
+                name: key,
+                schema: heap.schema().clone(),
+                heap,
+                column_stats: Vec::new(),
+                indexes: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| HiqueError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&TableInfo> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| HiqueError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Look up a table mutably (for loading data or building indexes).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableInfo> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| HiqueError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Gather per-column statistics (distinct counts, min, max) for the
+    /// table, replacing any previous statistics.
+    pub fn analyze_table(&mut self, name: &str) -> Result<()> {
+        let info = self.table_mut(name)?;
+        let schema = info.schema.clone();
+        let mut distinct: Vec<std::collections::HashSet<String>> =
+            vec![Default::default(); schema.len()];
+        let mut mins: Vec<Option<Value>> = vec![None; schema.len()];
+        let mut maxs: Vec<Option<Value>> = vec![None; schema.len()];
+        for record in info.heap.records() {
+            for c in 0..schema.len() {
+                let v = read_value(record, &schema, c);
+                distinct[c].insert(v.to_string());
+                match &mins[c] {
+                    Some(m) if *m <= v => {}
+                    _ => mins[c] = Some(v.clone()),
+                }
+                match &maxs[c] {
+                    Some(m) if *m >= v => {}
+                    _ => maxs[c] = Some(v),
+                }
+            }
+        }
+        info.column_stats = (0..schema.len())
+            .map(|c| ColumnStats {
+                distinct: distinct[c].len(),
+                min: mins[c].clone(),
+                max: maxs[c].clone(),
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Build a B+-tree index over an integer-typed column of the table.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        let info = self.table_mut(table)?;
+        let col = info.schema.index_of(column)?;
+        let schema = info.schema.clone();
+        let mut tree = BPlusTree::new();
+        for (page_no, page) in info.heap.pages().enumerate() {
+            for slot in 0..page.num_tuples() {
+                let v = read_value(page.record(slot), &schema, col);
+                let key = v.as_i64().map_err(|_| {
+                    HiqueError::Catalog(format!(
+                        "cannot index non-numeric column '{column}' of '{table}'"
+                    ))
+                })?;
+                tree.insert(key, (page_no as u32, slot as u32));
+            }
+        }
+        info.indexes.insert(col, tree);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_types::{Column, DataType, Row};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int32),
+            Column::new("grp", DataType::Int32),
+            Column::new("name", DataType::Char(8)),
+        ])
+    }
+
+    fn populate(cat: &mut Catalog, n: i32) {
+        cat.create_table("t", schema()).unwrap();
+        let info = cat.table_mut("t").unwrap();
+        for i in 0..n {
+            info.heap
+                .append_row(&Row::new(vec![
+                    Value::Int32(i),
+                    Value::Int32(i % 3),
+                    Value::Str(format!("n{}", i % 2)),
+                ]))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut cat = Catalog::new();
+        cat.create_table("Orders", schema()).unwrap();
+        assert!(cat.has_table("orders"));
+        assert!(cat.has_table("ORDERS"));
+        assert!(cat.create_table("orders", schema()).is_err());
+        assert_eq!(cat.table_names(), vec!["orders"]);
+        assert_eq!(cat.table("orders").unwrap().row_count(), 0);
+        cat.drop_table("orders").unwrap();
+        assert!(!cat.has_table("orders"));
+        assert!(cat.drop_table("orders").is_err());
+        assert!(cat.table("orders").is_err());
+    }
+
+    #[test]
+    fn register_existing_heap() {
+        let mut cat = Catalog::new();
+        let heap = TableHeap::from_rows(
+            schema(),
+            (0..5).map(|i| {
+                Row::new(vec![
+                    Value::Int32(i),
+                    Value::Int32(0),
+                    Value::Str("x".into()),
+                ])
+            }),
+        )
+        .unwrap();
+        cat.register_table("pre", heap).unwrap();
+        assert_eq!(cat.table("pre").unwrap().row_count(), 5);
+        let heap2 = TableHeap::new(schema()).unwrap();
+        assert!(cat.register_table("pre", heap2).is_err());
+    }
+
+    #[test]
+    fn analyze_collects_distincts_and_bounds() {
+        let mut cat = Catalog::new();
+        populate(&mut cat, 30);
+        cat.analyze_table("t").unwrap();
+        let info = cat.table("t").unwrap();
+        assert_eq!(info.column_stats[0].distinct, 30);
+        assert_eq!(info.column_stats[1].distinct, 3);
+        assert_eq!(info.column_stats[2].distinct, 2);
+        assert_eq!(info.column_stats[0].min, Some(Value::Int32(0)));
+        assert_eq!(info.column_stats[0].max, Some(Value::Int32(29)));
+    }
+
+    #[test]
+    fn index_creation_and_misuse() {
+        let mut cat = Catalog::new();
+        populate(&mut cat, 100);
+        cat.create_index("t", "id").unwrap();
+        let info = cat.table("t").unwrap();
+        let tree = info.indexes.values().next().unwrap();
+        assert_eq!(tree.len(), 100);
+        let rid = tree.get(57).unwrap();
+        let rec = info.heap.record_at(rid.0 as usize, rid.1 as usize).unwrap();
+        assert_eq!(
+            read_value(rec, &info.schema, 0),
+            Value::Int32(57)
+        );
+        assert!(cat.create_index("t", "name").is_err());
+        assert!(cat.create_index("missing", "id").is_err());
+    }
+}

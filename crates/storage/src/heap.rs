@@ -1,0 +1,203 @@
+//! Heap "files": the in-memory page sequence holding one table.
+//!
+//! The paper evaluates main-memory-resident workloads; a [`TableHeap`] keeps
+//! a table as a vector of NSM [`Page`]s, append-only, exactly the structure
+//! the generated code iterates over (`for p in start_page..=end_page`,
+//! `for t in 0..page.num_tuples`).  Heaps also serve as the materialization
+//! target for staged inputs and intermediate results ("temporary tables
+//! inside the buffer pool" in the paper's terms).
+
+use hique_types::tuple::encode_record;
+use hique_types::{HiqueError, Result, Row, Schema};
+
+use crate::page::Page;
+
+/// An append-only sequence of NSM pages with a fixed record layout.
+#[derive(Debug, Clone)]
+pub struct TableHeap {
+    schema: Schema,
+    pages: Vec<Page>,
+    num_tuples: usize,
+}
+
+impl TableHeap {
+    /// Create an empty heap for records laid out by `schema`.
+    pub fn new(schema: Schema) -> Result<Self> {
+        if schema.tuple_size() == 0 {
+            return Err(HiqueError::Storage(
+                "cannot create a heap for a zero-width schema".into(),
+            ));
+        }
+        Ok(TableHeap {
+            schema,
+            pages: Vec::new(),
+            num_tuples: 0,
+        })
+    }
+
+    /// The record layout of this heap.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of pages currently allocated.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total number of records across all pages.
+    pub fn num_tuples(&self) -> usize {
+        self.num_tuples
+    }
+
+    /// True if the heap holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.num_tuples == 0
+    }
+
+    /// Approximate size of the stored record data in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.num_tuples * self.schema.tuple_size()
+    }
+
+    /// Borrow page `p`.
+    #[inline(always)]
+    pub fn page(&self, p: usize) -> &Page {
+        &self.pages[p]
+    }
+
+    /// Iterator over all pages.
+    pub fn pages(&self) -> impl Iterator<Item = &Page> {
+        self.pages.iter()
+    }
+
+    /// Append a raw, already-encoded record.
+    pub fn append_record(&mut self, record: &[u8]) -> Result<()> {
+        let ts = self.schema.tuple_size();
+        if record.len() != ts {
+            return Err(HiqueError::Storage(format!(
+                "record width {} does not match schema width {ts}",
+                record.len()
+            )));
+        }
+        if self.pages.last().map_or(true, |p| p.is_full()) {
+            self.pages.push(Page::new(ts)?);
+        }
+        let page = self.pages.last_mut().expect("page allocated above");
+        let pushed = page.push_record(record)?;
+        debug_assert!(pushed, "freshly allocated page rejected a record");
+        self.num_tuples += 1;
+        Ok(())
+    }
+
+    /// Encode and append a [`Row`].
+    pub fn append_row(&mut self, row: &Row) -> Result<()> {
+        let record = row.to_record(&self.schema)?;
+        self.append_record(&record)
+    }
+
+    /// Encode and append a slice of values.
+    pub fn append_values(&mut self, values: &[hique_types::Value]) -> Result<()> {
+        let record = encode_record(&self.schema, values)?;
+        self.append_record(&record)
+    }
+
+    /// Iterate over every record in page/slot order.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> {
+        self.pages.iter().flat_map(|p| p.records())
+    }
+
+    /// Materialize every record as a [`Row`] (test/result helper; engines
+    /// never do this in their hot paths).
+    pub fn all_rows(&self) -> Vec<Row> {
+        self.records()
+            .map(|r| Row::from_record(&self.schema, r))
+            .collect()
+    }
+
+    /// Fetch the record at (`page`, `slot`), if present.
+    pub fn record_at(&self, page: usize, slot: usize) -> Option<&[u8]> {
+        let p = self.pages.get(page)?;
+        if slot < p.num_tuples() {
+            Some(p.record(slot))
+        } else {
+            None
+        }
+    }
+
+    /// Build a heap from rows in one call (test and data-loading helper).
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Row>) -> Result<Self> {
+        let mut heap = TableHeap::new(schema)?;
+        for row in rows {
+            heap.append_row(&row)?;
+        }
+        Ok(heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_types::{Column, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("pad", DataType::Char(68)),
+        ])
+    }
+
+    fn row(k: i32) -> Row {
+        Row::new(vec![Value::Int32(k), Value::Str("x".into())])
+    }
+
+    #[test]
+    fn append_spills_to_new_pages() {
+        let mut heap = TableHeap::new(schema()).unwrap();
+        assert!(heap.is_empty());
+        // 72-byte tuples -> 56 per page; 200 tuples needs 4 pages.
+        for i in 0..200 {
+            heap.append_row(&row(i)).unwrap();
+        }
+        assert_eq!(heap.num_tuples(), 200);
+        assert_eq!(heap.num_pages(), 4);
+        assert_eq!(heap.data_bytes(), 200 * 72);
+        assert_eq!(heap.records().count(), 200);
+        let rows = heap.all_rows();
+        assert_eq!(rows[0].get(0), &Value::Int32(0));
+        assert_eq!(rows[199].get(0), &Value::Int32(199));
+    }
+
+    #[test]
+    fn record_at_bounds() {
+        let mut heap = TableHeap::new(schema()).unwrap();
+        heap.append_row(&row(7)).unwrap();
+        assert!(heap.record_at(0, 0).is_some());
+        assert!(heap.record_at(0, 1).is_none());
+        assert!(heap.record_at(1, 0).is_none());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut heap = TableHeap::new(schema()).unwrap();
+        assert!(heap.append_record(&[0u8; 3]).is_err());
+        assert!(TableHeap::new(Schema::empty()).is_err());
+    }
+
+    #[test]
+    fn from_rows_builds_equivalent_heap() {
+        let rows: Vec<Row> = (0..10).map(row).collect();
+        let heap = TableHeap::from_rows(schema(), rows.clone()).unwrap();
+        assert_eq!(heap.all_rows(), rows);
+        assert_eq!(heap.num_tuples(), 10);
+    }
+
+    #[test]
+    fn append_values_matches_append_row() {
+        let mut a = TableHeap::new(schema()).unwrap();
+        let mut b = TableHeap::new(schema()).unwrap();
+        a.append_row(&row(3)).unwrap();
+        b.append_values(&[Value::Int32(3), Value::Str("x".into())]).unwrap();
+        assert_eq!(a.all_rows(), b.all_rows());
+    }
+}

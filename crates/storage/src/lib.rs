@@ -1,0 +1,29 @@
+//! # hique-storage
+//!
+//! Storage layer for the HIQUE reproduction, mirroring the paper's choices:
+//!
+//! * the **N-ary Storage Model** with fixed-length records packed into
+//!   4096-byte [`page::Page`]s (`num_tuples` header + record array, accessed
+//!   as `data + t * tuple_size` exactly like Listing 1 of the paper);
+//! * heap files ([`heap::TableHeap`]) holding one table each;
+//! * an LRU [`buffer::BufferPool`] over a [`disk::DiskManager`] for
+//!   file-backed tables (the reported experiments run with memory-resident
+//!   data, as in the paper, but the subsystem is a real component);
+//! * a system [`catalog::Catalog`] mapping table names to schemas, heaps and
+//!   basic statistics;
+//! * an in-memory B+-tree index ([`btree::BPlusTree`]) with 1 KiB nodes,
+//!   four per physical page, following the paper's fractal-B+-tree layout
+//!   parameters (without the prefetching, which we do not model).
+
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod disk;
+pub mod heap;
+pub mod page;
+
+pub use buffer::BufferPool;
+pub use catalog::{Catalog, TableInfo};
+pub use disk::DiskManager;
+pub use heap::TableHeap;
+pub use page::{Page, PAGE_SIZE};

@@ -1,0 +1,247 @@
+//! Fixed-size NSM pages of fixed-length records.
+//!
+//! A page is 4096 bytes: a small header holding the record count and record
+//! width, followed by a packed array of records.  Record `t` lives at
+//! `data_start + t * tuple_size`, which is what lets generated code walk a
+//! page with pure pointer arithmetic (paper, Listing 1).
+
+use hique_types::{HiqueError, Result};
+
+/// Physical page size in bytes (the paper uses 4096-byte pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes reserved for the page header (`num_tuples: u32`, `tuple_size: u32`).
+pub const PAGE_HEADER_SIZE: usize = 8;
+
+/// A fixed-size page of fixed-length records.
+///
+/// The backing buffer is always exactly [`PAGE_SIZE`] bytes so pages can be
+/// written to and read from disk verbatim.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// Create an empty page for records of `tuple_size` bytes.
+    ///
+    /// `tuple_size` must be non-zero and small enough for at least one
+    /// record to fit.
+    pub fn new(tuple_size: usize) -> Result<Self> {
+        if tuple_size == 0 || tuple_size > PAGE_SIZE - PAGE_HEADER_SIZE {
+            return Err(HiqueError::Storage(format!(
+                "invalid tuple size {tuple_size} for {PAGE_SIZE}-byte pages"
+            )));
+        }
+        let mut page = Page {
+            buf: Box::new([0u8; PAGE_SIZE]),
+        };
+        page.set_num_tuples(0);
+        page.set_tuple_size(tuple_size as u32);
+        Ok(page)
+    }
+
+    /// Reconstruct a page from raw bytes (e.g. read back from disk).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(HiqueError::Storage(format!(
+                "page image must be {PAGE_SIZE} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        buf.copy_from_slice(bytes);
+        let page = Page { buf };
+        if page.tuple_size() == 0 {
+            return Err(HiqueError::Storage("page image has zero tuple size".into()));
+        }
+        Ok(page)
+    }
+
+    /// The raw page image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[..]
+    }
+
+    /// Number of records currently stored.
+    #[inline(always)]
+    pub fn num_tuples(&self) -> usize {
+        u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize
+    }
+
+    fn set_num_tuples(&mut self, n: u32) {
+        self.buf[0..4].copy_from_slice(&n.to_le_bytes());
+    }
+
+    /// Width in bytes of every record on this page.
+    #[inline(always)]
+    pub fn tuple_size(&self) -> usize {
+        u32::from_le_bytes(self.buf[4..8].try_into().unwrap()) as usize
+    }
+
+    fn set_tuple_size(&mut self, n: u32) {
+        self.buf[4..8].copy_from_slice(&n.to_le_bytes());
+    }
+
+    /// Maximum number of records a page of this record width can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        (PAGE_SIZE - PAGE_HEADER_SIZE) / self.tuple_size()
+    }
+
+    /// True when no further record fits.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.num_tuples() >= self.capacity()
+    }
+
+    /// Append a record; returns `false` (leaving the page unchanged) when
+    /// the page is full.
+    pub fn push_record(&mut self, record: &[u8]) -> Result<bool> {
+        let ts = self.tuple_size();
+        if record.len() != ts {
+            return Err(HiqueError::Storage(format!(
+                "record width {} does not match page tuple size {ts}",
+                record.len()
+            )));
+        }
+        if self.is_full() {
+            return Ok(false);
+        }
+        let n = self.num_tuples();
+        let off = PAGE_HEADER_SIZE + n * ts;
+        self.buf[off..off + ts].copy_from_slice(record);
+        self.set_num_tuples((n + 1) as u32);
+        Ok(true)
+    }
+
+    /// Borrow record `t`.
+    ///
+    /// # Panics
+    /// Panics if `t >= num_tuples()` (callers iterate `0..num_tuples()`).
+    #[inline(always)]
+    pub fn record(&self, t: usize) -> &[u8] {
+        debug_assert!(t < self.num_tuples());
+        let ts = self.tuple_size();
+        let off = PAGE_HEADER_SIZE + t * ts;
+        &self.buf[off..off + ts]
+    }
+
+    /// The packed record area (`num_tuples * tuple_size` bytes), the array
+    /// the generated kernels iterate over directly.
+    #[inline(always)]
+    pub fn data(&self) -> &[u8] {
+        let ts = self.tuple_size();
+        &self.buf[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + self.num_tuples() * ts]
+    }
+
+    /// Iterator over all records in the page.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.num_tuples()).map(move |t| self.record(t))
+    }
+
+    /// Overwrite record `t` in place (used by temporary staging tables).
+    pub fn overwrite_record(&mut self, t: usize, record: &[u8]) -> Result<()> {
+        let ts = self.tuple_size();
+        if record.len() != ts {
+            return Err(HiqueError::Storage(
+                "record width mismatch in overwrite".into(),
+            ));
+        }
+        if t >= self.num_tuples() {
+            return Err(HiqueError::Storage(format!(
+                "record index {t} out of bounds ({} tuples)",
+                self.num_tuples()
+            )));
+        }
+        let off = PAGE_HEADER_SIZE + t * ts;
+        self.buf[off..off + ts].copy_from_slice(record);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("tuple_size", &self.tuple_size())
+            .field("num_tuples", &self.num_tuples())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_empty_with_expected_capacity() {
+        let p = Page::new(72).unwrap();
+        assert_eq!(p.num_tuples(), 0);
+        assert_eq!(p.tuple_size(), 72);
+        assert_eq!(p.capacity(), (PAGE_SIZE - PAGE_HEADER_SIZE) / 72);
+        assert!(!p.is_full());
+    }
+
+    #[test]
+    fn invalid_tuple_sizes_are_rejected() {
+        assert!(Page::new(0).is_err());
+        assert!(Page::new(PAGE_SIZE).is_err());
+        assert!(Page::new(PAGE_SIZE - PAGE_HEADER_SIZE).is_ok());
+    }
+
+    #[test]
+    fn push_and_read_records() {
+        let mut p = Page::new(8).unwrap();
+        for i in 0..10u64 {
+            assert!(p.push_record(&i.to_le_bytes()).unwrap());
+        }
+        assert_eq!(p.num_tuples(), 10);
+        for i in 0..10u64 {
+            assert_eq!(p.record(i as usize), &i.to_le_bytes());
+        }
+        assert_eq!(p.records().count(), 10);
+        assert_eq!(p.data().len(), 80);
+    }
+
+    #[test]
+    fn page_fills_up_and_rejects_when_full() {
+        let mut p = Page::new(1024).unwrap();
+        assert_eq!(p.capacity(), 3);
+        let rec = vec![7u8; 1024];
+        assert!(p.push_record(&rec).unwrap());
+        assert!(p.push_record(&rec).unwrap());
+        assert!(p.push_record(&rec).unwrap());
+        assert!(p.is_full());
+        assert!(!p.push_record(&rec).unwrap());
+        assert_eq!(p.num_tuples(), 3);
+    }
+
+    #[test]
+    fn record_width_mismatch_is_an_error() {
+        let mut p = Page::new(8).unwrap();
+        assert!(p.push_record(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let mut p = Page::new(16).unwrap();
+        p.push_record(&[9u8; 16]).unwrap();
+        let copy = Page::from_bytes(p.as_bytes()).unwrap();
+        assert_eq!(copy.num_tuples(), 1);
+        assert_eq!(copy.record(0), &[9u8; 16]);
+        assert!(Page::from_bytes(&[0u8; 10]).is_err());
+        assert!(Page::from_bytes(&[0u8; PAGE_SIZE]).is_err());
+    }
+
+    #[test]
+    fn overwrite_record_in_place() {
+        let mut p = Page::new(4).unwrap();
+        p.push_record(&[1, 1, 1, 1]).unwrap();
+        p.push_record(&[2, 2, 2, 2]).unwrap();
+        p.overwrite_record(1, &[9, 9, 9, 9]).unwrap();
+        assert_eq!(p.record(1), &[9, 9, 9, 9]);
+        assert!(p.overwrite_record(5, &[0, 0, 0, 0]).is_err());
+        assert!(p.overwrite_record(0, &[0]).is_err());
+    }
+}

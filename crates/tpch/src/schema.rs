@@ -1,0 +1,135 @@
+//! TPC-H table schemas with fixed-width columns.
+
+use hique_types::{Column, DataType, Schema};
+
+/// `lineitem` (the widest and largest table; ~141-byte records).
+pub fn lineitem() -> Schema {
+    Schema::new(vec![
+        Column::new("l_orderkey", DataType::Int32),
+        Column::new("l_partkey", DataType::Int32),
+        Column::new("l_suppkey", DataType::Int32),
+        Column::new("l_linenumber", DataType::Int32),
+        Column::new("l_quantity", DataType::Float64),
+        Column::new("l_extendedprice", DataType::Float64),
+        Column::new("l_discount", DataType::Float64),
+        Column::new("l_tax", DataType::Float64),
+        Column::new("l_returnflag", DataType::Char(1)),
+        Column::new("l_linestatus", DataType::Char(1)),
+        Column::new("l_shipdate", DataType::Date),
+        Column::new("l_commitdate", DataType::Date),
+        Column::new("l_receiptdate", DataType::Date),
+        Column::new("l_shipinstruct", DataType::Char(25)),
+        Column::new("l_shipmode", DataType::Char(10)),
+        Column::new("l_comment", DataType::Char(44)),
+    ])
+}
+
+/// `orders` (~134-byte records).
+pub fn orders() -> Schema {
+    Schema::new(vec![
+        Column::new("o_orderkey", DataType::Int32),
+        Column::new("o_custkey", DataType::Int32),
+        Column::new("o_orderstatus", DataType::Char(1)),
+        Column::new("o_totalprice", DataType::Float64),
+        Column::new("o_orderdate", DataType::Date),
+        Column::new("o_orderpriority", DataType::Char(15)),
+        Column::new("o_clerk", DataType::Char(15)),
+        Column::new("o_shippriority", DataType::Int32),
+        Column::new("o_comment", DataType::Char(79)),
+    ])
+}
+
+/// `customer` (~227-byte records).
+pub fn customer() -> Schema {
+    Schema::new(vec![
+        Column::new("c_custkey", DataType::Int32),
+        Column::new("c_name", DataType::Char(25)),
+        Column::new("c_address", DataType::Char(40)),
+        Column::new("c_nationkey", DataType::Int32),
+        Column::new("c_phone", DataType::Char(15)),
+        Column::new("c_acctbal", DataType::Float64),
+        Column::new("c_mktsegment", DataType::Char(10)),
+        Column::new("c_comment", DataType::Char(117)),
+    ])
+}
+
+/// `nation` (25 rows).
+pub fn nation() -> Schema {
+    Schema::new(vec![
+        Column::new("n_nationkey", DataType::Int32),
+        Column::new("n_name", DataType::Char(25)),
+        Column::new("n_regionkey", DataType::Int32),
+        Column::new("n_comment", DataType::Char(152)),
+    ])
+}
+
+/// `region` (5 rows).
+pub fn region() -> Schema {
+    Schema::new(vec![
+        Column::new("r_regionkey", DataType::Int32),
+        Column::new("r_name", DataType::Char(25)),
+        Column::new("r_comment", DataType::Char(152)),
+    ])
+}
+
+/// `supplier`.
+pub fn supplier() -> Schema {
+    Schema::new(vec![
+        Column::new("s_suppkey", DataType::Int32),
+        Column::new("s_name", DataType::Char(25)),
+        Column::new("s_address", DataType::Char(40)),
+        Column::new("s_nationkey", DataType::Int32),
+        Column::new("s_phone", DataType::Char(15)),
+        Column::new("s_acctbal", DataType::Float64),
+        Column::new("s_comment", DataType::Char(101)),
+    ])
+}
+
+/// `part`.
+pub fn part() -> Schema {
+    Schema::new(vec![
+        Column::new("p_partkey", DataType::Int32),
+        Column::new("p_name", DataType::Char(55)),
+        Column::new("p_mfgr", DataType::Char(25)),
+        Column::new("p_brand", DataType::Char(10)),
+        Column::new("p_type", DataType::Char(25)),
+        Column::new("p_size", DataType::Int32),
+        Column::new("p_container", DataType::Char(10)),
+        Column::new("p_retailprice", DataType::Float64),
+        Column::new("p_comment", DataType::Char(23)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_widths_span_multiple_cache_lines() {
+        // The paper's argument about TPC-H depends on wide NSM tuples.
+        assert!(lineitem().tuple_size() > 128);
+        assert!(orders().tuple_size() > 128);
+        assert!(customer().tuple_size() > 192);
+        assert_eq!(nation().len(), 4);
+        assert_eq!(region().len(), 3);
+        assert!(supplier().tuple_size() > 150);
+        assert!(part().tuple_size() > 150);
+    }
+
+    #[test]
+    fn q1_q3_q10_columns_exist() {
+        let l = lineitem();
+        for c in ["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate", "l_orderkey"] {
+            assert!(l.contains(c), "{c}");
+        }
+        let o = orders();
+        for c in ["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"] {
+            assert!(o.contains(c), "{c}");
+        }
+        let cu = customer();
+        for c in ["c_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_mktsegment", "c_nationkey"] {
+            assert!(cu.contains(c), "{c}");
+        }
+        assert!(nation().contains("n_name"));
+    }
+}

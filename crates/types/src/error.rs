@@ -1,0 +1,113 @@
+//! Error type shared by every HIQUE crate.
+
+use std::fmt;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, HiqueError>;
+
+/// Errors produced anywhere in the engine.
+///
+/// One enum is shared by all crates so that cross-layer call chains
+/// (SQL → plan → storage → execution) propagate errors without conversion
+/// boilerplate; the variant records which layer failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HiqueError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The query referenced unknown tables/columns or mis-typed expressions.
+    Analysis(String),
+    /// A type mismatch at runtime or plan time.
+    Type(String),
+    /// Catalog inconsistency (unknown table, duplicate table, ...).
+    Catalog(String),
+    /// Storage-layer failure (page full, invalid slot, I/O error text, ...).
+    Storage(String),
+    /// The optimizer could not produce a plan for the query.
+    Plan(String),
+    /// A failure while generating query-specific code.
+    Codegen(String),
+    /// A failure during query execution.
+    Execution(String),
+    /// The requested feature is recognized but not supported
+    /// (mirrors the paper's explicitly unsupported features, e.g. nested
+    /// queries and statistical aggregate functions).
+    Unsupported(String),
+}
+
+impl HiqueError {
+    /// Short label for the layer that produced the error.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            HiqueError::Parse(_) => "parse",
+            HiqueError::Analysis(_) => "analysis",
+            HiqueError::Type(_) => "type",
+            HiqueError::Catalog(_) => "catalog",
+            HiqueError::Storage(_) => "storage",
+            HiqueError::Plan(_) => "plan",
+            HiqueError::Codegen(_) => "codegen",
+            HiqueError::Execution(_) => "execution",
+            HiqueError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            HiqueError::Parse(m)
+            | HiqueError::Analysis(m)
+            | HiqueError::Type(m)
+            | HiqueError::Catalog(m)
+            | HiqueError::Storage(m)
+            | HiqueError::Plan(m)
+            | HiqueError::Codegen(m)
+            | HiqueError::Execution(m)
+            | HiqueError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for HiqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.layer(), self.message())
+    }
+}
+
+impl std::error::Error for HiqueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_layer_and_message() {
+        let e = HiqueError::Parse("unexpected token ';'".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token ';'");
+        assert_eq!(e.layer(), "parse");
+        assert_eq!(e.message(), "unexpected token ';'");
+    }
+
+    #[test]
+    fn all_layers_have_distinct_labels() {
+        let errs = [
+            HiqueError::Parse(String::new()),
+            HiqueError::Analysis(String::new()),
+            HiqueError::Type(String::new()),
+            HiqueError::Catalog(String::new()),
+            HiqueError::Storage(String::new()),
+            HiqueError::Plan(String::new()),
+            HiqueError::Codegen(String::new()),
+            HiqueError::Execution(String::new()),
+            HiqueError::Unsupported(String::new()),
+        ];
+        let mut labels: Vec<_> = errs.iter().map(|e| e.layer()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), errs.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&HiqueError::Execution("boom".into()));
+    }
+}

@@ -1,0 +1,130 @@
+//! Materialized rows of [`Value`]s.
+//!
+//! Rows are the unit of exchange in the interpreted iterator engine and the
+//! format in which query results are returned to clients by every engine.
+//! A [`Row`] is deliberately a thin wrapper over `Vec<Value>` — the point of
+//! the paper is that shuffling these around per tuple is expensive, and the
+//! baselines must faithfully pay that cost.
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::tuple::{decode_record, encode_record};
+use crate::value::Value;
+
+/// A materialized, dynamically typed row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Wrap a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The row's values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at column `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the row carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Consume the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenate two rows (join output in the iterator engine).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row::new(values)
+    }
+
+    /// Keep only the listed columns, in the given order.
+    pub fn project(&self, indexes: &[usize]) -> Row {
+        Row::new(indexes.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Encode into a fixed-length NSM record described by `schema`.
+    pub fn to_record(&self, schema: &Schema) -> Result<Vec<u8>> {
+        encode_record(schema, &self.values)
+    }
+
+    /// Decode from a fixed-length NSM record described by `schema`.
+    pub fn from_record(schema: &Schema, record: &[u8]) -> Row {
+        Row::new(decode_record(schema, record))
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, "|")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::Column;
+
+    #[test]
+    fn concat_and_project() {
+        let a = Row::new(vec![Value::Int32(1), Value::Int32(2)]);
+        let b = Row::new(vec![Value::Str("x".into())]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), &Value::Str("x".into()));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Str("x".into()), Value::Int32(1)]);
+        assert!(!p.is_empty());
+        assert!(Row::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("v", DataType::Float64),
+        ]);
+        let row = Row::new(vec![Value::Int32(9), Value::Float64(0.5)]);
+        let rec = row.to_record(&schema).unwrap();
+        assert_eq!(Row::from_record(&schema, &rec), row);
+    }
+
+    #[test]
+    fn display_is_pipe_separated() {
+        let row = Row::new(vec![Value::Int32(1), Value::Str("a".into())]);
+        assert_eq!(row.to_string(), "1|a");
+    }
+}

@@ -1,0 +1,252 @@
+//! Schemas with a fixed NSM record layout.
+//!
+//! A [`Schema`] is an ordered list of typed columns plus the derived byte
+//! offsets of each column inside a fixed-length record.  The holistic code
+//! generator reads these offsets at *generation* time and bakes them into
+//! the emitted kernels as constants — the analogue of the paper's
+//! `tuple + predicate_offset` pointer arithmetic.
+
+use std::fmt;
+
+use crate::datatype::DataType;
+use crate::error::{HiqueError, Result};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, optionally qualified by the owning table at plan time
+    /// (e.g. `lineitem.l_quantity` after joins concatenate schemas).
+    pub name: String,
+    /// The column's data type (fixed width).
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Create a column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// The unqualified part of the column name (`l_quantity` for
+    /// `lineitem.l_quantity`).
+    pub fn base_name(&self) -> &str {
+        match self.name.rsplit_once('.') {
+            Some((_, base)) => base,
+            None => &self.name,
+        }
+    }
+}
+
+/// An ordered set of columns with a fixed record layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    /// Byte offset of each column inside the record, aligned to the order of
+    /// `columns`.
+    offsets: Vec<usize>,
+    /// Total fixed record width in bytes.
+    tuple_size: usize,
+}
+
+impl Schema {
+    /// Build a schema from columns; offsets are assigned in declaration
+    /// order with no padding (records are byte-packed exactly as in the
+    /// paper's 72-byte micro-benchmark tuples).
+    pub fn new(columns: Vec<Column>) -> Self {
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0usize;
+        for c in &columns {
+            offsets.push(off);
+            off += c.dtype.width();
+        }
+        Schema {
+            columns,
+            offsets,
+            tuple_size: off,
+        }
+    }
+
+    /// Schema with no columns (used as a neutral element when composing).
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Fixed byte width of a record with this schema.
+    pub fn tuple_size(&self) -> usize {
+        self.tuple_size
+    }
+
+    /// Byte offset of column `idx` inside a record.
+    pub fn offset(&self, idx: usize) -> usize {
+        self.offsets[idx]
+    }
+
+    /// All byte offsets, aligned with [`Schema::columns`].
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The column at position `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Resolve a (possibly qualified) column name to its index.
+    ///
+    /// Matching follows SQL name resolution for this engine:
+    /// an exact match on the stored name wins; otherwise an unqualified
+    /// reference matches a qualified column whose base name equals it, and
+    /// is ambiguous if several do.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c.name == name) {
+            return Ok(i);
+        }
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.base_name() == name)
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(HiqueError::Analysis(format!("unknown column '{name}'"))),
+            _ => Err(HiqueError::Analysis(format!(
+                "ambiguous column reference '{name}'"
+            ))),
+        }
+    }
+
+    /// Whether a column with this name can be resolved.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_ok()
+    }
+
+    /// New schema containing the given column indexes, in the given order.
+    pub fn project(&self, indexes: &[usize]) -> Schema {
+        Schema::new(indexes.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// New schema with every column name prefixed by `qualifier.`
+    /// (dropping any existing qualification first).
+    pub fn qualify(&self, qualifier: &str) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Column::new(format!("{qualifier}.{}", c.base_name()), c.dtype))
+                .collect(),
+        )
+    }
+
+    /// Concatenation of two schemas (the record layout of a join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.clone();
+        cols.extend(other.columns.iter().cloned());
+        Schema::new(cols)
+    }
+
+    /// Column names in order, handy for tests and result rendering.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int32),
+            Column::new("score", DataType::Float64),
+            Column::new("name", DataType::Char(12)),
+            Column::new("when", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn offsets_and_width_are_packed() {
+        let s = sample();
+        assert_eq!(s.offsets(), &[0, 4, 12, 24]);
+        assert_eq!(s.tuple_size(), 28);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(Schema::empty().is_empty());
+        assert_eq!(Schema::empty().tuple_size(), 0);
+    }
+
+    #[test]
+    fn name_resolution_qualified_and_unqualified() {
+        let q = sample().qualify("t");
+        assert_eq!(q.index_of("t.id").unwrap(), 0);
+        assert_eq!(q.index_of("id").unwrap(), 0);
+        assert_eq!(q.index_of("score").unwrap(), 1);
+        assert!(q.index_of("missing").is_err());
+        assert!(q.contains("t.name"));
+        assert!(!q.contains("nope"));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_reference_is_rejected() {
+        let j = sample().qualify("a").join(&sample().qualify("b"));
+        assert!(matches!(j.index_of("id"), Err(HiqueError::Analysis(_))));
+        assert_eq!(j.index_of("a.id").unwrap(), 0);
+        assert_eq!(j.index_of("b.id").unwrap(), 4);
+    }
+
+    #[test]
+    fn projection_preserves_order_and_recomputes_offsets() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["name", "id"]);
+        assert_eq!(p.offsets(), &[0, 12]);
+        assert_eq!(p.tuple_size(), 16);
+    }
+
+    #[test]
+    fn join_concatenates_layout() {
+        let a = sample().qualify("a");
+        let b = sample().qualify("b");
+        let j = a.join(&b);
+        assert_eq!(j.len(), 8);
+        assert_eq!(j.tuple_size(), 56);
+        assert_eq!(j.offset(4), 28);
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let s = Schema::new(vec![Column::new("x", DataType::Int32)]);
+        assert_eq!(s.to_string(), "(x int)");
+    }
+}

@@ -1,0 +1,172 @@
+//! Software execution counters.
+//!
+//! The paper explains its response-time results with hardware performance
+//! events (retired instructions, function calls, D1-cache accesses, CPI,
+//! prefetcher efficiency) collected with OProfile.  Portable access to those
+//! counters is not available here, so every engine in this repository is
+//! instrumented with *software* counters that capture the same explanatory
+//! quantities at the engine level:
+//!
+//! | paper metric                | ExecStats analogue                         |
+//! |-----------------------------|--------------------------------------------|
+//! | function calls              | `function_calls` (iterator/dispatch calls) |
+//! | retired instructions        | `tuples_processed`, `comparisons`, `hash_ops` (work proxy) |
+//! | D1-cache accesses           | `bytes_touched`                            |
+//! | memory stalls from staging  | `bytes_materialized`, `partition_passes`, `sort_passes` |
+//!
+//! The absolute numbers are not comparable with the paper's; their *ratios
+//! across engine configurations* are what the reproduction tracks.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated while executing one query (or one operator).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Dynamic-dispatch / iterator-interface calls (`open`/`next`/`close`,
+    /// per-field accessor calls, comparator callbacks).  The holistic
+    /// engine's generated kernels keep this near zero by construction.
+    pub function_calls: u64,
+    /// Tuples that entered any operator.
+    pub tuples_processed: u64,
+    /// Bytes of record data read or written by operators.
+    pub bytes_touched: u64,
+    /// Predicate / key comparisons evaluated.
+    pub comparisons: u64,
+    /// Hash computations (partitioning, hash joins, hash aggregation).
+    pub hash_ops: u64,
+    /// Bytes written into materialized intermediate results (staging areas,
+    /// partitions, sort buffers, temporary tables).
+    pub bytes_materialized: u64,
+    /// Number of partitioning passes performed while staging inputs.
+    pub partition_passes: u64,
+    /// Number of sort passes (quicksort runs + merges) while staging.
+    pub sort_passes: u64,
+    /// Result rows produced.
+    pub rows_out: u64,
+}
+
+impl ExecStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` iterator-style function calls.
+    #[inline(always)]
+    pub fn add_calls(&mut self, n: u64) {
+        self.function_calls += n;
+    }
+
+    /// Record one processed tuple of `bytes` width.
+    #[inline(always)]
+    pub fn add_tuple(&mut self, bytes: usize) {
+        self.tuples_processed += 1;
+        self.bytes_touched += bytes as u64;
+    }
+
+    /// Record `n` comparisons.
+    #[inline(always)]
+    pub fn add_comparisons(&mut self, n: u64) {
+        self.comparisons += n;
+    }
+
+    /// Record `n` hash computations.
+    #[inline(always)]
+    pub fn add_hashes(&mut self, n: u64) {
+        self.hash_ops += n;
+    }
+
+    /// Record materialization of `bytes` into an intermediate.
+    #[inline(always)]
+    pub fn add_materialized(&mut self, bytes: usize) {
+        self.bytes_materialized += bytes as u64;
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        *self += *other;
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.function_calls += rhs.function_calls;
+        self.tuples_processed += rhs.tuples_processed;
+        self.bytes_touched += rhs.bytes_touched;
+        self.comparisons += rhs.comparisons;
+        self.hash_ops += rhs.hash_ops;
+        self.bytes_materialized += rhs.bytes_materialized;
+        self.partition_passes += rhs.partition_passes;
+        self.sort_passes += rhs.sort_passes;
+        self.rows_out += rhs.rows_out;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={}",
+            self.function_calls,
+            self.tuples_processed,
+            self.bytes_touched,
+            self.comparisons,
+            self.hash_ops,
+            self.bytes_materialized,
+            self.partition_passes,
+            self.sort_passes,
+            self.rows_out
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = ExecStats::new();
+        s.add_calls(3);
+        s.add_tuple(72);
+        s.add_tuple(72);
+        s.add_comparisons(5);
+        s.add_hashes(2);
+        s.add_materialized(144);
+        assert_eq!(s.function_calls, 3);
+        assert_eq!(s.tuples_processed, 2);
+        assert_eq!(s.bytes_touched, 144);
+        assert_eq!(s.comparisons, 5);
+        assert_eq!(s.hash_ops, 2);
+        assert_eq!(s.bytes_materialized, 144);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ExecStats::new();
+        a.add_calls(1);
+        a.add_tuple(10);
+        let mut b = ExecStats::new();
+        b.add_calls(2);
+        b.add_tuple(20);
+        b.rows_out = 7;
+        a.merge(&b);
+        assert_eq!(a.function_calls, 3);
+        assert_eq!(a.tuples_processed, 2);
+        assert_eq!(a.bytes_touched, 30);
+        assert_eq!(a.rows_out, 7);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let s = ExecStats::new();
+        let out = s.to_string();
+        for key in [
+            "calls=", "tuples=", "bytes=", "cmps=", "hashes=", "mat_bytes=", "part_passes=",
+            "sort_passes=", "rows_out=",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+    }
+}

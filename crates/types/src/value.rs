@@ -1,0 +1,316 @@
+//! Runtime values.
+//!
+//! [`Value`] is the boxed, dynamically-typed representation used by the
+//! *interpreted* parts of the system: the SQL front-end (literals), the
+//! iterator engine (the paper's baseline, which pays for this genericity),
+//! the optimizer (statistics and constants) and query results.  The holistic
+//! engine's generated kernels never manipulate `Value`s in their hot loops —
+//! they read primitives straight out of NSM records — which is exactly the
+//! contrast the paper measures.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::datatype::DataType;
+use crate::error::{HiqueError, Result};
+
+/// A dynamically typed SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 32-bit integer.
+    Int32(i32),
+    /// 64-bit integer.
+    Int64(i64),
+    /// Double-precision float.
+    Float64(f64),
+    /// Days since the Unix epoch.
+    Date(i32),
+    /// Character string (logically `CHAR(n)`; trailing pad spaces trimmed).
+    Str(String),
+}
+
+impl Value {
+    /// The data type this value naturally carries.
+    ///
+    /// `Str` maps to a `Char` whose width is the string's byte length; the
+    /// schema's declared width wins when encoding into a record.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int32(_) => DataType::Int32,
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Date(_) => DataType::Date,
+            Value::Str(s) => DataType::Char(s.len().min(u16::MAX as usize) as u16),
+        }
+    }
+
+    /// Interpret the value as `f64` for aggregate arithmetic.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int32(v) => Ok(*v as f64),
+            Value::Int64(v) => Ok(*v as f64),
+            Value::Float64(v) => Ok(*v),
+            Value::Date(v) => Ok(*v as f64),
+            Value::Str(s) => Err(HiqueError::Type(format!(
+                "cannot use string '{s}' in numeric context"
+            ))),
+        }
+    }
+
+    /// Interpret the value as `i64`, truncating floats.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int32(v) => Ok(*v as i64),
+            Value::Int64(v) => Ok(*v),
+            Value::Float64(v) => Ok(*v as i64),
+            Value::Date(v) => Ok(*v as i64),
+            Value::Str(s) => Err(HiqueError::Type(format!(
+                "cannot use string '{s}' in integer context"
+            ))),
+        }
+    }
+
+    /// Borrow the string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Coerce this value to the given type, used when binding literals to
+    /// column types during semantic analysis.
+    pub fn coerce_to(&self, ty: DataType) -> Result<Value> {
+        let out = match (self, ty) {
+            (Value::Int32(v), DataType::Int32) => Value::Int32(*v),
+            (Value::Int32(v), DataType::Int64) => Value::Int64(*v as i64),
+            (Value::Int32(v), DataType::Float64) => Value::Float64(*v as f64),
+            (Value::Int32(v), DataType::Date) => Value::Date(*v),
+            (Value::Int64(v), DataType::Int64) => Value::Int64(*v),
+            (Value::Int64(v), DataType::Int32) => {
+                let narrowed = i32::try_from(*v).map_err(|_| {
+                    HiqueError::Type(format!("integer {v} out of range for int"))
+                })?;
+                Value::Int32(narrowed)
+            }
+            (Value::Int64(v), DataType::Float64) => Value::Float64(*v as f64),
+            (Value::Float64(v), DataType::Float64) => Value::Float64(*v),
+            (Value::Date(v), DataType::Date) => Value::Date(*v),
+            (Value::Date(v), DataType::Int32) => Value::Int32(*v),
+            (Value::Str(s), DataType::Char(_)) => Value::Str(s.clone()),
+            (Value::Str(s), DataType::Date) => Value::Date(parse_date(s)?),
+            (v, ty) => {
+                return Err(HiqueError::Type(format!(
+                    "cannot coerce {v} to {ty}"
+                )))
+            }
+        };
+        Ok(out)
+    }
+
+    /// Total-order comparison across compatible value kinds.
+    ///
+    /// Numeric kinds compare numerically regardless of width; strings
+    /// compare lexicographically; comparing a string with a number is a
+    /// type error at analysis time and panics here only in debug builds.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Float64(a), Value::Float64(b)) => a.total_cmp(b),
+            (a, b) => {
+                // Mixed / integer comparison through f64 is exact for the
+                // integer ranges used by the workloads (< 2^53).
+                let fa = a.as_f64().unwrap_or(f64::NEG_INFINITY);
+                let fb = b.as_f64().unwrap_or(f64::NEG_INFINITY);
+                fa.total_cmp(&fb)
+            }
+        }
+    }
+
+    /// Equality as used by equi-join and grouping logic.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+/// Parse `YYYY-MM-DD` into days since 1970-01-01 (proleptic Gregorian).
+pub fn parse_date(s: &str) -> Result<i32> {
+    let parts: Vec<&str> = s.trim().split('-').collect();
+    if parts.len() != 3 {
+        return Err(HiqueError::Type(format!("invalid date literal '{s}'")));
+    }
+    let year: i32 = parts[0]
+        .parse()
+        .map_err(|_| HiqueError::Type(format!("invalid year in date '{s}'")))?;
+    let month: i32 = parts[1]
+        .parse()
+        .map_err(|_| HiqueError::Type(format!("invalid month in date '{s}'")))?;
+    let day: i32 = parts[2]
+        .parse()
+        .map_err(|_| HiqueError::Type(format!("invalid day in date '{s}'")))?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return Err(HiqueError::Type(format!("date out of range '{s}'")));
+    }
+    Ok(days_from_civil(year, month, day))
+}
+
+/// Format days-since-epoch back into `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Howard Hinnant's `days_from_civil` algorithm (public domain).
+pub fn days_from_civil(y: i32, m: i32, d: i32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i32) -> (i32, i32, i32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = (mp + 2) % 12 + 1;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            // Hash numerics through their f64 bit pattern so that values that
+            // compare equal across widths hash identically.
+            Value::Int32(v) => (*v as f64).to_bits().hash(state),
+            Value::Int64(v) => (*v as f64).to_bits().hash(state),
+            Value::Date(v) => (*v as f64).to_bits().hash(state),
+            Value::Float64(v) => v.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v:.4}"),
+            Value::Date(v) => write!(f, "{}", format_date(*v)),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_spans_widths() {
+        assert!(Value::Int32(5).sql_eq(&Value::Int64(5)));
+        assert!(Value::Int32(5) < Value::Float64(5.5));
+        assert!(Value::Int64(10) > Value::Int32(2));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert!(Value::Str("BUILDING".into()) < Value::Str("HOUSEHOLD".into()));
+        assert!(Value::Str("A".into()).sql_eq(&Value::Str("A".into())));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(
+            Value::Int32(7).coerce_to(DataType::Int64).unwrap(),
+            Value::Int64(7)
+        );
+        assert_eq!(
+            Value::Int64(7).coerce_to(DataType::Int32).unwrap(),
+            Value::Int32(7)
+        );
+        assert!(Value::Int64(i64::MAX).coerce_to(DataType::Int32).is_err());
+        assert_eq!(
+            Value::Int32(3).coerce_to(DataType::Float64).unwrap(),
+            Value::Float64(3.0)
+        );
+        assert!(Value::Str("x".into()).coerce_to(DataType::Int32).is_err());
+    }
+
+    #[test]
+    fn date_round_trip() {
+        for (y, m, d) in [(1970, 1, 1), (1992, 2, 29), (1998, 12, 1), (2026, 6, 14)] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(parse_date("1995-03-15").unwrap(), days_from_civil(1995, 3, 15));
+        assert_eq!(format_date(parse_date("1998-12-01").unwrap()), "1998-12-01");
+    }
+
+    #[test]
+    fn date_parse_errors() {
+        assert!(parse_date("1995/03/15").is_err());
+        assert!(parse_date("1995-13-15").is_err());
+        assert!(parse_date("not-a-date").is_err());
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(Value::Int32(4).as_f64().unwrap(), 4.0);
+        assert_eq!(Value::Float64(2.5).as_i64().unwrap(), 2);
+        assert!(Value::Str("a".into()).as_f64().is_err());
+        assert_eq!(Value::Str("abc".into()).as_str(), Some("abc"));
+        assert_eq!(Value::Int32(1).as_str(), None);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_across_widths() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&Value::Int32(42)), h(&Value::Int64(42)));
+        assert_eq!(h(&Value::Int32(42)), h(&Value::Float64(42.0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int32(3).to_string(), "3");
+        assert_eq!(Value::Float64(1.5).to_string(), "1.5000");
+        assert_eq!(Value::Str("ok".into()).to_string(), "ok");
+        assert_eq!(Value::Date(0).to_string(), "1970-01-01");
+    }
+}

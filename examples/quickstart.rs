@@ -1,0 +1,55 @@
+//! Quickstart: create tables, load rows, run SQL through the holistic
+//! engine, and inspect the generated code.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use hique::holistic;
+use hique::plan::{plan_query, CatalogProvider, PlannerConfig};
+use hique::storage::Catalog;
+use hique::types::{Column, DataType, Row, Schema, Value};
+
+fn main() -> hique::types::Result<()> {
+    // 1. Define a schema and load some rows (NSM heap, 4 KiB pages).
+    let mut catalog = Catalog::new();
+    catalog.create_table(
+        "sales",
+        Schema::new(vec![
+            Column::new("region", DataType::Char(8)),
+            Column::new("product", DataType::Int32),
+            Column::new("amount", DataType::Float64),
+            Column::new("sold_on", DataType::Date),
+        ]),
+    )?;
+    let regions = ["north", "south", "east", "west"];
+    for i in 0..10_000i32 {
+        catalog.table_mut("sales")?.heap.append_row(&Row::new(vec![
+            Value::Str(regions[(i % 4) as usize].to_string()),
+            Value::Int32(i % 50),
+            Value::Float64(10.0 + (i % 90) as f64),
+            Value::Date(9000 + i % 365),
+        ]))?;
+    }
+    catalog.analyze_table("sales")?;
+
+    // 2. Parse, analyze and optimize a query.
+    let sql = "select region, sum(amount) as total, count(*) as n \
+               from sales where product < 25 group by region order by total desc";
+    let parsed = hique::sql::parse_query(sql)?;
+    let bound = hique::sql::analyze(&parsed, &CatalogProvider::new(&catalog))?;
+    let plan = plan_query(&bound, &catalog, &PlannerConfig::default())?;
+    println!("{}", hique::plan::explain::explain(&plan));
+
+    // 3. Generate query-specific code and execute it.
+    let generated = holistic::generate(&plan)?;
+    println!(
+        "generated {} bytes of query-specific source in {:?}\n",
+        generated.preparation_cost().source_bytes,
+        generated.preparation_cost().generate
+    );
+    let result = generated.execute(&catalog)?;
+    println!("{}", result.to_text());
+    println!("counters: {}", result.stats);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! TPC-H Query 1 on every engine: the paper's headline experiment
+//! (Figure 8(a)) at a laptop-friendly scale factor.
+//!
+//! ```bash
+//! cargo run --release --example tpch_q1
+//! ```
+
+use std::time::Instant;
+
+use hique::dsm::DsmDatabase;
+use hique::iter::ExecMode;
+use hique::plan::{plan_query, CatalogProvider, PlannerConfig};
+use hique::tpch;
+
+fn main() -> hique::types::Result<()> {
+    let sf = std::env::var("HIQUE_TPCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    println!("generating TPC-H data at SF={sf} ...");
+    let catalog = tpch::generate_into_catalog(sf)?;
+    println!(
+        "lineitem rows: {}\n",
+        catalog.table("lineitem")?.row_count()
+    );
+
+    let parsed = hique::sql::parse_query(tpch::Q1_SQL)?;
+    let bound = hique::sql::analyze(&parsed, &CatalogProvider::new(&catalog))?;
+    let plan = plan_query(&bound, &catalog, &PlannerConfig::default())?;
+
+    // Iterator engine (PostgreSQL-class baseline).
+    let t = Instant::now();
+    let iter_result = hique::iter::execute_plan(&plan, &catalog, ExecMode::Generic)?;
+    println!("generic iterators : {:>10.2} ms", t.elapsed().as_secs_f64() * 1000.0);
+
+    // DSM column engine (MonetDB-class baseline).
+    let db = DsmDatabase::from_catalog(&catalog);
+    let t = Instant::now();
+    let dsm_result = hique::dsm::execute_plan(&plan, &db)?;
+    println!("DSM column engine : {:>10.2} ms", t.elapsed().as_secs_f64() * 1000.0);
+
+    // HIQUE holistic generated code.
+    let generated = hique::holistic::generate(&plan)?;
+    let t = Instant::now();
+    let hique_result = generated.execute(&catalog)?;
+    println!("HIQUE (holistic)  : {:>10.2} ms\n", t.elapsed().as_secs_f64() * 1000.0);
+
+    assert_eq!(iter_result.num_rows(), hique_result.num_rows());
+    assert_eq!(dsm_result.num_rows(), hique_result.num_rows());
+    println!("{}", hique_result.to_text());
+    Ok(())
+}
