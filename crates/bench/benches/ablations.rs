@@ -17,12 +17,21 @@ fn partition_fanout(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(600));
     let catalog = join_workload(20_000, 20_000, 10).unwrap();
     for l2_kb in [256usize, 1024, 2048, 8192] {
-        let mut config = PlannerConfig::default().with_join_algorithm(JoinAlgorithm::HybridHashSortMerge);
+        let mut config =
+            PlannerConfig::default().with_join_algorithm(JoinAlgorithm::HybridHashSortMerge);
         config.l2_cache_bytes = l2_kb * 1024;
         let plan = plan_sql(join_query_sql(), &catalog, &config).unwrap();
-        group.bench_with_input(BenchmarkId::new("hique_hybrid_join", l2_kb), &l2_kb, |b, _| {
-            b.iter(|| run_engine(Engine::Hique, &plan, &catalog, None, false).unwrap().rows)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hique_hybrid_join", l2_kb),
+            &l2_kb,
+            |b, _| {
+                b.iter(|| {
+                    run_engine(Engine::Hique, &plan, &catalog, None, false)
+                        .unwrap()
+                        .rows
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -43,7 +52,11 @@ fn fine_vs_coarse(c: &mut Criterion) {
         let config = PlannerConfig::default().with_join_algorithm(algo);
         let plan = plan_sql(join_query_sql(), &catalog, &config).unwrap();
         group.bench_function(label, |b| {
-            b.iter(|| run_engine(Engine::Hique, &plan, &catalog, None, false).unwrap().rows)
+            b.iter(|| {
+                run_engine(Engine::Hique, &plan, &catalog, None, false)
+                    .unwrap()
+                    .rows
+            })
         });
     }
     group.finish();

@@ -14,18 +14,31 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(600));
     for (name, rows, groups, algo) in [
-        ("agg_query_1_hybrid", 50_000usize, 5_000usize, AggAlgorithm::HybridHashSort),
+        (
+            "agg_query_1_hybrid",
+            50_000usize,
+            5_000usize,
+            AggAlgorithm::HybridHashSort,
+        ),
         ("agg_query_2_map", 50_000, 10, AggAlgorithm::Map),
     ] {
         let catalog = agg_workload(rows, groups).unwrap();
         let config = PlannerConfig::default().with_agg_algorithm(algo);
         let plan = plan_sql(agg_query_sql(), &catalog, &config).unwrap();
-        for engine in [Engine::GenericIterators, Engine::OptimizedIterators, Engine::Hique] {
+        for engine in [
+            Engine::GenericIterators,
+            Engine::OptimizedIterators,
+            Engine::Hique,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, engine.label()),
                 &engine,
                 |b, &engine| {
-                    b.iter(|| run_engine(engine, &plan, &catalog, None, true).unwrap().rows)
+                    b.iter(|| {
+                        run_engine(engine, &plan, &catalog, None, true)
+                            .unwrap()
+                            .rows
+                    })
                 },
             );
         }

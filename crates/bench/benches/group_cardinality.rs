@@ -16,13 +16,23 @@ fn bench(c: &mut Criterion) {
     let rows = 50_000usize;
     for groups in [10usize, 1_000, 20_000] {
         let catalog = agg_workload(rows, groups).unwrap();
-        for algo in [AggAlgorithm::Sort, AggAlgorithm::HybridHashSort, AggAlgorithm::Map] {
+        for algo in [
+            AggAlgorithm::Sort,
+            AggAlgorithm::HybridHashSort,
+            AggAlgorithm::Map,
+        ] {
             let config = PlannerConfig::default().with_agg_algorithm(algo);
             let plan = plan_sql(agg_query_sql(), &catalog, &config).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(format!("hique_{}", algo.name().replace(' ', "_")), groups),
                 &groups,
-                |b, _| b.iter(|| run_engine(Engine::Hique, &plan, &catalog, None, true).unwrap().rows),
+                |b, _| {
+                    b.iter(|| {
+                        run_engine(Engine::Hique, &plan, &catalog, None, true)
+                            .unwrap()
+                            .rows
+                    })
+                },
             );
         }
     }

@@ -15,18 +15,38 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(600));
     for (name, outer, inner, matches, algo) in [
-        ("join_query_1_merge", 1_000usize, 1_000usize, 100usize, JoinAlgorithm::Merge),
-        ("join_query_2_hybrid", 10_000, 10_000, 10, JoinAlgorithm::HybridHashSortMerge),
+        (
+            "join_query_1_merge",
+            1_000usize,
+            1_000usize,
+            100usize,
+            JoinAlgorithm::Merge,
+        ),
+        (
+            "join_query_2_hybrid",
+            10_000,
+            10_000,
+            10,
+            JoinAlgorithm::HybridHashSortMerge,
+        ),
     ] {
         let catalog = join_workload(outer, inner, matches).unwrap();
         let config = PlannerConfig::default().with_join_algorithm(algo);
         let plan = plan_sql(join_query_sql(), &catalog, &config).unwrap();
-        for engine in [Engine::GenericIterators, Engine::OptimizedIterators, Engine::Hique] {
+        for engine in [
+            Engine::GenericIterators,
+            Engine::OptimizedIterators,
+            Engine::Hique,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, engine.label()),
                 &engine,
                 |b, &engine| {
-                    b.iter(|| run_engine(engine, &plan, &catalog, None, false).unwrap().rows)
+                    b.iter(|| {
+                        run_engine(engine, &plan, &catalog, None, false)
+                            .unwrap()
+                            .rows
+                    })
                 },
             );
         }

@@ -17,15 +17,31 @@ fn bench(c: &mut Criterion) {
         let inner = outer * factor;
         let catalog = join_workload(outer, inner, 10).unwrap();
         for (label, engine, algo) in [
-            ("merge_iterators", Engine::OptimizedIterators, JoinAlgorithm::Merge),
-            ("hybrid_iterators", Engine::OptimizedIterators, JoinAlgorithm::HybridHashSortMerge),
+            (
+                "merge_iterators",
+                Engine::OptimizedIterators,
+                JoinAlgorithm::Merge,
+            ),
+            (
+                "hybrid_iterators",
+                Engine::OptimizedIterators,
+                JoinAlgorithm::HybridHashSortMerge,
+            ),
             ("merge_hique", Engine::Hique, JoinAlgorithm::Merge),
-            ("hybrid_hique", Engine::Hique, JoinAlgorithm::HybridHashSortMerge),
+            (
+                "hybrid_hique",
+                Engine::Hique,
+                JoinAlgorithm::HybridHashSortMerge,
+            ),
         ] {
             let config = PlannerConfig::default().with_join_algorithm(algo);
             let plan = plan_sql(join_query_sql(), &catalog, &config).unwrap();
             group.bench_with_input(BenchmarkId::new(label, inner), &engine, |b, &engine| {
-                b.iter(|| run_engine(engine, &plan, &catalog, None, false).unwrap().rows)
+                b.iter(|| {
+                    run_engine(engine, &plan, &catalog, None, false)
+                        .unwrap()
+                        .rows
+                })
             });
         }
     }

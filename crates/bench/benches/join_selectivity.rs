@@ -16,14 +16,26 @@ fn bench(c: &mut Criterion) {
     for matches in [1usize, 10, 100] {
         let catalog = join_workload(rows, rows, matches).unwrap();
         for (label, engine, algo) in [
-            ("merge_iterators", Engine::OptimizedIterators, JoinAlgorithm::Merge),
+            (
+                "merge_iterators",
+                Engine::OptimizedIterators,
+                JoinAlgorithm::Merge,
+            ),
             ("merge_hique", Engine::Hique, JoinAlgorithm::Merge),
-            ("hybrid_hique", Engine::Hique, JoinAlgorithm::HybridHashSortMerge),
+            (
+                "hybrid_hique",
+                Engine::Hique,
+                JoinAlgorithm::HybridHashSortMerge,
+            ),
         ] {
             let config = PlannerConfig::default().with_join_algorithm(algo);
             let plan = plan_sql(join_query_sql(), &catalog, &config).unwrap();
             group.bench_with_input(BenchmarkId::new(label, matches), &engine, |b, &engine| {
-                b.iter(|| run_engine(engine, &plan, &catalog, None, false).unwrap().rows)
+                b.iter(|| {
+                    run_engine(engine, &plan, &catalog, None, false)
+                        .unwrap()
+                        .rows
+                })
             });
         }
     }

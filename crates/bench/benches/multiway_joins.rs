@@ -25,17 +25,41 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("merge_iterators_cascade", num_dims),
             &num_dims,
-            |b, _| b.iter(|| run_engine(Engine::OptimizedIterators, &cascade_plan, &catalog, None, false).unwrap().rows),
+            |b, _| {
+                b.iter(|| {
+                    run_engine(
+                        Engine::OptimizedIterators,
+                        &cascade_plan,
+                        &catalog,
+                        None,
+                        false,
+                    )
+                    .unwrap()
+                    .rows
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("merge_hique_binary", num_dims),
             &num_dims,
-            |b, _| b.iter(|| run_engine(Engine::Hique, &cascade_plan, &catalog, None, false).unwrap().rows),
+            |b, _| {
+                b.iter(|| {
+                    run_engine(Engine::Hique, &cascade_plan, &catalog, None, false)
+                        .unwrap()
+                        .rows
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("merge_hique_team", num_dims),
             &num_dims,
-            |b, _| b.iter(|| run_engine(Engine::Hique, &team_plan, &catalog, None, false).unwrap().rows),
+            |b, _| {
+                b.iter(|| {
+                    run_engine(Engine::Hique, &team_plan, &catalog, None, false)
+                        .unwrap()
+                        .rows
+                })
+            },
         );
     }
     group.finish();

@@ -29,7 +29,11 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new(name, engine.label()),
                 &engine,
                 |b, &engine| {
-                    b.iter(|| run_engine(engine, &plan, &catalog, Some(&dsm), true).unwrap().rows)
+                    b.iter(|| {
+                        run_engine(engine, &plan, &catalog, Some(&dsm), true)
+                            .unwrap()
+                            .rows
+                    })
                 },
             );
         }

@@ -25,7 +25,10 @@ fn main() {
         let mut times = Vec::new();
         for (engine, algo) in [
             (Engine::OptimizedIterators, JoinAlgorithm::Merge),
-            (Engine::OptimizedIterators, JoinAlgorithm::HybridHashSortMerge),
+            (
+                Engine::OptimizedIterators,
+                JoinAlgorithm::HybridHashSortMerge,
+            ),
             (Engine::Hique, JoinAlgorithm::Merge),
             (Engine::Hique, JoinAlgorithm::HybridHashSortMerge),
         ] {

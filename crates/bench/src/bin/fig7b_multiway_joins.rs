@@ -30,9 +30,15 @@ fn main() {
             .with_join_teams(false);
         let cascade_plan = plan_sql(&sql, &catalog, &cascade_cfg).expect("plan");
         times.push(
-            run_engine(Engine::OptimizedIterators, &cascade_plan, &catalog, None, false)
-                .expect("run")
-                .elapsed,
+            run_engine(
+                Engine::OptimizedIterators,
+                &cascade_plan,
+                &catalog,
+                None,
+                false,
+            )
+            .expect("run")
+            .elapsed,
         );
         times.push(
             run_engine(Engine::Hique, &cascade_plan, &catalog, None, false)
@@ -45,7 +51,10 @@ fn main() {
                 .with_join_algorithm(algo)
                 .with_join_teams(true);
             let plan = plan_sql(&sql, &catalog, &cfg).expect("plan");
-            assert!(plan.join_team.is_some(), "team expected for {num_dims} dims");
+            assert!(
+                plan.join_team.is_some(),
+                "team expected for {num_dims} dims"
+            );
             times.push(
                 run_engine(Engine::Hique, &plan, &catalog, None, false)
                     .expect("run")

@@ -28,7 +28,11 @@ fn main() {
         let catalog = agg_workload(rows, groups).expect("workload");
         let mut times = Vec::new();
         for engine in [Engine::OptimizedIterators, Engine::Hique] {
-            for algo in [AggAlgorithm::Sort, AggAlgorithm::HybridHashSort, AggAlgorithm::Map] {
+            for algo in [
+                AggAlgorithm::Sort,
+                AggAlgorithm::HybridHashSort,
+                AggAlgorithm::Map,
+            ] {
                 let config = PlannerConfig::default().with_agg_algorithm(algo);
                 let plan = plan_sql(agg_query_sql(), &catalog, &config).expect("plan");
                 let m = run_engine(engine, &plan, &catalog, None, true).expect("run");

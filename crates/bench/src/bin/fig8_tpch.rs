@@ -27,7 +27,10 @@ fn main() {
     eprintln!("generating TPC-H data at SF={sf} ...");
     let catalog = hique_tpch::generate_into_catalog(sf).expect("tpch generation");
     let dsm = DsmDatabase::from_catalog(&catalog);
-    eprintln!("data ready: {} lineitem rows", catalog.table("lineitem").unwrap().row_count());
+    eprintln!(
+        "data ready: {} lineitem rows",
+        catalog.table("lineitem").unwrap().row_count()
+    );
 
     println!("== Figure 8: TPC-H (SF = {sf}) ==");
     println!(

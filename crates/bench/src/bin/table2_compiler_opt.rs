@@ -35,14 +35,34 @@ fn main() {
     let agg2 = agg_workload((50_000.0 * s) as usize, 10).unwrap();
 
     let cases = [
-        ("Join Query #1", &join1, join_query_sql(),
-         PlannerConfig::default().with_join_algorithm(JoinAlgorithm::Merge), false),
-        ("Join Query #2", &join2, join_query_sql(),
-         PlannerConfig::default().with_join_algorithm(JoinAlgorithm::HybridHashSortMerge), false),
-        ("Aggregation Query #1", &agg1, agg_query_sql(),
-         PlannerConfig::default().with_agg_algorithm(AggAlgorithm::HybridHashSort), true),
-        ("Aggregation Query #2", &agg2, agg_query_sql(),
-         PlannerConfig::default().with_agg_algorithm(AggAlgorithm::Map), true),
+        (
+            "Join Query #1",
+            &join1,
+            join_query_sql(),
+            PlannerConfig::default().with_join_algorithm(JoinAlgorithm::Merge),
+            false,
+        ),
+        (
+            "Join Query #2",
+            &join2,
+            join_query_sql(),
+            PlannerConfig::default().with_join_algorithm(JoinAlgorithm::HybridHashSortMerge),
+            false,
+        ),
+        (
+            "Aggregation Query #1",
+            &agg1,
+            agg_query_sql(),
+            PlannerConfig::default().with_agg_algorithm(AggAlgorithm::HybridHashSort),
+            true,
+        ),
+        (
+            "Aggregation Query #2",
+            &agg2,
+            agg_query_sql(),
+            PlannerConfig::default().with_agg_algorithm(AggAlgorithm::Map),
+            true,
+        ),
     ];
 
     for (name, catalog, sql, config, materialize) in cases {
@@ -51,6 +71,9 @@ fn main() {
             .iter()
             .map(|&e| run_engine(e, &plan, catalog, None, materialize).expect("run"))
             .collect();
-        println!("{}", render_profile_table(&format!("{name} [{profile}]"), &measurements));
+        println!(
+            "{}",
+            render_profile_table(&format!("{name} [{profile}]"), &measurements)
+        );
     }
 }

@@ -39,8 +39,14 @@ pub fn merge_join_count(
         HandVariant::Generic => {
             // Decode everything into rows, sort with generic comparisons.
             let schema = outer.schema();
-            let mut left: Vec<Row> = outer.records().map(|r| Row::from_record(schema, r)).collect();
-            let mut right: Vec<Row> = inner.records().map(|r| Row::from_record(schema, r)).collect();
+            let mut left: Vec<Row> = outer
+                .records()
+                .map(|r| Row::from_record(schema, r))
+                .collect();
+            let mut right: Vec<Row> = inner
+                .records()
+                .map(|r| Row::from_record(schema, r))
+                .collect();
             stats.add_calls((left.len() + right.len()) as u64);
             left.sort_by(|a, b| a.get(0).total_cmp(b.get(0)));
             right.sort_by(|a, b| a.get(0).total_cmp(b.get(0)));

@@ -201,8 +201,12 @@ mod tests {
     #[test]
     fn all_engines_agree_on_the_micro_join() {
         let catalog = join_workload(100, 500, 5).unwrap();
-        let plan = plan_sql(crate::workload::join_query_sql(), &catalog, &PlannerConfig::default())
-            .unwrap();
+        let plan = plan_sql(
+            crate::workload::join_query_sql(),
+            &catalog,
+            &PlannerConfig::default(),
+        )
+        .unwrap();
         let mut rows = Vec::new();
         for engine in [
             Engine::GenericIterators,
@@ -220,8 +224,12 @@ mod tests {
     #[test]
     fn profile_table_renders_all_engines() {
         let catalog = agg_workload(2000, 10).unwrap();
-        let plan = plan_sql(crate::workload::agg_query_sql(), &catalog, &PlannerConfig::default())
-            .unwrap();
+        let plan = plan_sql(
+            crate::workload::agg_query_sql(),
+            &catalog,
+            &PlannerConfig::default(),
+        )
+        .unwrap();
         let ms: Vec<Measurement> = [Engine::GenericIterators, Engine::Hique]
             .iter()
             .map(|&e| run_engine(e, &plan, &catalog, None, true).unwrap())

@@ -1,0 +1,109 @@
+//! Differential fuzzing CLI: run N seeded random queries through all four
+//! engine modes and report any divergence.
+//!
+//! ```bash
+//! cargo run --release -p hique-conformance --bin conformance -- \
+//!     --queries 1000 --seed 42 --sf 0.002
+//! # reproduce a single reported query by its seed:
+//! cargo run --release -p hique-conformance --bin conformance -- --replay 0xdeadbeef
+//! ```
+
+use hique_conformance::genquery::replay_seed;
+use hique_conformance::{run_suite, Fixture};
+
+struct Args {
+    queries: usize,
+    seed: u64,
+    sf: f64,
+    replay: Option<u64>,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        queries: 200,
+        seed: 0x41_1CDE,
+        sf: 0.002,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--queries" => {
+                args.queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
+            "--seed" => {
+                args.seed =
+                    parse_u64(&value("--seed")?).ok_or_else(|| "--seed: bad value".to_string())?
+            }
+            "--sf" => args.sf = value("--sf")?.parse().map_err(|e| format!("--sf: {e}"))?,
+            "--replay" => {
+                args.replay = Some(
+                    parse_u64(&value("--replay")?)
+                        .ok_or_else(|| "--replay: bad value".to_string())?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: conformance [--queries N] [--seed S] [--sf F] [--replay SEED]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("generating TPC-H-shaped catalog at SF {} ...", args.sf);
+    let fixture = Fixture::generate(args.sf).expect("catalog generation");
+
+    if let Some(seed) = args.replay {
+        // A reported divergence carries the per-query seed, which fully
+        // determines the (sql, config) pair — reconstruct it directly, for
+        // any stream. Note the query shape also depends on --sf (key-filter
+        // constants scale with it), so replay with the same --sf as the run.
+        let query = replay_seed(seed, args.sf);
+        println!("replaying seed {seed:#x}:\n  {}", query.sql);
+        let outcome = fixture.check(&query);
+        println!("baseline rows: {}", outcome.baseline.num_rows());
+        if outcome.divergences.is_empty() {
+            println!("all engines agree");
+        } else {
+            for d in &outcome.divergences {
+                println!("--- {d}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!(
+        "running {} seeded random queries (seed {:#x}) on 4 engine modes ...",
+        args.queries, args.seed
+    );
+    let report = run_suite(&fixture, args.seed, args.queries);
+    print!("{report}");
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hique-conformance
+//!
+//! Cross-engine differential test harness for the HIQUE reproduction.
+//!
+//! The paper's evaluation only means something if the three execution models
+//! — Volcano iterators ([`hique_iter`]), column-at-a-time DSM
+//! ([`hique_dsm`]) and holistic generated kernels ([`hique_holistic`]) —
+//! compute *identical* answers for the same physical plan. This crate
+//! mechanizes that property:
+//!
+//! * [`genquery`] — a seeded random query generator over the TPC-H-shaped
+//!   schema: conjunctive filters, equi-joins along the foreign-key graph (up
+//!   to four tables), grouped aggregates, ORDER BY and LIMIT, plus a random
+//!   planner configuration (forced join/aggregation algorithms, join teams
+//!   on/off) so algorithm selection is fuzzed together with query shape;
+//! * [`canon`] — result canonicalization (rows sorted by typed value over
+//!   all columns) with relative float tolerance and a byte-stable text form
+//!   for golden-file pinning;
+//! * [`runner`] — plans each query once, executes it on all four engine
+//!   modes (generic iterators, optimized iterators, DSM, holistic) and
+//!   reports any divergence with the seed and SQL needed to reproduce it.
+//!
+//! The `conformance` binary runs an arbitrary-size fuzz budget; the crate's
+//! integration tests run a fixed suite (100+ queries) plus golden-file
+//! checks pinning TPC-H Q1/Q3/Q10 results.
+
+pub mod canon;
+pub mod genquery;
+pub mod runner;
+
+pub use canon::{canonicalize, compare, CanonicalResult, Mismatch};
+pub use genquery::{query_for_seed, replay_seed, QueryGenerator, RandomQuery};
+pub use runner::{run_suite, CheckOutcome, Divergence, EngineId, Fixture, SuiteReport};

@@ -1,0 +1,249 @@
+//! The differential harness: plan a query once, execute it through every
+//! engine, canonicalize, and compare.
+//!
+//! The paper's central claim is that the holistic engine returns *the same
+//! results* as the iterator and DSM baselines, only faster. This module is
+//! the mechanized form of that claim: any divergence in any engine layer
+//! (staging, join, aggregation, ordering) surfaces as a [`Divergence`]
+//! carrying the SQL text and seed needed to reproduce it.
+
+use std::fmt;
+
+use hique_dsm::DsmDatabase;
+use hique_iter::ExecMode;
+use hique_plan::{plan_query, CatalogProvider, PhysicalPlan, PlannerConfig};
+use hique_storage::Catalog;
+use hique_types::{HiqueError, QueryResult};
+
+use crate::canon::{canonicalize, compare, CanonicalResult, Mismatch};
+use crate::genquery::{QueryGenerator, RandomQuery};
+
+/// The engines (and engine modes) under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineId {
+    IterGeneric,
+    IterOptimized,
+    Dsm,
+    Holistic,
+}
+
+impl EngineId {
+    pub const ALL: [EngineId; 4] = [
+        EngineId::IterGeneric,
+        EngineId::IterOptimized,
+        EngineId::Dsm,
+        EngineId::Holistic,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineId::IterGeneric => "iter-generic",
+            EngineId::IterOptimized => "iter-optimized",
+            EngineId::Dsm => "dsm",
+            EngineId::Holistic => "holistic",
+        }
+    }
+}
+
+/// Parse, analyze and optimize `sql` into the single shared physical plan
+/// all engines will execute.
+pub fn plan_sql(
+    sql: &str,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+) -> Result<PhysicalPlan, HiqueError> {
+    let parsed = hique_sql::parse_query(sql)?;
+    let bound = hique_sql::analyze(&parsed, &CatalogProvider::new(catalog))?;
+    plan_query(&bound, catalog, config)
+}
+
+/// Execute a shared plan on one engine.
+pub fn run_engine(
+    engine: EngineId,
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    dsm: &DsmDatabase,
+) -> Result<QueryResult, HiqueError> {
+    match engine {
+        EngineId::IterGeneric => hique_iter::execute_plan(plan, catalog, ExecMode::Generic),
+        EngineId::IterOptimized => hique_iter::execute_plan(plan, catalog, ExecMode::Optimized),
+        EngineId::Dsm => hique_dsm::execute_plan(plan, dsm),
+        EngineId::Holistic => hique_holistic::execute_plan(plan, catalog),
+    }
+}
+
+/// One engine disagreeing with the baseline on one query.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    pub seed: u64,
+    pub sql: String,
+    pub engine: &'static str,
+    pub baseline: &'static str,
+    pub mismatch: Mismatch,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {}\n  seed: {:#x}\n  sql: {}",
+            self.engine, self.baseline, self.mismatch, self.seed, self.sql
+        )
+    }
+}
+
+/// Outcome of one differential check: the canonical baseline result and the
+/// divergences (empty when every engine agreed).
+#[derive(Debug)]
+pub struct CheckOutcome {
+    pub baseline: CanonicalResult,
+    pub divergences: Vec<Divergence>,
+}
+
+/// Fixture bundling a TPC-H-shaped catalog with its DSM decomposition.
+pub struct Fixture {
+    pub catalog: Catalog,
+    pub dsm: DsmDatabase,
+    pub sf: f64,
+}
+
+impl Fixture {
+    /// Generate a catalog at scale factor `sf` and vertically decompose it
+    /// for the DSM engine.
+    pub fn generate(sf: f64) -> Result<Self, HiqueError> {
+        let catalog = hique_tpch::generate_into_catalog(sf)?;
+        let dsm = DsmDatabase::from_catalog(&catalog);
+        Ok(Fixture { catalog, dsm, sf })
+    }
+
+    /// Plan `query` once and execute it on all four engine modes, comparing
+    /// canonicalized results against the generic-iterator baseline.
+    ///
+    /// Planning or execution errors are reported as divergences too: every
+    /// query the generator emits is in the supported dialect, so an error is
+    /// an engine bug, not an invalid query.
+    pub fn check(&self, query: &RandomQuery) -> CheckOutcome {
+        let plan = match plan_sql(&query.sql, &self.catalog, &query.config) {
+            Ok(plan) => plan,
+            Err(e) => {
+                return CheckOutcome {
+                    baseline: CanonicalResult {
+                        columns: Vec::new(),
+                        rows: Vec::new(),
+                    },
+                    divergences: vec![Divergence {
+                        seed: query.seed,
+                        sql: query.sql.clone(),
+                        engine: "planner",
+                        baseline: "-",
+                        mismatch: Mismatch {
+                            row: None,
+                            column: None,
+                            detail: format!("planning failed: {e}"),
+                        },
+                    }],
+                }
+            }
+        };
+
+        let mut results: Vec<(EngineId, CanonicalResult)> = Vec::new();
+        let mut divergences = Vec::new();
+        for engine in EngineId::ALL {
+            match run_engine(engine, &plan, &self.catalog, &self.dsm) {
+                Ok(result) => results.push((engine, canonicalize(&result))),
+                Err(e) => divergences.push(Divergence {
+                    seed: query.seed,
+                    sql: query.sql.clone(),
+                    engine: engine.label(),
+                    baseline: "-",
+                    mismatch: Mismatch {
+                        row: None,
+                        column: None,
+                        detail: format!("execution failed: {e}"),
+                    },
+                }),
+            }
+        }
+
+        let baseline = match results.first() {
+            Some((_, canonical)) => canonical.clone(),
+            None => CanonicalResult {
+                columns: Vec::new(),
+                rows: Vec::new(),
+            },
+        };
+        if let Some(((base_engine, base), rest)) = results.split_first() {
+            for (engine, canonical) in rest {
+                // Engine first, baseline second, so the mismatch detail reads
+                // in the same order as the "engine vs baseline" header.
+                if let Err(mismatch) = compare(canonical, base) {
+                    divergences.push(Divergence {
+                        seed: query.seed,
+                        sql: query.sql.clone(),
+                        engine: engine.label(),
+                        baseline: base_engine.label(),
+                        mismatch,
+                    });
+                }
+            }
+        }
+        CheckOutcome {
+            baseline,
+            divergences,
+        }
+    }
+}
+
+/// Aggregate statistics of a suite run.
+#[derive(Debug, Default)]
+pub struct SuiteReport {
+    /// Queries executed.
+    pub queries: usize,
+    /// Total canonical baseline rows seen (sanity signal that the suite is
+    /// not vacuously comparing empty results).
+    pub total_rows: usize,
+    /// Queries whose baseline result had at least one row.
+    pub nonempty_queries: usize,
+    /// Every divergence across the suite.
+    pub divergences: Vec<Divergence>,
+}
+
+impl SuiteReport {
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+impl fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conformance: {} queries, {} non-empty, {} baseline rows, {} divergences",
+            self.queries,
+            self.nonempty_queries,
+            self.total_rows,
+            self.divergences.len()
+        )?;
+        for d in &self.divergences {
+            writeln!(f, "--- {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run `count` seeded random queries from `base_seed` against the fixture.
+pub fn run_suite(fixture: &Fixture, base_seed: u64, count: usize) -> SuiteReport {
+    let mut generator = QueryGenerator::new(base_seed, fixture.sf);
+    let mut report = SuiteReport::default();
+    for _ in 0..count {
+        let query = generator.next_query();
+        let outcome = fixture.check(&query);
+        report.queries += 1;
+        report.total_rows += outcome.baseline.num_rows();
+        if outcome.baseline.num_rows() > 0 {
+            report.nonempty_queries += 1;
+        }
+        report.divergences.extend(outcome.divergences);
+    }
+    report
+}

@@ -146,14 +146,31 @@ impl CompiledAgg {
     /// Sort aggregation: the input must already be ordered on the grouping
     /// columns (each partition independently); a single linear scan detects
     /// group boundaries.
-    pub fn sort_aggregate(
-        &self,
-        input: &StagedRelation,
-        stats: &mut ExecStats,
-    ) -> Vec<Row> {
+    pub fn sort_aggregate(&self, input: &StagedRelation, stats: &mut ExecStats) -> Vec<Row> {
         stats.add_calls(1);
         let mut out = Vec::new();
         let ts = input.tuple_size();
+        if self.group_keys.is_empty() {
+            // Global aggregate: a single group spanning every partition.
+            // Empty input yields no group, the convention shared by the
+            // iterator and DSM engines.
+            let mut accums = vec![Accum::new(); self.funcs.len()];
+            let mut any = false;
+            for p in 0..input.num_partitions() {
+                let buf = input.partition(p);
+                for i in 0..buf.len() / ts {
+                    let rec = &buf[i * ts..(i + 1) * ts];
+                    stats.tuples_processed += 1;
+                    stats.bytes_touched += ts as u64;
+                    self.update_all(&mut accums, rec);
+                    any = true;
+                }
+            }
+            if any {
+                out.push(self.finish_row(Vec::new(), &accums));
+            }
+            return out;
+        }
         for p in 0..input.num_partitions() {
             let buf = input.partition(p);
             let n = buf.len() / ts;
@@ -225,14 +242,20 @@ impl CompiledAgg {
         stats.add_calls(1);
         let ts = input.tuple_size();
         if self.group_keys.is_empty() {
-            // Single global group.
+            // Single global group; empty input yields no group, matching the
+            // sort path and the iterator/DSM engines.
             let mut accums = vec![Accum::new(); self.funcs.len()];
+            let mut any = false;
             for rec in input.records() {
                 stats.tuples_processed += 1;
                 stats.bytes_touched += ts as u64;
                 self.update_all(&mut accums, rec);
+                any = true;
             }
-            return vec![self.finish_row(Vec::new(), &accums)];
+            if any {
+                return vec![self.finish_row(Vec::new(), &accums)];
+            }
+            return Vec::new();
         }
 
         // Pre-pass: sorted value directory per grouping attribute.
@@ -263,7 +286,9 @@ impl CompiledAgg {
             let mut offset = 0usize;
             for ((d, k), m) in directories.iter().zip(&self.group_keys).zip(&multipliers) {
                 stats.comparisons += (d.len().max(2) as f64).log2().ceil() as u64;
-                let id = d.binary_search(&k.as_i64(rec)).expect("value present in directory");
+                let id = d
+                    .binary_search(&k.as_i64(rec))
+                    .expect("value present in directory");
                 offset += id * m;
             }
             self.update_all(&mut accums[offset], rec);
@@ -316,15 +341,25 @@ mod tests {
             aggregates: vec![
                 BoundAggregate {
                     func: AggFunc::Sum,
-                    arg: Some(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                    arg: Some(ScalarExpr::Column {
+                        index: 2,
+                        dtype: DataType::Float64,
+                    }),
                     dtype: DataType::Float64,
                 },
-                BoundAggregate { func: AggFunc::Count, arg: None, dtype: DataType::Int64 },
+                BoundAggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                    dtype: DataType::Int64,
+                },
                 BoundAggregate {
                     func: AggFunc::Avg,
                     arg: Some(ScalarExpr::Binary {
                         op: hique_sql::ast::BinOp::Mul,
-                        left: Box::new(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                        left: Box::new(ScalarExpr::Column {
+                            index: 2,
+                            dtype: DataType::Float64,
+                        }),
                         right: Box::new(ScalarExpr::Literal(Value::Int32(2))),
                         dtype: DataType::Float64,
                     }),
@@ -332,12 +367,18 @@ mod tests {
                 },
                 BoundAggregate {
                     func: AggFunc::Min,
-                    arg: Some(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                    arg: Some(ScalarExpr::Column {
+                        index: 2,
+                        dtype: DataType::Float64,
+                    }),
                     dtype: DataType::Float64,
                 },
                 BoundAggregate {
                     func: AggFunc::Max,
-                    arg: Some(ScalarExpr::Column { index: 2, dtype: DataType::Float64 }),
+                    arg: Some(ScalarExpr::Column {
+                        index: 2,
+                        dtype: DataType::Float64,
+                    }),
                     dtype: DataType::Float64,
                 },
             ],
@@ -418,7 +459,10 @@ mod tests {
         let mut s = spec();
         s.aggregates.push(BoundAggregate {
             func: AggFunc::Min,
-            arg: Some(ScalarExpr::Column { index: 1, dtype: DataType::Char(1) }),
+            arg: Some(ScalarExpr::Column {
+                index: 1,
+                dtype: DataType::Char(1),
+            }),
             dtype: DataType::Char(1),
         });
         assert!(CompiledAgg::compile(&s, &schema()).is_err());
@@ -433,8 +477,14 @@ mod tests {
         assert_eq!(acc.finish(AggFunc::Sum, DataType::Int64), Value::Int64(8));
         assert_eq!(acc.finish(AggFunc::Sum, DataType::Int32), Value::Int32(8));
         assert_eq!(acc.finish(AggFunc::Count, DataType::Int64), Value::Int64(3));
-        assert_eq!(acc.finish(AggFunc::Min, DataType::Float64), Value::Float64(1.0));
-        assert_eq!(acc.finish(AggFunc::Max, DataType::Float64), Value::Float64(5.0));
+        assert_eq!(
+            acc.finish(AggFunc::Min, DataType::Float64),
+            Value::Float64(1.0)
+        );
+        assert_eq!(
+            acc.finish(AggFunc::Max, DataType::Float64),
+            Value::Float64(5.0)
+        );
         let avg = acc.finish(AggFunc::Avg, DataType::Float64);
         assert!((avg.as_f64().unwrap() - 8.0 / 3.0).abs() < 1e-12);
     }

@@ -181,10 +181,24 @@ pub fn execute(
                             stats.sort_passes += 1;
                             left_rel.sort_all(&[left_key]);
                         }
-                        merge_join(&left_rel, &right.relation, left_key, right_key, &mut stats, &mut consume);
+                        merge_join(
+                            &left_rel,
+                            &right.relation,
+                            left_key,
+                            right_key,
+                            &mut stats,
+                            &mut consume,
+                        );
                     }
                     JoinAlgorithm::Partition => {
-                        fine_partition_join(&current, &right, left_key, right_key, &mut stats, &mut consume);
+                        fine_partition_join(
+                            &current,
+                            &right,
+                            left_key,
+                            right_key,
+                            &mut stats,
+                            &mut consume,
+                        );
                     }
                     JoinAlgorithm::HybridHashSortMerge => {
                         let partitions = match &right_desc.strategy {
@@ -250,9 +264,10 @@ pub fn execute(
         let group_rows = match spec.algorithm {
             AggAlgorithm::Map => compiled.map_aggregate(&input.relation, &mut stats),
             AggAlgorithm::HybridHashSort => {
-                let partitions = input.relation.num_partitions().max(
-                    (input.relation.data_bytes() / (1 << 20)).next_power_of_two(),
-                );
+                let partitions = input
+                    .relation
+                    .num_partitions()
+                    .max((input.relation.data_bytes() / (1 << 20)).next_power_of_two());
                 compiled.hybrid_aggregate(&input.relation, partitions, &mut stats)
             }
             AggAlgorithm::Sort => {
@@ -302,7 +317,9 @@ pub fn execute(
     // ---- Finalize ---------------------------------------------------------------
     let t4 = Instant::now();
     match sink {
-        OutputSink::Collect { rows: sink_rows, .. } if plan.aggregate.is_none() => {
+        OutputSink::Collect {
+            rows: sink_rows, ..
+        } if plan.aggregate.is_none() => {
             rows = sink_rows;
         }
         OutputSink::Count(n) if plan.aggregate.is_none() => {
@@ -449,7 +466,11 @@ mod tests {
         let sql =
             "select tag, sum(v) as sv, avg(v) as av, min(v) as mn, max(v) as mx, count(*) as n \
              from r group by tag order by tag";
-        for algo in [AggAlgorithm::Sort, AggAlgorithm::HybridHashSort, AggAlgorithm::Map] {
+        for algo in [
+            AggAlgorithm::Sort,
+            AggAlgorithm::HybridHashSort,
+            AggAlgorithm::Map,
+        ] {
             let config = PlannerConfig::default().with_agg_algorithm(algo);
             let h = run(sql, &cat, &config);
             let i = run_iter(sql, &cat, &config);
@@ -474,15 +495,17 @@ mod tests {
     #[test]
     fn count_only_execution_skips_row_materialization() {
         let cat = catalog();
-        let q = hique_sql::parse_query(
-            "select r.v, s.w from r, s where r.k = s.k",
-        )
-        .unwrap();
+        let q = hique_sql::parse_query("select r.v, s.w from r, s where r.k = s.k").unwrap();
         let bound = hique_sql::analyze(&q, &CatalogProvider::new(&cat)).unwrap();
         let plan = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
         let generated = generate(&plan).unwrap();
         let counted = generated
-            .execute_with(&cat, &ExecOptions { collect_rows: false })
+            .execute_with(
+                &cat,
+                &ExecOptions {
+                    collect_rows: false,
+                },
+            )
             .unwrap();
         let collected = generated.execute(&cat).unwrap();
         assert!(counted.rows.is_empty());

@@ -187,8 +187,14 @@ mod tests {
         assert!(generated.preparation_cost().source_bytes == generated.source().size_bytes());
         assert!(generated.aggregation.is_some());
         assert_eq!(generated.outputs.len(), 3);
-        assert!(matches!(generated.outputs[0], OutputKernel::GroupPosition(0)));
-        assert!(matches!(generated.outputs[1], OutputKernel::AggregatePosition(0)));
+        assert!(matches!(
+            generated.outputs[0],
+            OutputKernel::GroupPosition(0)
+        ));
+        assert!(matches!(
+            generated.outputs[1],
+            OutputKernel::AggregatePosition(0)
+        ));
         assert_eq!(generated.plan().output_schema.names(), vec!["g", "s", "n"]);
     }
 

@@ -29,8 +29,16 @@ pub fn merge_join(
 ) {
     stats.add_calls(1);
     for p in 0..left.num_partitions().max(right.num_partitions()) {
-        let lbuf = if p < left.num_partitions() { left.partition(p) } else { &[] };
-        let rbuf = if p < right.num_partitions() { right.partition(p) } else { &[] };
+        let lbuf = if p < left.num_partitions() {
+            left.partition(p)
+        } else {
+            &[]
+        };
+        let rbuf = if p < right.num_partitions() {
+            right.partition(p)
+        } else {
+            &[]
+        };
         merge_buffers(
             lbuf,
             left.tuple_size(),
@@ -67,10 +75,7 @@ fn merge_buffers(
         let lrec = &lbuf[li * lts..(li + 1) * lts];
         let rrec = &rbuf[rj * rts..(rj + 1) * rts];
         comparisons += 1;
-        match left_key
-            .as_i64(lrec)
-            .cmp(&right_key.as_i64(rrec))
-        {
+        match left_key.as_i64(lrec).cmp(&right_key.as_i64(rrec)) {
             std::cmp::Ordering::Less => li += 1,
             std::cmp::Ordering::Greater => rj += 1,
             std::cmp::Ordering::Equal => {
@@ -195,9 +200,17 @@ pub fn fine_partition_join(
     let lts = left.relation.tuple_size();
     let rts = right.relation.tuple_size();
     for (key, &lp) in &left_dir.0 {
-        let Some(&rp) = right_dir.0.get(key) else { continue };
-        let lbuf = left_dir.1.as_ref().map_or_else(|| left.relation.partition(lp), |v| v[lp].as_slice());
-        let rbuf = right_dir.1.as_ref().map_or_else(|| right.relation.partition(rp), |v| v[rp].as_slice());
+        let Some(&rp) = right_dir.0.get(key) else {
+            continue;
+        };
+        let lbuf = left_dir
+            .1
+            .as_ref()
+            .map_or_else(|| left.relation.partition(lp), |v| v[lp].as_slice());
+        let rbuf = right_dir
+            .1
+            .as_ref()
+            .map_or_else(|| right.relation.partition(rp), |v| v[rp].as_slice());
         stats.tuples_processed += (lbuf.len() / lts + rbuf.len() / rts) as u64;
         stats.bytes_touched += (lbuf.len() + rbuf.len()) as u64;
         for lrec in lbuf.chunks_exact(lts) {
@@ -269,10 +282,20 @@ fn team_join_partition(
     // Buffers and cursor state per input.
     let bufs: Vec<&[u8]> = inputs
         .iter()
-        .map(|r| if aligned { r.partition(p) } else { r.partition(0) })
+        .map(|r| {
+            if aligned {
+                r.partition(p)
+            } else {
+                r.partition(0)
+            }
+        })
         .collect();
     let sizes: Vec<usize> = inputs.iter().map(|r| r.tuple_size()).collect();
-    let counts: Vec<usize> = bufs.iter().zip(&sizes).map(|(b, &ts)| b.len() / ts).collect();
+    let counts: Vec<usize> = bufs
+        .iter()
+        .zip(&sizes)
+        .map(|(b, &ts)| b.len() / ts)
+        .collect();
     for (b, c) in bufs.iter().zip(&counts) {
         stats.tuples_processed += *c as u64;
         stats.bytes_touched += b.len() as u64;
@@ -344,9 +367,7 @@ fn team_join_partition(
                 break;
             }
         }
-        for i in 0..k {
-            pos[i] = ends[i];
-        }
+        pos[..k].copy_from_slice(&ends[..k]);
     }
 }
 
@@ -380,7 +401,9 @@ mod tests {
     }
 
     fn expected_pairs(l: &[i32], r: &[i32]) -> usize {
-        l.iter().map(|lk| r.iter().filter(|rk| *rk == lk).count()).sum()
+        l.iter()
+            .map(|lk| r.iter().filter(|rk| *rk == lk).count())
+            .sum()
     }
 
     fn count_matches(f: impl FnOnce(&mut dyn FnMut(&[u8], &[u8]))) -> usize {
@@ -411,11 +434,20 @@ mod tests {
         let lk = CompiledKey::compile(left.schema(), 0);
         let rk = CompiledKey::compile(right.schema(), 0);
         let mut stats = ExecStats::new();
-        assert_eq!(count_matches(|c| merge_join(&left, &right, lk, rk, &mut stats, c)), 0);
+        assert_eq!(
+            count_matches(|c| merge_join(&left, &right, lk, rk, &mut stats, c)),
+            0
+        );
         let empty = sorted_relation("e", &[]);
         let ek = CompiledKey::compile(empty.schema(), 0);
-        assert_eq!(count_matches(|c| merge_join(&empty, &right, ek, rk, &mut stats, c)), 0);
-        assert_eq!(count_matches(|c| merge_join(&left, &empty, lk, ek, &mut stats, c)), 0);
+        assert_eq!(
+            count_matches(|c| merge_join(&empty, &right, ek, rk, &mut stats, c)),
+            0
+        );
+        assert_eq!(
+            count_matches(|c| merge_join(&left, &empty, lk, ek, &mut stats, c)),
+            0
+        );
     }
 
     #[test]
@@ -486,7 +518,7 @@ mod tests {
                 .all(|r| hique_types::tuple::read_i32_at(r, 0) == k));
             seen_keys.push(k);
         });
-        assert_eq!(count, 2 * 3 * 1 + 1 * 1 * 1);
+        assert_eq!(count, (2 * 3) + 1);
         assert!(seen_keys.contains(&5));
         assert!(seen_keys.contains(&7));
         assert!(!seen_keys.contains(&9));

@@ -77,10 +77,9 @@ impl CompiledFilter {
                 value: filter.value.as_f64()?,
             },
             DataType::Char(w) => {
-                let s = filter
-                    .value
-                    .as_str()
-                    .ok_or_else(|| HiqueError::Codegen("string filter on non-string constant".into()))?;
+                let s = filter.value.as_str().ok_or_else(|| {
+                    HiqueError::Codegen("string filter on non-string constant".into())
+                })?;
                 let mut bytes = s.as_bytes().to_vec();
                 bytes.resize(w as usize, b' ');
                 CompiledFilter::Str {
@@ -106,9 +105,12 @@ impl CompiledFilter {
             CompiledFilter::F64 { offset, op, value } => {
                 op.matches(read_f64_at(record, *offset).total_cmp(value))
             }
-            CompiledFilter::Str { offset, width, op, value } => {
-                op.matches(record[*offset..*offset + *width].cmp(value))
-            }
+            CompiledFilter::Str {
+                offset,
+                width,
+                op,
+                value,
+            } => op.matches(record[*offset..*offset + *width].cmp(value)),
         }
     }
 }
@@ -194,7 +196,9 @@ impl CompiledExpr {
                 }
             }
             ScalarExpr::Literal(v) => CompiledExpr::Const(v.as_f64()?),
-            ScalarExpr::Binary { op, left, right, .. } => CompiledExpr::Bin {
+            ScalarExpr::Binary {
+                op, left, right, ..
+            } => CompiledExpr::Bin {
                 op: *op,
                 left: Box::new(Self::compile(left, schema)?),
                 right: Box::new(Self::compile(right, schema)?),
@@ -360,7 +364,12 @@ mod tests {
         let rec = record(5, 2.5, "abc", 100, 1 << 40);
         let f = |col: usize, op: CmpOp, value: Value| {
             CompiledFilter::compile(
-                &ColumnFilter { table: 0, column: col, op, value },
+                &ColumnFilter {
+                    table: 0,
+                    column: col,
+                    op,
+                    value,
+                },
                 &s,
             )
             .unwrap()
@@ -375,7 +384,12 @@ mod tests {
         assert!(f(4, CmpOp::Gt, Value::Int64(0)).matches(&rec));
         // String filter against a non-string constant is a codegen error.
         assert!(CompiledFilter::compile(
-            &ColumnFilter { table: 0, column: 2, op: CmpOp::Eq, value: Value::Int32(1) },
+            &ColumnFilter {
+                table: 0,
+                column: 2,
+                op: CmpOp::Eq,
+                value: Value::Int32(1)
+            },
             &s
         )
         .is_err());
@@ -402,16 +416,25 @@ mod tests {
             op: BinOp::Add,
             left: Box::new(ScalarExpr::Binary {
                 op: BinOp::Mul,
-                left: Box::new(ScalarExpr::Column { index: 1, dtype: DataType::Float64 }),
+                left: Box::new(ScalarExpr::Column {
+                    index: 1,
+                    dtype: DataType::Float64,
+                }),
                 right: Box::new(ScalarExpr::Binary {
                     op: BinOp::Sub,
                     left: Box::new(ScalarExpr::Literal(Value::Int32(1))),
-                    right: Box::new(ScalarExpr::Column { index: 0, dtype: DataType::Int32 }),
+                    right: Box::new(ScalarExpr::Column {
+                        index: 0,
+                        dtype: DataType::Int32,
+                    }),
                     dtype: DataType::Float64,
                 }),
                 dtype: DataType::Float64,
             }),
-            right: Box::new(ScalarExpr::Column { index: 4, dtype: DataType::Int64 }),
+            right: Box::new(ScalarExpr::Column {
+                index: 4,
+                dtype: DataType::Int64,
+            }),
             dtype: DataType::Float64,
         };
         let compiled = CompiledExpr::compile(&expr, &s).unwrap();
@@ -421,12 +444,18 @@ mod tests {
         // Division and string rejection.
         let div = ScalarExpr::Binary {
             op: BinOp::Div,
-            left: Box::new(ScalarExpr::Column { index: 4, dtype: DataType::Int64 }),
+            left: Box::new(ScalarExpr::Column {
+                index: 4,
+                dtype: DataType::Int64,
+            }),
             right: Box::new(ScalarExpr::Literal(Value::Int32(2))),
             dtype: DataType::Float64,
         };
         assert_eq!(CompiledExpr::compile(&div, &s).unwrap().eval(&rec), 4.0);
-        let bad = ScalarExpr::Column { index: 2, dtype: DataType::Char(6) };
+        let bad = ScalarExpr::Column {
+            index: 2,
+            dtype: DataType::Char(6),
+        };
         assert!(CompiledExpr::compile(&bad, &s).is_err());
     }
 
@@ -453,10 +482,7 @@ mod tests {
         // Float ordering through the i64 image is consistent with compare.
         assert!(kf.as_i64(&b) < kf.as_i64(&a));
         // Multi-key comparison falls through equal prefixes.
-        assert_eq!(
-            compare_keys(&[kd, ki], &a, &b),
-            std::cmp::Ordering::Less
-        );
+        assert_eq!(compare_keys(&[kd, ki], &a, &b), std::cmp::Ordering::Less);
         assert_eq!(compare_keys(&[kd], &a, &b), std::cmp::Ordering::Equal);
     }
 }

@@ -239,7 +239,9 @@ mod tests {
 
     #[test]
     fn sort_partition_orders_records() {
-        let rows: Vec<Row> = [5, 1, 4, 1, 3].iter().enumerate()
+        let rows: Vec<Row> = [5, 1, 4, 1, 3]
+            .iter()
+            .enumerate()
             .map(|(i, &k)| row(k, i as f64))
             .collect();
         let mut rel = StagedRelation::from_rows(schema(), &rows).unwrap();
@@ -259,7 +261,12 @@ mod tests {
         let pairs: Vec<(i32, f64)> = rel2
             .to_rows()
             .iter()
-            .map(|r| (r.get(0).as_i64().unwrap() as i32, r.get(1).as_f64().unwrap()))
+            .map(|r| {
+                (
+                    r.get(0).as_i64().unwrap() as i32,
+                    r.get(1).as_f64().unwrap(),
+                )
+            })
             .collect();
         assert_eq!(pairs[0], (1, 1.0));
         assert_eq!(pairs[1], (1, 3.0));

@@ -96,8 +96,14 @@ pub fn stage_table(
             }
             StagedInput::unpartitioned(rel)
         }
-        StagingStrategy::PartitionCoarse { key_column, partitions }
-        | StagingStrategy::PartitionThenSort { key_column, partitions } => {
+        StagingStrategy::PartitionCoarse {
+            key_column,
+            partitions,
+        }
+        | StagingStrategy::PartitionThenSort {
+            key_column,
+            partitions,
+        } => {
             let key = CompiledKey::compile(&out_schema, *key_column);
             let m = (*partitions).max(1);
             let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
@@ -217,8 +223,12 @@ mod tests {
             value: Value::Float64(100.0),
         };
         let mut stats = ExecStats::new();
-        let staged = stage_table(&heap, &descriptor(StagingStrategy::None, vec![filter]), &mut stats)
-            .unwrap();
+        let staged = stage_table(
+            &heap,
+            &descriptor(StagingStrategy::None, vec![filter]),
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(staged.relation.num_records(), 100);
         assert_eq!(staged.relation.tuple_size(), 12);
         assert!(staged.fine_directory.is_none());
@@ -233,7 +243,12 @@ mod tests {
         let mut stats = ExecStats::new();
         let staged = stage_table(
             &heap,
-            &descriptor(StagingStrategy::Sort { key_columns: vec![0] }, vec![]),
+            &descriptor(
+                StagingStrategy::Sort {
+                    key_columns: vec![0],
+                },
+                vec![],
+            ),
             &mut stats,
         )
         .unwrap();
@@ -253,7 +268,10 @@ mod tests {
         let staged = stage_table(
             &heap,
             &descriptor(
-                StagingStrategy::PartitionThenSort { key_column: 0, partitions: 8 },
+                StagingStrategy::PartitionThenSort {
+                    key_column: 0,
+                    partitions: 8,
+                },
                 vec![],
             ),
             &mut stats,
@@ -292,7 +310,10 @@ mod tests {
         let staged = stage_table(
             &heap,
             &descriptor(
-                StagingStrategy::PartitionFine { key_column: 0, partitions: 25 },
+                StagingStrategy::PartitionFine {
+                    key_column: 0,
+                    partitions: 25,
+                },
                 vec![],
             ),
             &mut stats,
@@ -323,12 +344,24 @@ mod tests {
         let mut stats = ExecStats::new();
         for strategy in [
             StagingStrategy::None,
-            StagingStrategy::Sort { key_columns: vec![0] },
-            StagingStrategy::PartitionFine { key_column: 0, partitions: 4 },
-            StagingStrategy::PartitionThenSort { key_column: 0, partitions: 4 },
+            StagingStrategy::Sort {
+                key_columns: vec![0],
+            },
+            StagingStrategy::PartitionFine {
+                key_column: 0,
+                partitions: 4,
+            },
+            StagingStrategy::PartitionThenSort {
+                key_column: 0,
+                partitions: 4,
+            },
         ] {
-            let staged =
-                stage_table(&heap, &descriptor(strategy, vec![filter.clone()]), &mut stats).unwrap();
+            let staged = stage_table(
+                &heap,
+                &descriptor(strategy, vec![filter.clone()]),
+                &mut stats,
+            )
+            .unwrap();
             assert_eq!(staged.relation.num_records(), 0);
         }
     }

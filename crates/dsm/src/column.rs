@@ -150,7 +150,11 @@ impl ColumnStore {
                 }
             }
         }
-        ColumnStore { schema, columns, rows: n }
+        ColumnStore {
+            schema,
+            columns,
+            rows: n,
+        }
     }
 }
 
@@ -211,10 +215,19 @@ mod tests {
         assert_eq!(store.rows, 100);
         assert_eq!(store.columns.len(), 4);
         assert_eq!(store.columns[0].len(), 100);
-        assert_eq!(store.columns[0].value_at(7, DataType::Int32), Value::Int32(7));
+        assert_eq!(
+            store.columns[0].value_at(7, DataType::Int32),
+            Value::Int32(7)
+        );
         assert_eq!(store.columns[1].f64_at(9), 4.5);
-        assert_eq!(store.columns[2].value_at(4, DataType::Char(4)), Value::Str("s1".into()));
-        assert_eq!(store.columns[3].value_at(0, DataType::Date), Value::Date(1000));
+        assert_eq!(
+            store.columns[2].value_at(4, DataType::Char(4)),
+            Value::Str("s1".into())
+        );
+        assert_eq!(
+            store.columns[3].value_at(0, DataType::Date),
+            Value::Date(1000)
+        );
         assert!(store.columns[1].byte_size() >= 800);
         assert!(!store.columns[0].is_empty());
     }

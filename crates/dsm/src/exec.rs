@@ -8,8 +8,8 @@ use hique_plan::PhysicalPlan;
 use hique_sql::analyze::{ColumnFilter, OutputExpr, ScalarExpr};
 use hique_sql::ast::{AggFunc, BinOp};
 use hique_types::{
-    result::finalize_rows, DataType, ExecStats, HiqueError, PhaseTimings, QueryResult, Result,
-    Row, Value,
+    result::finalize_rows, DataType, ExecStats, HiqueError, PhaseTimings, QueryResult, Result, Row,
+    Value,
 };
 
 use crate::column::{ColumnData, ColumnStore, DsmDatabase};
@@ -76,7 +76,11 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
     } else {
         plan.joins
             .iter()
-            .map(|j| Step { right: j.right, left_key: j.left_key, right_key: j.right_key })
+            .map(|j| Step {
+                right: j.right,
+                left_key: j.left_key,
+                right_key: j.right_key,
+            })
             .collect()
     };
 
@@ -97,7 +101,10 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
         let mut table: HashMap<i64, Vec<u32>> = HashMap::new();
         for &rid in &selections[right_table] {
             stats.add_hashes(1);
-            table.entry(right_col.key_at(rid as usize)).or_default().push(rid);
+            table
+                .entry(right_col.key_at(rid as usize))
+                .or_default()
+                .push(rid);
         }
         stats.add_materialized(selections[right_table].len() * 12);
 
@@ -165,9 +172,9 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
             .aggregates
             .iter()
             .map(|a| {
-                a.arg
-                    .as_ref()
-                    .map(|e| eval_vectorized(e, output_len, &|i| gather_joined(i, &mut stats.clone())))
+                a.arg.as_ref().map(|e| {
+                    eval_vectorized(e, output_len, &|i| gather_joined(i, &mut stats.clone()))
+                })
             })
             .collect();
         // NOTE: eval_vectorized gathers referenced columns itself; the
@@ -188,9 +195,17 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
             stats.add_hashes(1);
             let entry = groups.entry(key).or_insert_with(|| {
                 (
-                    group_cols.iter().map(|(c, dt)| c.value_at(i, *dt)).collect(),
+                    group_cols
+                        .iter()
+                        .map(|(c, dt)| c.value_at(i, *dt))
+                        .collect(),
                     vec![
-                        Acc { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+                        Acc {
+                            sum: 0.0,
+                            count: 0,
+                            min: f64::INFINITY,
+                            max: f64::NEG_INFINITY
+                        };
                         spec.aggregates.len()
                     ],
                 )
@@ -305,7 +320,10 @@ fn apply_filter(
                 .to_string();
             for &i in sel {
                 stats.add_comparisons(1);
-                if filter.op.matches(values[i as usize].as_str().cmp(needle.as_str())) {
+                if filter
+                    .op
+                    .matches(values[i as usize].as_str().cmp(needle.as_str()))
+                {
                     out.push(i);
                 }
             }
@@ -314,7 +332,10 @@ fn apply_filter(
             let constant = filter.value.as_f64()?;
             for &i in sel {
                 stats.add_comparisons(1);
-                if filter.op.matches(col.f64_at(i as usize).total_cmp(&constant)) {
+                if filter
+                    .op
+                    .matches(col.f64_at(i as usize).total_cmp(&constant))
+                {
                     out.push(i);
                 }
             }
@@ -336,7 +357,9 @@ fn eval_vectorized(
             (0..len).map(|i| col.f64_at(i)).collect()
         }
         ScalarExpr::Literal(v) => vec![v.as_f64().unwrap_or(f64::NAN); len],
-        ScalarExpr::Binary { op, left, right, .. } => {
+        ScalarExpr::Binary {
+            op, left, right, ..
+        } => {
             let l = eval_vectorized(left, len, gather);
             let r = eval_vectorized(right, len, gather);
             l.iter()
@@ -414,7 +437,10 @@ mod tests {
     #[test]
     fn selection_and_projection_match_iterator_engine() {
         let cat = catalog();
-        let (dsm, iter) = run_both("select v, tag from r where k = 3 and v < 100 order by v", &cat);
+        let (dsm, iter) = run_both(
+            "select v, tag from r where k = 3 and v < 100 order by v",
+            &cat,
+        );
         assert_eq!(dsm.rows, iter.rows);
         assert!(dsm.stats.bytes_materialized > 0);
     }
@@ -438,7 +464,10 @@ mod tests {
     #[test]
     fn scalar_expression_outputs() {
         let cat = catalog();
-        let (dsm, iter) = run_both("select v * 2 as d, tag from r where k = 1 order by d limit 4", &cat);
+        let (dsm, iter) = run_both(
+            "select v * 2 as d, tag from r where k = 1 order by d limit 4",
+            &cat,
+        );
         assert_eq!(dsm.rows, iter.rows);
         assert_eq!(dsm.num_rows(), 4);
     }

@@ -11,9 +11,7 @@ use std::hash::{Hash, Hasher};
 
 use hique_plan::AggregateSpec;
 use hique_sql::ast::AggFunc;
-use hique_types::{
-    result::sort_rows, Column, DataType, HiqueError, Result, Row, Schema, Value,
-};
+use hique_types::{result::sort_rows, Column, DataType, HiqueError, Result, Row, Schema, Value};
 
 use crate::expr::eval_scalar;
 use crate::iterator::{ExecContext, QueryIterator};
@@ -56,16 +54,16 @@ impl AggAccum {
             }
             AggAccum::Count(c) => *c += 1,
             AggAccum::Min(m) => {
-                let v = arg
-                    .ok_or_else(|| HiqueError::Execution("MIN requires an argument".into()))?;
-                if m.as_ref().map_or(true, |cur| v < cur) {
+                let v =
+                    arg.ok_or_else(|| HiqueError::Execution("MIN requires an argument".into()))?;
+                if m.as_ref().is_none_or(|cur| v < cur) {
                     *m = Some(v.clone());
                 }
             }
             AggAccum::Max(m) => {
-                let v = arg
-                    .ok_or_else(|| HiqueError::Execution("MAX requires an argument".into()))?;
-                if m.as_ref().map_or(true, |cur| v > cur) {
+                let v =
+                    arg.ok_or_else(|| HiqueError::Execution("MAX requires an argument".into()))?;
+                if m.as_ref().is_none_or(|cur| v > cur) {
                     *m = Some(v.clone());
                 }
             }
@@ -88,9 +86,7 @@ impl AggAccum {
                 _ => Value::Float64(*s),
             },
             AggAccum::Count(c) => Value::Int64(*c),
-            AggAccum::Min(m) | AggAccum::Max(m) => {
-                m.clone().unwrap_or(Value::Float64(f64::NAN))
-            }
+            AggAccum::Min(m) | AggAccum::Max(m) => m.clone().unwrap_or(Value::Float64(f64::NAN)),
             AggAccum::Avg { sum, count } => {
                 if *count == 0 {
                     Value::Float64(f64::NAN)
@@ -212,7 +208,8 @@ impl<'a> AggregateIterator<'a> {
                     .map(|a| AggAccum::new(a.func))
                     .collect();
             }
-            self.ctx.add_comparisons(self.spec.group_columns.len() as u64);
+            self.ctx
+                .add_comparisons(self.spec.group_columns.len() as u64);
             update_group(&mut accums, &self.spec, row, &self.ctx)?;
         }
         if let Some(k) = current_key.take() {
@@ -245,8 +242,7 @@ impl<'a> AggregateIterator<'a> {
             self.ctx.add_hashes(1);
             parts[(h.finish() as usize) % partitions].push(row);
         }
-        let keys: Vec<(usize, bool)> =
-            self.spec.group_columns.iter().map(|&c| (c, true)).collect();
+        let keys: Vec<(usize, bool)> = self.spec.group_columns.iter().map(|&c| (c, true)).collect();
         for mut part in parts {
             if part.is_empty() {
                 continue;
@@ -289,8 +285,11 @@ impl<'a> AggregateIterator<'a> {
             update_group(&mut entry.1, &self.spec, &row, &self.ctx)?;
         }
         let spec = self.spec.clone();
-        self.groups
-            .extend(groups.into_values().map(|(k, accums)| group_row(&k, &accums, &spec)));
+        self.groups.extend(
+            groups
+                .into_values()
+                .map(|(k, accums)| group_row(&k, &accums, &spec)),
+        );
         Ok(())
     }
 }
@@ -317,8 +316,9 @@ impl QueryIterator for AggregateIterator<'_> {
             AggStrategy::Map => self.run_map(rows)?,
         }
         // Deterministic output order across strategies: sort by group key.
-        let group_keys: Vec<(usize, bool)> =
-            (0..self.spec.group_columns.len()).map(|i| (i, true)).collect();
+        let group_keys: Vec<(usize, bool)> = (0..self.spec.group_columns.len())
+            .map(|i| (i, true))
+            .collect();
         sort_rows(&mut self.groups, &group_keys);
         self.pos = 0;
         Ok(())
@@ -363,9 +363,8 @@ mod tests {
         ]);
         TableHeap::from_rows(
             schema,
-            (0..1000).map(|i| {
-                Row::new(vec![Value::Int32(i % 10), Value::Float64((i % 100) as f64)])
-            }),
+            (0..1000)
+                .map(|i| Row::new(vec![Value::Int32(i % 10), Value::Float64((i % 100) as f64)])),
         )
         .unwrap()
     }
@@ -389,23 +388,39 @@ mod tests {
             aggregates: vec![
                 BoundAggregate {
                     func: AggFunc::Sum,
-                    arg: Some(ScalarExpr::Column { index: 1, dtype: DataType::Float64 }),
+                    arg: Some(ScalarExpr::Column {
+                        index: 1,
+                        dtype: DataType::Float64,
+                    }),
                     dtype: DataType::Float64,
                 },
-                BoundAggregate { func: AggFunc::Count, arg: None, dtype: DataType::Int64 },
+                BoundAggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                    dtype: DataType::Int64,
+                },
                 BoundAggregate {
                     func: AggFunc::Min,
-                    arg: Some(ScalarExpr::Column { index: 1, dtype: DataType::Float64 }),
+                    arg: Some(ScalarExpr::Column {
+                        index: 1,
+                        dtype: DataType::Float64,
+                    }),
                     dtype: DataType::Float64,
                 },
                 BoundAggregate {
                     func: AggFunc::Avg,
-                    arg: Some(ScalarExpr::Column { index: 1, dtype: DataType::Float64 }),
+                    arg: Some(ScalarExpr::Column {
+                        index: 1,
+                        dtype: DataType::Float64,
+                    }),
                     dtype: DataType::Float64,
                 },
                 BoundAggregate {
                     func: AggFunc::Max,
-                    arg: Some(ScalarExpr::Column { index: 1, dtype: DataType::Float64 }),
+                    arg: Some(ScalarExpr::Column {
+                        index: 1,
+                        dtype: DataType::Float64,
+                    }),
                     dtype: DataType::Float64,
                 },
             ],
@@ -418,7 +433,11 @@ mod tests {
         let heap = heap();
         let ctx = ExecContext::new(ExecMode::Optimized);
         let child: BoxedIterator = if strategy == AggStrategy::Sort {
-            Box::new(SortIterator::ascending(scan(&heap, &ctx), &[0], ctx.clone()))
+            Box::new(SortIterator::ascending(
+                scan(&heap, &ctx),
+                &[0],
+                ctx.clone(),
+            ))
         } else {
             scan(&heap, &ctx)
         };
@@ -484,6 +503,9 @@ mod tests {
             max.update(Some(&Value::Str(s.into()))).unwrap();
         }
         assert_eq!(min.finish(DataType::Char(10)), Value::Str("apple".into()));
-        assert_eq!(max.finish(DataType::Char(10)), Value::Str("zucchini".into()));
+        assert_eq!(
+            max.finish(DataType::Char(10)),
+            Value::Str("zucchini".into())
+        );
     }
 }

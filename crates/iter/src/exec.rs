@@ -4,9 +4,7 @@ use std::time::Instant;
 
 use hique_plan::{AggAlgorithm, JoinAlgorithm, PhysicalPlan, StagingStrategy};
 use hique_storage::Catalog;
-use hique_types::{
-    result::finalize_rows, HiqueError, PhaseTimings, QueryResult, Result,
-};
+use hique_types::{result::finalize_rows, HiqueError, PhaseTimings, QueryResult, Result};
 
 use crate::agg::{AggStrategy, AggregateIterator};
 use crate::iterator::{ExecContext, ExecMode, QueryIterator};
@@ -20,11 +18,7 @@ use crate::BoxedIterator;
 ///
 /// `mode` selects between the paper's "generic iterators" and "optimized
 /// iterators" implementations.
-pub fn execute_plan(
-    plan: &PhysicalPlan,
-    catalog: &Catalog,
-    mode: ExecMode,
-) -> Result<QueryResult> {
+pub fn execute_plan(plan: &PhysicalPlan, catalog: &Catalog, mode: ExecMode) -> Result<QueryResult> {
     execute_plan_with(plan, catalog, mode, true)
 }
 
@@ -109,7 +103,11 @@ pub fn execute_plan_with(
                 let left: BoxedIterator = if left_sorted_already {
                     current
                 } else {
-                    Box::new(SortIterator::ascending(current, &[step.left_key], ctx.clone()))
+                    Box::new(SortIterator::ascending(
+                        current,
+                        &[step.left_key],
+                        ctx.clone(),
+                    ))
                 };
                 Box::new(MergeJoinIterator::new(
                     left,
@@ -166,7 +164,12 @@ pub fn execute_plan_with(
             AggAlgorithm::HybridHashSort => (AggStrategy::HybridHashSort, current),
             AggAlgorithm::Map => (AggStrategy::Map, current),
         };
-        current = Box::new(AggregateIterator::new(child, spec.clone(), strategy, ctx.clone()));
+        current = Box::new(AggregateIterator::new(
+            child,
+            spec.clone(),
+            strategy,
+            ctx.clone(),
+        ));
     }
 
     // ---- Output, ordering, limit --------------------------------------------------
@@ -183,7 +186,11 @@ pub fn execute_plan_with(
     }
     output.close();
     finalize_rows(&mut rows, &plan.order_by, plan.limit);
-    ctx.set_rows_out(if keep_rows { rows.len() as u64 } else { counted });
+    ctx.set_rows_out(if keep_rows {
+        rows.len() as u64
+    } else {
+        counted
+    });
 
     let mut timings = PhaseTimings::new();
     timings.record("total", started.elapsed());
@@ -335,7 +342,11 @@ mod tests {
         let cat = catalog();
         let sql = "select tag, sum(v) as sv, avg(v) as av, count(*) as n from r group by tag order by tag";
         let mut results = Vec::new();
-        for algo in [AggAlgorithm::Sort, AggAlgorithm::HybridHashSort, AggAlgorithm::Map] {
+        for algo in [
+            AggAlgorithm::Sort,
+            AggAlgorithm::HybridHashSort,
+            AggAlgorithm::Map,
+        ] {
             results.push(run(
                 sql,
                 &cat,

@@ -55,15 +55,29 @@ mod tests {
     use hique_sql::ast::CmpOp;
 
     fn row() -> Row {
-        Row::new(vec![Value::Int32(5), Value::Float64(2.5), Value::Str("x".into())])
+        Row::new(vec![
+            Value::Int32(5),
+            Value::Float64(2.5),
+            Value::Str("x".into()),
+        ])
     }
 
     #[test]
     fn filters_and_counting() {
         let ctx = ExecContext::new(ExecMode::Generic);
         let filters = vec![
-            ColumnFilter { table: 0, column: 0, op: CmpOp::Eq, value: Value::Int32(5) },
-            ColumnFilter { table: 0, column: 1, op: CmpOp::Lt, value: Value::Float64(3.0) },
+            ColumnFilter {
+                table: 0,
+                column: 0,
+                op: CmpOp::Eq,
+                value: Value::Int32(5),
+            },
+            ColumnFilter {
+                table: 0,
+                column: 1,
+                op: CmpOp::Lt,
+                value: Value::Float64(3.0),
+            },
         ];
         assert!(filters_match(&filters, &row(), &ctx));
         assert_eq!(ctx.stats().function_calls, 4);
@@ -97,7 +111,10 @@ mod tests {
         let ctx = ExecContext::new(ExecMode::Generic);
         let expr = ScalarExpr::Binary {
             op: hique_sql::ast::BinOp::Mul,
-            left: Box::new(ScalarExpr::Column { index: 1, dtype: hique_types::DataType::Float64 }),
+            left: Box::new(ScalarExpr::Column {
+                index: 1,
+                dtype: hique_types::DataType::Float64,
+            }),
             right: Box::new(ScalarExpr::Literal(Value::Int32(4))),
             dtype: hique_types::DataType::Float64,
         };

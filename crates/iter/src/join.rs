@@ -154,10 +154,7 @@ impl QueryIterator for MergeJoinIterator<'_> {
 
     fn next(&mut self) -> Result<Option<Row>> {
         self.ctx.add_calls(2);
-        Ok(self
-            .cursor
-            .as_mut()
-            .and_then(|c| c.next_pair(&self.ctx)))
+        Ok(self.cursor.as_mut().and_then(|c| c.next_pair(&self.ctx)))
     }
 
     fn close(&mut self) {
@@ -349,12 +346,16 @@ impl QueryIterator for PartitionJoinIterator<'_> {
         let mut lmap: BTreeMap<hique_types::Value, Vec<Row>> = BTreeMap::new();
         for r in left {
             self.ctx.add_hashes(1);
-            lmap.entry(r.get(self.left_key).clone()).or_default().push(r);
+            lmap.entry(r.get(self.left_key).clone())
+                .or_default()
+                .push(r);
         }
         let mut rmap: BTreeMap<hique_types::Value, Vec<Row>> = BTreeMap::new();
         for r in right {
             self.ctx.add_hashes(1);
-            rmap.entry(r.get(self.right_key).clone()).or_default().push(r);
+            rmap.entry(r.get(self.right_key).clone())
+                .or_default()
+                .push(r);
         }
         self.groups = lmap
             .into_iter()
@@ -417,9 +418,9 @@ mod tests {
         ]);
         TableHeap::from_rows(
             schema,
-            keys.iter()
-                .enumerate()
-                .map(|(i, &k)| Row::new(vec![Value::Int32(k), Value::Int32(payload_base + i as i32)])),
+            keys.iter().enumerate().map(|(i, &k)| {
+                Row::new(vec![Value::Int32(k), Value::Int32(payload_base + i as i32)])
+            }),
         )
         .unwrap()
     }
@@ -491,14 +492,8 @@ mod tests {
         let lheap = heap_from(&lkeys, 0);
         let rheap = heap_from(&rkeys, 1000);
         let ctx = ExecContext::new(ExecMode::Optimized);
-        let mut hybrid = HybridJoinIterator::new(
-            scan(&lheap, &ctx),
-            scan(&rheap, &ctx),
-            0,
-            0,
-            8,
-            ctx.clone(),
-        );
+        let mut hybrid =
+            HybridJoinIterator::new(scan(&lheap, &ctx), scan(&rheap, &ctx), 0, 0, 8, ctx.clone());
         let mut rows = drain(&mut hybrid, &ctx).unwrap();
         assert_eq!(rows.len(), expected_pairs(&lkeys, &rkeys));
         assert!(ctx.stats().hash_ops >= 700);
@@ -526,13 +521,8 @@ mod tests {
         let lheap = heap_from(&lkeys, 0);
         let rheap = heap_from(&rkeys, 50);
         let ctx = ExecContext::new(ExecMode::Generic);
-        let mut join = PartitionJoinIterator::new(
-            scan(&lheap, &ctx),
-            scan(&rheap, &ctx),
-            0,
-            0,
-            ctx.clone(),
-        );
+        let mut join =
+            PartitionJoinIterator::new(scan(&lheap, &ctx), scan(&rheap, &ctx), 0, 0, ctx.clone());
         let rows = drain(&mut join, &ctx).unwrap();
         assert_eq!(rows.len(), expected_pairs(&lkeys, &rkeys));
         assert!(rows.iter().all(|r| r.get(0) == r.get(2)));
@@ -545,14 +535,8 @@ mod tests {
         let lheap = heap_from(&lkeys, 0);
         let rheap = heap_from(&rkeys, 0);
         let ctx = ExecContext::new(ExecMode::Optimized);
-        let mut join = HybridJoinIterator::new(
-            scan(&lheap, &ctx),
-            scan(&rheap, &ctx),
-            0,
-            0,
-            1,
-            ctx.clone(),
-        );
+        let mut join =
+            HybridJoinIterator::new(scan(&lheap, &ctx), scan(&rheap, &ctx), 0, 0, 1, ctx.clone());
         let rows = drain(&mut join, &ctx).unwrap();
         assert_eq!(rows.len(), 3);
     }

@@ -113,20 +113,25 @@ mod tests {
         catalog.register_table("t", heap).unwrap();
         catalog.analyze_table("t").unwrap();
         let q = hique_sql::parse_query("select b * 2 as doubled, a from t").unwrap();
-        let bound =
-            hique_sql::analyze(&q, &hique_plan::CatalogProvider::new(&catalog)).unwrap();
+        let bound = hique_sql::analyze(&q, &hique_plan::CatalogProvider::new(&catalog)).unwrap();
         let plan = hique_plan::plan_query(&bound, &catalog, &PlannerConfig::default()).unwrap();
 
         let ctx = ExecContext::new(ExecMode::Generic);
         let staged: StagedTable = plan.staged[0].clone();
-        let scan: BoxedIterator =
-            Box::new(ScanIterator::new(&catalog.table("t").unwrap().heap, staged, ctx.clone()));
+        let scan: BoxedIterator = Box::new(ScanIterator::new(
+            &catalog.table("t").unwrap().heap,
+            staged,
+            ctx.clone(),
+        ));
         let mut out = OutputIterator::new(scan, &plan, ctx.clone());
         let rows = drain(&mut out, &ctx).unwrap();
         assert_eq!(out.schema().names(), vec!["doubled", "a"]);
         assert_eq!(rows[0].values(), &[Value::Float64(20.0), Value::Int32(1)]);
         assert_eq!(rows[2].values(), &[Value::Float64(60.0), Value::Int32(3)]);
         // Verify scalar exprs are the bound kind we expect.
-        assert!(matches!(plan.output[0], OutputExpr::Scalar(ScalarExpr::Binary { .. })));
+        assert!(matches!(
+            plan.output[0],
+            OutputExpr::Scalar(ScalarExpr::Binary { .. })
+        ));
     }
 }

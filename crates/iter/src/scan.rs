@@ -147,7 +147,8 @@ mod tests {
     fn scan_without_filters_returns_everything() {
         let heap = heap();
         let ctx = ExecContext::new(ExecMode::Optimized);
-        let mut scan = ScanIterator::new(&heap, staged(vec![], vec![0], heap.schema()), ctx.clone());
+        let mut scan =
+            ScanIterator::new(&heap, staged(vec![], vec![0], heap.schema()), ctx.clone());
         let rows = drain(&mut scan, &ctx).unwrap();
         assert_eq!(rows.len(), 100);
         assert_eq!(rows[99].values(), &[Value::Int32(99)]);

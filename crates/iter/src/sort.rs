@@ -110,9 +110,10 @@ mod tests {
         ]);
         TableHeap::from_rows(
             schema,
-            [5, 3, 9, 1, 3].iter().enumerate().map(|(i, &k)| {
-                Row::new(vec![Value::Int32(k), Value::Int32(i as i32)])
-            }),
+            [5, 3, 9, 1, 3]
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Row::new(vec![Value::Int32(k), Value::Int32(i as i32)])),
         )
         .unwrap()
     }
@@ -123,7 +124,10 @@ mod tests {
         let ctx = ExecContext::new(ExecMode::Optimized);
         let mut sorted = SortIterator::ascending(make_scan(&heap, &ctx), &[0], ctx.clone());
         let rows = drain(&mut sorted, &ctx).unwrap();
-        let keys: Vec<i32> = rows.iter().map(|r| r.get(0).as_i64().unwrap() as i32).collect();
+        let keys: Vec<i32> = rows
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap() as i32)
+            .collect();
         assert_eq!(keys, vec![1, 3, 3, 5, 9]);
         assert!(ctx.stats().sort_passes >= 1);
         assert!(ctx.stats().bytes_materialized > 0);
@@ -131,7 +135,10 @@ mod tests {
         let ctx = ExecContext::new(ExecMode::Optimized);
         let mut sorted = SortIterator::new(make_scan(&heap, &ctx), vec![(0, false)], ctx.clone());
         let rows = drain(&mut sorted, &ctx).unwrap();
-        let keys: Vec<i32> = rows.iter().map(|r| r.get(0).as_i64().unwrap() as i32).collect();
+        let keys: Vec<i32> = rows
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap() as i32)
+            .collect();
         assert_eq!(keys, vec![9, 5, 3, 3, 1]);
     }
 

@@ -21,13 +21,22 @@ pub fn explain(plan: &PhysicalPlan) -> String {
         let strategy = match &st.strategy {
             StagingStrategy::None => "scan".to_string(),
             StagingStrategy::Sort { key_columns } => format!("scan + sort on {key_columns:?}"),
-            StagingStrategy::PartitionFine { key_column, partitions } => {
+            StagingStrategy::PartitionFine {
+                key_column,
+                partitions,
+            } => {
                 format!("scan + fine partition on #{key_column} into {partitions}")
             }
-            StagingStrategy::PartitionCoarse { key_column, partitions } => {
+            StagingStrategy::PartitionCoarse {
+                key_column,
+                partitions,
+            } => {
                 format!("scan + coarse partition on #{key_column} into {partitions}")
             }
-            StagingStrategy::PartitionThenSort { key_column, partitions } => {
+            StagingStrategy::PartitionThenSort {
+                key_column,
+                partitions,
+            } => {
                 format!("scan + partition on #{key_column} into {partitions} + sort partitions")
             }
         };

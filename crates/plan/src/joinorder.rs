@@ -35,7 +35,10 @@ pub fn detect_join_team(num_tables: usize, joins: &[EquiJoin]) -> Option<Vec<(us
     // Union-find over (table, column) pairs.
     let mut keys: Vec<Option<usize>> = vec![None; num_tables];
     for j in joins {
-        for &(t, c) in &[(j.left_table, j.left_column), (j.right_table, j.right_column)] {
+        for &(t, c) in &[
+            (j.left_table, j.left_column),
+            (j.right_table, j.right_column),
+        ] {
             match keys[t] {
                 None => keys[t] = Some(c),
                 Some(existing) if existing == c => {}
@@ -125,14 +128,14 @@ pub fn greedy_order(
 
     while order.len() < n {
         let mut step: Option<(usize, usize, Option<usize>)> = None; // (table, est, edge)
-        for cand in 0..n {
+        for (cand, &cand_rows) in table_rows.iter().enumerate().take(n) {
             if order.contains(&cand) {
                 continue;
             }
             let edge = connecting(&order, cand);
             let est = match edge {
                 Some(e) => estimate_pair(current_est, cand, e),
-                None => current_est.saturating_mul(table_rows[cand]),
+                None => current_est.saturating_mul(cand_rows),
             };
             let key = (edge.is_none(), est, cand);
             let better = match &step {

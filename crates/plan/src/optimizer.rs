@@ -35,11 +35,7 @@ pub fn plan_query(
     let stats: Vec<TableStats> = bound
         .tables
         .iter()
-        .map(|t| {
-            catalog
-                .table(&t.name)
-                .map(|info| TableStats::from_table(info))
-        })
+        .map(|t| catalog.table(&t.name).map(TableStats::from_table))
         .collect::<Result<_>>()?;
 
     // ---- Filters grouped per table --------------------------------------
@@ -245,7 +241,8 @@ pub fn plan_query(
         let name = &bound.combined_schema.column(combined_idx).name;
         joined_schema.index_of(name)
     };
-    let rebind_scalar = |e: &ScalarExpr| rebind_scalar_expr(e, &bound.combined_schema, &joined_schema);
+    let rebind_scalar =
+        |e: &ScalarExpr| rebind_scalar_expr(e, &bound.combined_schema, &joined_schema);
 
     let group_columns: Vec<usize> = bound
         .group_by
@@ -480,7 +477,11 @@ fn staging_for_join(
         },
         JoinAlgorithm::Partition => StagingStrategy::PartitionFine {
             key_column,
-            partitions: if key_distinct == usize::MAX { partitions } else { key_distinct },
+            partitions: if key_distinct == usize::MAX {
+                partitions
+            } else {
+                key_distinct
+            },
         },
         JoinAlgorithm::HybridHashSortMerge => StagingStrategy::PartitionThenSort {
             key_column,
@@ -491,18 +492,19 @@ fn staging_for_join(
 }
 
 /// Rebind a scalar expression from one schema to another by column name.
-pub fn rebind_scalar_expr(
-    expr: &ScalarExpr,
-    from: &Schema,
-    to: &Schema,
-) -> Result<ScalarExpr> {
+pub fn rebind_scalar_expr(expr: &ScalarExpr, from: &Schema, to: &Schema) -> Result<ScalarExpr> {
     Ok(match expr {
         ScalarExpr::Column { index, dtype } => ScalarExpr::Column {
             index: to.index_of(&from.column(*index).name)?,
             dtype: *dtype,
         },
         ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
-        ScalarExpr::Binary { op, left, right, dtype } => ScalarExpr::Binary {
+        ScalarExpr::Binary {
+            op,
+            left,
+            right,
+            dtype,
+        } => ScalarExpr::Binary {
             op: *op,
             left: Box::new(rebind_scalar_expr(left, from, to)?),
             right: Box::new(rebind_scalar_expr(right, from, to)?),
@@ -627,8 +629,10 @@ mod tests {
         let cat = catalog();
         // Group on l_orderkey: 1000 distinct here, but shrink the cache so
         // the directories "overflow" it.
-        let mut config = PlannerConfig::default();
-        config.l2_cache_bytes = 16 * 1024;
+        let config = PlannerConfig {
+            l2_cache_bytes: 16 * 1024,
+            ..PlannerConfig::default()
+        };
         let p = plan(
             "select l_orderkey, sum(l_quantity) as q from lineitem group by l_orderkey",
             &cat,
@@ -771,7 +775,12 @@ mod tests {
     #[test]
     fn count_star_only_query_keeps_one_column() {
         let cat = catalog();
-        let p = plan("select count(*) as n from orders", &cat, &PlannerConfig::default()).unwrap();
+        let p = plan(
+            "select count(*) as n from orders",
+            &cat,
+            &PlannerConfig::default(),
+        )
+        .unwrap();
         assert_eq!(p.staged[0].keep, vec![0]);
         assert!(p.aggregate.is_some());
         assert_eq!(p.output_schema.names(), vec!["n"]);

@@ -227,19 +227,32 @@ mod tests {
         assert_eq!(JoinAlgorithm::NestedLoops.name(), "nested-loops join");
         assert_eq!(AggAlgorithm::Map.name(), "map aggregation");
         assert_eq!(AggAlgorithm::Sort.name(), "sort aggregation");
-        assert_eq!(AggAlgorithm::HybridHashSort.name(), "hybrid hash-sort aggregation");
+        assert_eq!(
+            AggAlgorithm::HybridHashSort.name(),
+            "hybrid hash-sort aggregation"
+        );
     }
 
     #[test]
     fn staging_strategy_equality() {
         assert_eq!(StagingStrategy::None, StagingStrategy::None);
         assert_ne!(
-            StagingStrategy::Sort { key_columns: vec![0] },
-            StagingStrategy::Sort { key_columns: vec![1] }
+            StagingStrategy::Sort {
+                key_columns: vec![0]
+            },
+            StagingStrategy::Sort {
+                key_columns: vec![1]
+            }
         );
         assert_ne!(
-            StagingStrategy::PartitionFine { key_column: 0, partitions: 4 },
-            StagingStrategy::PartitionCoarse { key_column: 0, partitions: 4 }
+            StagingStrategy::PartitionFine {
+                key_column: 0,
+                partitions: 4
+            },
+            StagingStrategy::PartitionCoarse {
+                key_column: 0,
+                partitions: 4
+            }
         );
     }
 }

@@ -31,10 +31,7 @@ mod tests {
     fn provider_resolves_registered_tables() {
         let mut catalog = Catalog::new();
         catalog
-            .create_table(
-                "t",
-                Schema::new(vec![Column::new("a", DataType::Int32)]),
-            )
+            .create_table("t", Schema::new(vec![Column::new("a", DataType::Int32)]))
             .unwrap();
         let provider = CatalogProvider::new(&catalog);
         assert!(provider.table_schema("t").is_some());

@@ -118,8 +118,16 @@ pub fn estimate_join_rows(
     right_rows: usize,
     right_distinct: usize,
 ) -> usize {
-    let dl = if left_distinct > 0 { left_distinct } else { left_rows.max(1) };
-    let dr = if right_distinct > 0 { right_distinct } else { right_rows.max(1) };
+    let dl = if left_distinct > 0 {
+        left_distinct
+    } else {
+        left_rows.max(1)
+    };
+    let dr = if right_distinct > 0 {
+        right_distinct
+    } else {
+        right_rows.max(1)
+    };
     let denom = dl.max(dr).max(1);
     ((left_rows as f64) * (right_rows as f64) / denom as f64)
         .round()
@@ -190,7 +198,10 @@ mod tests {
     #[test]
     fn join_estimation() {
         // Key–foreign-key: 1M rows joining 100k distinct keys on both sides.
-        assert_eq!(estimate_join_rows(1_000_000, 100_000, 100_000, 100_000), 1_000_000);
+        assert_eq!(
+            estimate_join_rows(1_000_000, 100_000, 100_000, 100_000),
+            1_000_000
+        );
         // Unknown distincts assume the larger side is a key.
         assert_eq!(estimate_join_rows(1000, 0, 100, 0), 100);
         // Inflationary join: few distinct values on both sides.

@@ -1,0 +1,227 @@
+//! Offline shim for the slice of the `criterion` API this workspace's
+//! benches use.
+//!
+//! The build environment has no access to crates.io. This crate keeps the
+//! `crates/bench/benches/*.rs` sources compiling and *running* — each
+//! benchmark is warmed up and timed for roughly the configured measurement
+//! window, and the mean wall-clock time per iteration is printed — without
+//! criterion's statistics, plotting or report machinery. Numbers printed by
+//! this shim are indicative only; the `fig*`/`table*` binaries in
+//! `crates/bench/src/bin/` remain the reproducible measurement path.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark case (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+fn run_case(name: &str, config: Config, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up: run single iterations until the warm-up window is spent, to
+    // estimate the per-iteration cost.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::ZERO;
+    let mut probes = 0u32;
+    while warm_up_start.elapsed() < config.warm_up_time || probes == 0 {
+        routine(&mut probe);
+        per_iter += probe.elapsed;
+        probes += 1;
+        if probes >= 1000 {
+            break;
+        }
+    }
+    per_iter /= probes;
+
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (config.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+    println!(
+        "bench: {name:<56} {:>12.3} µs/iter ({iters} iters)",
+        mean * 1e6
+    );
+}
+
+/// Group of related benchmark cases, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.config.warm_up_time = duration;
+        self
+    }
+
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.config.measurement_time = duration;
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_case(&format!("{}/{}", self.name, id), self.config, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_case(&format!("{}/{}", self.name, id), self.config, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level handle, mirroring criterion's `Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            config: Config::default(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_case(&id.to_string(), Config::default(), &mut f);
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_times_a_case() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &3u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -83,7 +83,12 @@ impl ScalarExpr {
         match self {
             ScalarExpr::Column { index, .. } => Ok(values[*index].clone()),
             ScalarExpr::Literal(v) => Ok(v.clone()),
-            ScalarExpr::Binary { op, left, right, dtype } => {
+            ScalarExpr::Binary {
+                op,
+                left,
+                right,
+                dtype,
+            } => {
                 let l = left.eval_values(values)?;
                 let r = right.eval_values(values)?;
                 eval_binary(*op, &l, &r, *dtype)
@@ -105,7 +110,9 @@ impl ScalarExpr {
                 }
             }
             ScalarExpr::Literal(v) => v.as_f64().unwrap_or(f64::NAN),
-            ScalarExpr::Binary { op, left, right, .. } => {
+            ScalarExpr::Binary {
+                op, left, right, ..
+            } => {
                 let l = left.eval_f64_record(record, schema);
                 let r = right.eval_f64_record(record, schema);
                 match op {
@@ -273,9 +280,9 @@ pub fn analyze(query: &Query, provider: &dyn SchemaProvider) -> Result<BoundQuer
     // ---- Bind tables -------------------------------------------------
     let mut tables = Vec::new();
     for tref in &query.from {
-        let schema = provider.table_schema(&tref.name).ok_or_else(|| {
-            HiqueError::Analysis(format!("unknown table '{}'", tref.name))
-        })?;
+        let schema = provider
+            .table_schema(&tref.name)
+            .ok_or_else(|| HiqueError::Analysis(format!("unknown table '{}'", tref.name)))?;
         let qualifier = tref.qualifier().to_ascii_lowercase();
         if tables.iter().any(|t: &BoundTable| t.qualifier == qualifier) {
             return Err(HiqueError::Analysis(format!(
@@ -602,12 +609,12 @@ fn binary_dtype(op: BinOp, l: DataType, r: DataType) -> Result<DataType> {
     if l == Date && matches!(op, BinOp::Add | BinOp::Sub) && matches!(r, Int32 | Int64) {
         return Ok(Date);
     }
-    if !l.is_numeric() && l != Date || !r.is_numeric() && r != Date {
-        if matches!(l, Char(_)) || matches!(r, Char(_)) {
-            return Err(HiqueError::Type(format!(
-                "arithmetic over non-numeric types {l} and {r}"
-            )));
-        }
+    if (!l.is_numeric() && l != Date || !r.is_numeric() && r != Date)
+        && (matches!(l, Char(_)) || matches!(r, Char(_)))
+    {
+        return Err(HiqueError::Type(format!(
+            "arithmetic over non-numeric types {l} and {r}"
+        )));
     }
     Ok(match (l, r) {
         (Float64, _) | (_, Float64) => Float64,
@@ -680,7 +687,8 @@ mod tests {
 
     #[test]
     fn binds_simple_projection_and_filter() {
-        let b = bind("select o_orderkey, o_totalprice from orders where o_totalprice > 100").unwrap();
+        let b =
+            bind("select o_orderkey, o_totalprice from orders where o_totalprice > 100").unwrap();
         assert_eq!(b.tables.len(), 1);
         assert_eq!(b.filters.len(), 1);
         assert!(b.joins.is_empty());
@@ -701,7 +709,12 @@ mod tests {
         assert_eq!(b.joins.len(), 1);
         assert_eq!(
             b.joins[0],
-            EquiJoin { left_table: 0, left_column: 0, right_table: 1, right_column: 0 }
+            EquiJoin {
+                left_table: 0,
+                left_column: 0,
+                right_table: 1,
+                right_column: 0
+            }
         );
         assert_eq!(b.filters.len(), 2);
         // String literal coerced to Date for the date column.
@@ -761,7 +774,9 @@ mod tests {
         assert!(bind("select x from nosuch").is_err());
         assert!(bind("select nope from orders").is_err());
         // Non-grouped column in aggregate query.
-        assert!(bind("select o_custkey, sum(o_totalprice) from orders group by o_orderkey").is_err());
+        assert!(
+            bind("select o_custkey, sum(o_totalprice) from orders group by o_orderkey").is_err()
+        );
         // Non-equi join.
         assert!(bind(
             "select o.o_orderkey from orders o, lineitem l where o.o_orderkey < l.l_orderkey"
@@ -774,7 +789,9 @@ mod tests {
         // ORDER BY something not in the output.
         assert!(bind("select o_orderkey from orders order by o_totalprice, nope").is_err());
         // Duplicate qualifier.
-        assert!(bind("select o.o_orderkey from orders o, lineitem o where o.o_orderkey = 1").is_err());
+        assert!(
+            bind("select o.o_orderkey from orders o, lineitem o where o.o_orderkey = 1").is_err()
+        );
         // String arithmetic.
         assert!(bind("select l_returnflag + 1 from lineitem").is_err());
         // Aggregates nested in scalar context of WHERE.
@@ -814,9 +831,18 @@ mod tests {
         // but constant/constant folds at bind time and errors.
         assert!(b.is_ok());
         assert!(bind("select 1 / 0 from orders").is_err());
-        assert_eq!(add_months(days_from_civil(1995, 1, 31), 1), days_from_civil(1995, 2, 28));
-        assert_eq!(add_months(days_from_civil(1995, 11, 15), 3), days_from_civil(1996, 2, 15));
-        assert_eq!(add_months(days_from_civil(1996, 1, 31), 1), days_from_civil(1996, 2, 29));
+        assert_eq!(
+            add_months(days_from_civil(1995, 1, 31), 1),
+            days_from_civil(1995, 2, 28)
+        );
+        assert_eq!(
+            add_months(days_from_civil(1995, 11, 15), 3),
+            days_from_civil(1996, 2, 15)
+        );
+        assert_eq!(
+            add_months(days_from_civil(1996, 1, 31), 1),
+            days_from_civil(1996, 2, 29)
+        );
     }
 
     #[test]
@@ -825,5 +851,62 @@ mod tests {
         assert_eq!(b.aggregates[0].dtype, DataType::Int64);
         assert!(b.is_aggregate());
         assert!(b.group_by.is_empty());
+    }
+
+    fn analysis_error(sql: &str) -> String {
+        match bind(sql) {
+            Err(HiqueError::Analysis(msg)) => msg,
+            other => panic!("{sql:?}: expected Analysis error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tables_and_columns_are_analysis_errors() {
+        assert!(analysis_error("select x from missing").contains("unknown table 'missing'"));
+        let msg = analysis_error("select nothere from orders");
+        assert!(msg.contains("nothere"), "{msg}");
+        // Unknown column inside a filter predicate.
+        let msg = analysis_error("select o_orderkey from orders where ghost > 5");
+        assert!(msg.contains("ghost"), "{msg}");
+        // Unknown column inside an aggregate argument.
+        let msg = analysis_error("select sum(ghost) from orders group by o_orderkey");
+        assert!(msg.contains("ghost"), "{msg}");
+        // Unknown qualifier: the column exists but the table reference doesn't.
+        assert!(bind("select bogus.o_orderkey from orders").is_err());
+    }
+
+    #[test]
+    fn unknown_order_and_group_columns_are_errors() {
+        assert!(bind("select o_orderkey from orders order by ghost").is_err());
+        assert!(bind("select o_orderkey from orders group by ghost").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_references_are_rejected() {
+        // Same table twice without distinct aliases is ambiguous.
+        assert!(bind("select o_orderkey from orders, orders").is_err());
+    }
+
+    #[test]
+    fn unsupported_constructs_are_flagged_as_unsupported() {
+        // Non-equi join predicate between two tables.
+        let err =
+            bind("select o.o_orderkey from orders o, lineitem l where o.o_orderkey < l.l_orderkey")
+                .unwrap_err();
+        assert!(matches!(err, HiqueError::Unsupported(_)), "{err:?}");
+        // Expressions over aggregates (explicitly outside the dialect).
+        let err = bind("select max(o_totalprice) - 1 from orders group by o_custkey").unwrap_err();
+        assert!(
+            matches!(err, HiqueError::Unsupported(_) | HiqueError::Analysis(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn type_mismatches_surface_with_both_types_named() {
+        let err = bind("select o_orderkey from orders where o_orderdate > 'not-a-date'");
+        assert!(err.is_err(), "bad date literal must not bind");
+        let err = bind("select o_orderkey + 'abc' from orders");
+        assert!(err.is_err(), "int + string must not bind");
     }
 }

@@ -273,10 +273,7 @@ mod tests {
             arg: Some(Box::new(e)),
         };
         assert!(agg.contains_aggregate());
-        assert_eq!(
-            agg.to_string(),
-            "sum((l_extendedprice * (1 - l_discount)))"
-        );
+        assert_eq!(agg.to_string(), "sum((l_extendedprice * (1 - l_discount)))");
         let count = Expr::Aggregate {
             func: AggFunc::Count,
             arg: None,

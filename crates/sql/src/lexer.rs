@@ -121,9 +121,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             c if c.is_ascii_digit() => {
                 let start = i;
                 let mut is_float = false;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     if bytes[i] == b'.' {
                         // A second dot ends the number (e.g. ranges are not
                         // in the dialect, so this is just defensive).
@@ -253,5 +251,38 @@ mod tests {
         assert_eq!(t[1], Token::Keyword(Keyword::By));
         assert_eq!(t[4], Token::Keyword(Keyword::Count));
         assert_eq!(t[6], Token::Star);
+    }
+
+    fn parse_error(sql: &str) -> String {
+        match tokenize(sql) {
+            Err(HiqueError::Parse(msg)) => msg,
+            other => panic!("{sql:?}: expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_a_parse_error() {
+        assert_eq!(
+            parse_error("select 'oops from t"),
+            "unterminated string literal"
+        );
+        // An escaped quote at the very end still leaves the literal open.
+        assert_eq!(parse_error("select 'oops''"), "unterminated string literal");
+    }
+
+    #[test]
+    fn malformed_numbers_are_parse_errors() {
+        // Out-of-range integer literals fail in the lexer; "1.2.3" lexes as
+        // Float Dot Integer and is rejected later, by the parser.
+        assert!(parse_error("select 999999999999999999999 from t").contains("invalid number"));
+        let t = tokenize("select 1.2.3 from t").unwrap();
+        assert!(t.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn stray_characters_are_parse_errors() {
+        assert_eq!(parse_error("select a ! b"), "unexpected '!'");
+        assert!(parse_error("select a ? b").contains("unexpected character"));
+        assert!(parse_error("select a # b").contains("unexpected character"));
     }
 }

@@ -20,9 +20,7 @@
 
 use hique_types::{value::parse_date, HiqueError, Result, Value};
 
-use crate::ast::{
-    AggFunc, BinOp, CmpOp, Expr, OrderItem, Predicate, Query, SelectItem, TableRef,
-};
+use crate::ast::{AggFunc, BinOp, CmpOp, Expr, OrderItem, Predicate, Query, SelectItem, TableRef};
 use crate::lexer::tokenize;
 use crate::token::{Keyword, Token};
 
@@ -269,12 +267,13 @@ impl Parser {
 
     fn parse_factor(&mut self) -> Result<Expr> {
         match self.advance() {
-            Token::Integer(v) => Ok(Expr::Literal(if v <= i32::MAX as i64 && v >= i32::MIN as i64
-            {
-                Value::Int32(v as i32)
-            } else {
-                Value::Int64(v)
-            })),
+            Token::Integer(v) => Ok(Expr::Literal(
+                if v <= i32::MAX as i64 && v >= i32::MIN as i64 {
+                    Value::Int32(v as i32)
+                } else {
+                    Value::Int64(v)
+                },
+            )),
             Token::Float(v) => Ok(Expr::Literal(Value::Float64(v))),
             Token::StringLit(s) => Ok(Expr::Literal(Value::Str(s))),
             Token::Minus => {
@@ -440,7 +439,11 @@ mod tests {
         assert_eq!(q.predicates.len(), 1);
         // The shipdate bound parses into `date - interval`.
         match &q.predicates[0].right {
-            Expr::Binary { op: BinOp::Sub, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                right,
+                ..
+            } => {
                 assert_eq!(**right, Expr::IntervalDays(90));
             }
             other => panic!("unexpected rhs: {other:?}"),
@@ -451,11 +454,17 @@ mod tests {
     fn count_star_and_count_expr() {
         let q = parse_query("select count(*), count(a) from t").unwrap();
         match &q.select[0].expr {
-            Expr::Aggregate { func: AggFunc::Count, arg } => assert!(arg.is_none()),
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                arg,
+            } => assert!(arg.is_none()),
             other => panic!("{other:?}"),
         }
         match &q.select[1].expr {
-            Expr::Aggregate { func: AggFunc::Count, arg } => assert!(arg.is_some()),
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                arg,
+            } => assert!(arg.is_some()),
             other => panic!("{other:?}"),
         }
     }
@@ -464,7 +473,11 @@ mod tests {
     fn arithmetic_precedence() {
         let q = parse_query("select a + b * c from t").unwrap();
         match &q.select[0].expr {
-            Expr::Binary { op: BinOp::Add, right, .. } => match right.as_ref() {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => match right.as_ref() {
                 Expr::Binary { op: BinOp::Mul, .. } => {}
                 other => panic!("expected mul on rhs, got {other:?}"),
             },
@@ -482,7 +495,11 @@ mod tests {
         let q = parse_query("select -5, -x from t").unwrap();
         assert_eq!(q.select[0].expr, Expr::Literal(Value::Int32(-5)));
         match &q.select[1].expr {
-            Expr::Binary { op: BinOp::Sub, left, .. } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                left,
+                ..
+            } => {
                 assert_eq!(**left, Expr::Literal(Value::Int32(0)));
             }
             other => panic!("{other:?}"),
@@ -511,10 +528,55 @@ mod tests {
 
     #[test]
     fn interval_units() {
-        let q = parse_query("select interval '2' month, interval '1' year, interval '7' day from t")
-            .unwrap();
+        let q =
+            parse_query("select interval '2' month, interval '1' year, interval '7' day from t")
+                .unwrap();
         assert_eq!(q.select[0].expr, Expr::IntervalDays(60));
         assert_eq!(q.select[1].expr, Expr::IntervalDays(365));
         assert_eq!(q.select[2].expr, Expr::IntervalDays(7));
+    }
+
+    fn parse_error(sql: &str) -> String {
+        match parse_query(sql) {
+            Err(HiqueError::Parse(msg)) => msg,
+            other => panic!("{sql:?}: expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbalanced_parens_are_parse_errors() {
+        // Missing closing paren in an arithmetic expression.
+        assert!(parse_error("select (a + 1 from t").contains("expected"));
+        // Missing closing paren around an aggregate argument.
+        assert!(parse_error("select sum(a from t").contains("expected"));
+        // A stray closing paren after a complete expression.
+        assert!(parse_query("select a) from t").is_err());
+        // Nested parens, one closer short.
+        assert!(parse_query("select ((a + 1) * 2 from t").is_err());
+    }
+
+    #[test]
+    fn missing_clauses_are_parse_errors() {
+        assert!(parse_query("select from t").is_err());
+        assert!(parse_query("select a").is_err(), "FROM list is mandatory");
+        assert!(parse_query("select a from").is_err());
+        assert!(parse_query("select a from t order by").is_err());
+        assert!(parse_query("select a from t group by").is_err());
+        assert!(parse_query("select a from t limit").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_parse_error() {
+        let msg = parse_error("select a from t limit 5 whatever");
+        assert!(
+            msg.contains("whatever") || msg.contains("expected"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn misspelled_select_is_a_parse_error() {
+        // "selec" lexes as an identifier, so the statement cannot start.
+        assert!(parse_query("selec a from t").is_err());
     }
 }

@@ -22,7 +22,7 @@ enum Node {
         /// Separator keys; child `i` holds keys < `keys[i]`, the last child
         /// holds the rest.
         keys: Vec<i64>,
-        children: Vec<Box<Node>>,
+        children: Vec<Node>,
     },
     Leaf {
         keys: Vec<i64>,
@@ -93,7 +93,7 @@ impl BPlusTree {
             );
             self.root = Node::Internal {
                 keys: vec![sep],
-                children: vec![Box::new(old_root), Box::new(right)],
+                children: vec![old_root, right],
             };
         }
     }
@@ -125,7 +125,7 @@ impl BPlusTree {
                 let split = Self::insert_rec(&mut children[child_idx], key, rid)?;
                 let (sep, right) = split;
                 keys.insert(child_idx, sep);
-                children.insert(child_idx + 1, Box::new(right));
+                children.insert(child_idx + 1, right);
                 if keys.len() <= NODE_CAPACITY {
                     return None;
                 }
@@ -259,7 +259,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut keys = Vec::new();
         for i in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 16) as i64 % 100_000;
             t.insert(key, (i as u32, 0));
             keys.push(key);

@@ -54,7 +54,9 @@ impl BufferPool {
     /// Create a pool of at most `capacity` frames over `disk`.
     pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Result<Self> {
         if capacity == 0 {
-            return Err(HiqueError::Storage("buffer pool capacity must be > 0".into()));
+            return Err(HiqueError::Storage(
+                "buffer pool capacity must be > 0".into(),
+            ));
         }
         Ok(BufferPool {
             disk,
@@ -156,9 +158,10 @@ impl BufferPool {
     /// Decrement the pin count of a previously fetched page.
     pub fn unpin(&self, page_no: usize) -> Result<()> {
         let mut s = self.state.lock();
-        let frame = s.frames.get_mut(&page_no).ok_or_else(|| {
-            HiqueError::Storage(format!("unpin of non-resident page {page_no}"))
-        })?;
+        let frame = s
+            .frames
+            .get_mut(&page_no)
+            .ok_or_else(|| HiqueError::Storage(format!("unpin of non-resident page {page_no}")))?;
         if frame.pin_count == 0 {
             return Err(HiqueError::Storage(format!(
                 "unpin of unpinned page {page_no}"
@@ -211,7 +214,10 @@ mod tests {
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("hique_buffer_test_{}_{name}.tbl", std::process::id()));
+        p.push(format!(
+            "hique_buffer_test_{}_{name}.tbl",
+            std::process::id()
+        ));
         p
     }
 

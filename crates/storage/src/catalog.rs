@@ -69,7 +69,9 @@ impl Catalog {
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
         let key = name.to_ascii_lowercase();
         if self.tables.contains_key(&key) {
-            return Err(HiqueError::Catalog(format!("table '{name}' already exists")));
+            return Err(HiqueError::Catalog(format!(
+                "table '{name}' already exists"
+            )));
         }
         let heap = TableHeap::new(schema.clone())?;
         self.tables.insert(
@@ -89,7 +91,9 @@ impl Catalog {
     pub fn register_table(&mut self, name: &str, heap: TableHeap) -> Result<()> {
         let key = name.to_ascii_lowercase();
         if self.tables.contains_key(&key) {
-            return Err(HiqueError::Catalog(format!("table '{name}' already exists")));
+            return Err(HiqueError::Catalog(format!(
+                "table '{name}' already exists"
+            )));
         }
         self.tables.insert(
             key.clone(),
@@ -277,10 +281,7 @@ mod tests {
         assert_eq!(tree.len(), 100);
         let rid = tree.get(57).unwrap();
         let rec = info.heap.record_at(rid.0 as usize, rid.1 as usize).unwrap();
-        assert_eq!(
-            read_value(rec, &info.schema, 0),
-            Value::Int32(57)
-        );
+        assert_eq!(read_value(rec, &info.schema, 0), Value::Int32(57));
         assert!(cat.create_index("t", "name").is_err());
         assert!(cat.create_index("missing", "id").is_err());
     }

@@ -80,7 +80,7 @@ impl TableHeap {
                 record.len()
             )));
         }
-        if self.pages.last().map_or(true, |p| p.is_full()) {
+        if self.pages.last().is_none_or(|p| p.is_full()) {
             self.pages.push(Page::new(ts)?);
         }
         let page = self.pages.last_mut().expect("page allocated above");
@@ -197,7 +197,8 @@ mod tests {
         let mut a = TableHeap::new(schema()).unwrap();
         let mut b = TableHeap::new(schema()).unwrap();
         a.append_row(&row(3)).unwrap();
-        b.append_values(&[Value::Int32(3), Value::Str("x".into())]).unwrap();
+        b.append_values(&[Value::Int32(3), Value::Str("x".into())])
+            .unwrap();
         assert_eq!(a.all_rows(), b.all_rows());
     }
 }

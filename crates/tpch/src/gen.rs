@@ -19,11 +19,30 @@ use crate::schema;
 
 /// The 25 TPC-H nations (name, region).
 pub const NATIONS: [(&str, i32); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
 
@@ -31,9 +50,20 @@ pub const NATIONS: [(&str, i32); 25] = [
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 /// The customer market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
-const SHIP_INSTRUCT: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
@@ -111,14 +141,20 @@ impl TpchGenerator {
         let mut heap = TableHeap::new(schema::customer())?;
         let n = self.num_customers();
         for i in 1..=n {
-            let nation = self.rng.gen_range(0..25) as i32;
+            let nation = self.rng.gen_range(0..25);
             let segment = SEGMENTS[self.rng.gen_range(0..SEGMENTS.len())];
             heap.append_row(&Row::new(vec![
                 Value::Int32(i as i32),
                 Value::Str(format!("Customer#{i:09}")),
                 Value::Str(format!("Address {i} Main Street")),
                 Value::Int32(nation),
-                Value::Str(format!("{:02}-{:03}-{:03}-{:04}", 10 + nation, i % 999, (i * 7) % 999, i % 9999)),
+                Value::Str(format!(
+                    "{:02}-{:03}-{:03}-{:04}",
+                    10 + nation,
+                    i % 999,
+                    (i * 7) % 999,
+                    i % 9999
+                )),
                 Value::Float64(self.rng.gen_range(-999.99..9999.99)),
                 Value::Str(segment.to_string()),
                 Value::Str(format!("customer comment {i}")),
@@ -131,13 +167,19 @@ impl TpchGenerator {
     pub fn supplier(&mut self) -> Result<TableHeap> {
         let mut heap = TableHeap::new(schema::supplier())?;
         for i in 1..=self.num_suppliers() {
-            let nation = self.rng.gen_range(0..25) as i32;
+            let nation = self.rng.gen_range(0..25);
             heap.append_row(&Row::new(vec![
                 Value::Int32(i as i32),
                 Value::Str(format!("Supplier#{i:09}")),
                 Value::Str(format!("Supplier address {i}")),
                 Value::Int32(nation),
-                Value::Str(format!("{:02}-{:03}-{:03}-{:04}", 10 + nation, i % 999, (i * 3) % 999, i % 9999)),
+                Value::Str(format!(
+                    "{:02}-{:03}-{:03}-{:04}",
+                    10 + nation,
+                    i % 999,
+                    (i * 3) % 999,
+                    i % 9999
+                )),
                 Value::Float64(self.rng.gen_range(-999.99..9999.99)),
                 Value::Str(format!("supplier comment {i}")),
             ]))?;
@@ -214,7 +256,9 @@ impl TpchGenerator {
                     Value::Date(shipdate),
                     Value::Date(commitdate),
                     Value::Date(receiptdate),
-                    Value::Str(SHIP_INSTRUCT[self.rng.gen_range(0..SHIP_INSTRUCT.len())].to_string()),
+                    Value::Str(
+                        SHIP_INSTRUCT[self.rng.gen_range(0..SHIP_INSTRUCT.len())].to_string(),
+                    ),
                     Value::Str(SHIP_MODE[self.rng.gen_range(0..SHIP_MODE.len())].to_string()),
                     Value::Str(format!("lineitem comment {okey} {line}")),
                 ]))?;
@@ -249,7 +293,9 @@ pub fn generate_into_catalog(sf: f64) -> Result<Catalog> {
     let (orders, lineitems) = generator.orders_and_lineitems()?;
     catalog.register_table("orders", orders)?;
     catalog.register_table("lineitem", lineitems)?;
-    for t in ["nation", "region", "customer", "supplier", "part", "orders", "lineitem"] {
+    for t in [
+        "nation", "region", "customer", "supplier", "part", "orders", "lineitem",
+    ] {
         catalog.analyze_table(t)?;
     }
     Ok(catalog)
@@ -290,7 +336,7 @@ mod tests {
         let custkey_idx = oschema.index_of("o_custkey").unwrap();
         for record in orders.heap.records().take(500) {
             let v = read_value(record, oschema, custkey_idx).as_i64().unwrap();
-            assert!(v >= 1 && v <= 300);
+            assert!((1..=300).contains(&v));
         }
         // Return flags and statuses come from the expected domains.
         let lschema = &lineitem.schema;

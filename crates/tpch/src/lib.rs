@@ -17,4 +17,4 @@ pub mod queries;
 pub mod schema;
 
 pub use gen::{generate_into_catalog, TpchGenerator};
-pub use queries::{Q1_SQL, Q10_SQL, Q3_SQL};
+pub use queries::{Q10_SQL, Q1_SQL, Q3_SQL};

@@ -119,7 +119,16 @@ mod tests {
     #[test]
     fn q1_q3_q10_columns_exist() {
         let l = lineitem();
-        for c in ["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate", "l_orderkey"] {
+        for c in [
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_shipdate",
+            "l_orderkey",
+        ] {
             assert!(l.contains(c), "{c}");
         }
         let o = orders();
@@ -127,7 +136,15 @@ mod tests {
             assert!(o.contains(c), "{c}");
         }
         let cu = customer();
-        for c in ["c_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_mktsegment", "c_nationkey"] {
+        for c in [
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_address",
+            "c_mktsegment",
+            "c_nationkey",
+        ] {
             assert!(cu.contains(c), "{c}");
         }
         assert!(nation().contains("n_name"));

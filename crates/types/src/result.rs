@@ -42,10 +42,7 @@ impl PhaseTimings {
 
     /// Duration of a named phase, if recorded.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
     /// Sum of all phases.

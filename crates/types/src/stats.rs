@@ -163,8 +163,15 @@ mod tests {
         let s = ExecStats::new();
         let out = s.to_string();
         for key in [
-            "calls=", "tuples=", "bytes=", "cmps=", "hashes=", "mat_bytes=", "part_passes=",
-            "sort_passes=", "rows_out=",
+            "calls=",
+            "tuples=",
+            "bytes=",
+            "cmps=",
+            "hashes=",
+            "mat_bytes=",
+            "part_passes=",
+            "sort_passes=",
+            "rows_out=",
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }

@@ -263,6 +263,9 @@ mod tests {
         let dst_schema = src_schema.project(&[4, 0]);
         let mut dst = vec![0u8; dst_schema.tuple_size()];
         copy_columns(&rec, &src_schema, &[4, 0], &mut dst, &dst_schema, 0);
-        assert_eq!(decode_record(&dst_schema, &dst), vec![Value::Date(4), Value::Int32(1)]);
+        assert_eq!(
+            decode_record(&dst_schema, &dst),
+            vec![Value::Date(4), Value::Int32(1)]
+        );
     }
 }

@@ -89,9 +89,8 @@ impl Value {
             (Value::Int32(v), DataType::Date) => Value::Date(*v),
             (Value::Int64(v), DataType::Int64) => Value::Int64(*v),
             (Value::Int64(v), DataType::Int32) => {
-                let narrowed = i32::try_from(*v).map_err(|_| {
-                    HiqueError::Type(format!("integer {v} out of range for int"))
-                })?;
+                let narrowed = i32::try_from(*v)
+                    .map_err(|_| HiqueError::Type(format!("integer {v} out of range for int")))?;
                 Value::Int32(narrowed)
             }
             (Value::Int64(v), DataType::Float64) => Value::Float64(*v as f64),
@@ -100,11 +99,7 @@ impl Value {
             (Value::Date(v), DataType::Int32) => Value::Int32(*v),
             (Value::Str(s), DataType::Char(_)) => Value::Str(s.clone()),
             (Value::Str(s), DataType::Date) => Value::Date(parse_date(s)?),
-            (v, ty) => {
-                return Err(HiqueError::Type(format!(
-                    "cannot coerce {v} to {ty}"
-                )))
-            }
+            (v, ty) => return Err(HiqueError::Type(format!("cannot coerce {v} to {ty}"))),
         };
         Ok(out)
     }
@@ -196,7 +191,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -274,7 +269,10 @@ mod tests {
             assert_eq!(civil_from_days(days), (y, m, d));
         }
         assert_eq!(days_from_civil(1970, 1, 1), 0);
-        assert_eq!(parse_date("1995-03-15").unwrap(), days_from_civil(1995, 3, 15));
+        assert_eq!(
+            parse_date("1995-03-15").unwrap(),
+            days_from_civil(1995, 3, 15)
+        );
         assert_eq!(format_date(parse_date("1998-12-01").unwrap()), "1998-12-01");
     }
 

@@ -27,7 +27,10 @@ fn main() -> hique::types::Result<()> {
     println!("-- physical plan ------------------------------------------------");
     println!("{}", hique::plan::explain::explain(&plan));
     let generated = hique::holistic::generate(&plan)?;
-    println!("-- generated source ({} bytes) -----------------------------------", generated.source().size_bytes());
+    println!(
+        "-- generated source ({} bytes) -----------------------------------",
+        generated.source().size_bytes()
+    );
     println!("{}", generated.source().full_text());
     Ok(())
 }

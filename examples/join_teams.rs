@@ -36,7 +36,12 @@ fn star_catalog(fact_rows: usize, dim_rows: usize, dims: usize) -> hique::types:
             ]))?;
         }
     }
-    for name in catalog.table_names().iter().map(|s| s.to_string()).collect::<Vec<_>>() {
+    for name in catalog
+        .table_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+    {
         catalog.analyze_table(&name)?;
     }
     Ok(catalog)
@@ -47,7 +52,10 @@ fn main() -> hique::types::Result<()> {
     let catalog = star_catalog(200_000, 20_000, dims)?;
     let sql = format!(
         "select fact.f_val from fact, {} where {}",
-        (0..dims).map(|d| format!("dim{d}")).collect::<Vec<_>>().join(", "),
+        (0..dims)
+            .map(|d| format!("dim{d}"))
+            .collect::<Vec<_>>()
+            .join(", "),
         (0..dims)
             .map(|d| format!("fact.f_key = dim{d}.d_key"))
             .collect::<Vec<_>>()
@@ -63,7 +71,9 @@ fn main() -> hique::types::Result<()> {
     let t = Instant::now();
     let team = generated.execute_with(
         &catalog,
-        &hique::holistic::ExecOptions { collect_rows: false },
+        &hique::holistic::ExecOptions {
+            collect_rows: false,
+        },
     )?;
     let team_time = t.elapsed();
 
@@ -79,15 +89,26 @@ fn main() -> hique::types::Result<()> {
     let t = Instant::now();
     let cascade = generated.execute_with(
         &catalog,
-        &hique::holistic::ExecOptions { collect_rows: false },
+        &hique::holistic::ExecOptions {
+            collect_rows: false,
+        },
     )?;
     let cascade_time = t.elapsed();
 
     assert_eq!(team.stats.rows_out, cascade.stats.rows_out);
-    println!("{dims}-way join over a common key, {} output tuples", team.stats.rows_out);
-    println!("  join team (fused loops)     : {:>8.2} ms, {} bytes of intermediates",
-        team_time.as_secs_f64() * 1000.0, team.stats.bytes_materialized);
-    println!("  binary cascade (materialize): {:>8.2} ms, {} bytes of intermediates",
-        cascade_time.as_secs_f64() * 1000.0, cascade.stats.bytes_materialized);
+    println!(
+        "{dims}-way join over a common key, {} output tuples",
+        team.stats.rows_out
+    );
+    println!(
+        "  join team (fused loops)     : {:>8.2} ms, {} bytes of intermediates",
+        team_time.as_secs_f64() * 1000.0,
+        team.stats.bytes_materialized
+    );
+    println!(
+        "  binary cascade (materialize): {:>8.2} ms, {} bytes of intermediates",
+        cascade_time.as_secs_f64() * 1000.0,
+        cascade.stats.bytes_materialized
+    );
     Ok(())
 }

@@ -31,19 +31,28 @@ fn main() -> hique::types::Result<()> {
     // Iterator engine (PostgreSQL-class baseline).
     let t = Instant::now();
     let iter_result = hique::iter::execute_plan(&plan, &catalog, ExecMode::Generic)?;
-    println!("generic iterators : {:>10.2} ms", t.elapsed().as_secs_f64() * 1000.0);
+    println!(
+        "generic iterators : {:>10.2} ms",
+        t.elapsed().as_secs_f64() * 1000.0
+    );
 
     // DSM column engine (MonetDB-class baseline).
     let db = DsmDatabase::from_catalog(&catalog);
     let t = Instant::now();
     let dsm_result = hique::dsm::execute_plan(&plan, &db)?;
-    println!("DSM column engine : {:>10.2} ms", t.elapsed().as_secs_f64() * 1000.0);
+    println!(
+        "DSM column engine : {:>10.2} ms",
+        t.elapsed().as_secs_f64() * 1000.0
+    );
 
     // HIQUE holistic generated code.
     let generated = hique::holistic::generate(&plan)?;
     let t = Instant::now();
     let hique_result = generated.execute(&catalog)?;
-    println!("HIQUE (holistic)  : {:>10.2} ms\n", t.elapsed().as_secs_f64() * 1000.0);
+    println!(
+        "HIQUE (holistic)  : {:>10.2} ms\n",
+        t.elapsed().as_secs_f64() * 1000.0
+    );
 
     assert_eq!(iter_result.num_rows(), hique_result.num_rows());
     assert_eq!(dsm_result.num_rows(), hique_result.num_rows());

@@ -7,12 +7,10 @@ use hique::iter::ExecMode;
 use hique::plan::{plan_query, AggAlgorithm, CatalogProvider, JoinAlgorithm, PlannerConfig};
 use hique::storage::Catalog;
 use hique::types::{Column, DataType, QueryResult, Result, Row, Schema, Value};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn build_catalog(
-    r_rows: &[(i32, f64, &str)],
-    s_rows: &[(i32, i32)],
-) -> Result<Catalog> {
+fn build_catalog(r_rows: &[(i32, f64, &str)], s_rows: &[(i32, i32)]) -> Result<Catalog> {
     let mut catalog = Catalog::new();
     catalog.create_table(
         "r",
@@ -65,7 +63,11 @@ fn run_all_engines(sql: &str, catalog: &Catalog, config: &PlannerConfig) -> Vec<
 fn assert_equivalent(results: &[QueryResult], context: &str) {
     let base = &results[0];
     for (i, other) in results.iter().enumerate().skip(1) {
-        assert_eq!(base.rows.len(), other.rows.len(), "{context}: engine {i} row count");
+        assert_eq!(
+            base.rows.len(),
+            other.rows.len(),
+            "{context}: engine {i} row count"
+        );
         for (a, b) in base.rows.iter().zip(&other.rows) {
             assert_eq!(a.len(), b.len(), "{context}: arity");
             for (va, vb) in a.values().iter().zip(b.values()) {
@@ -112,7 +114,11 @@ fn join_algorithms_agree_across_engines() {
 fn aggregation_algorithms_agree_across_engines() {
     let (r, s) = default_rows();
     let catalog = build_catalog(&r, &s).unwrap();
-    for algo in [AggAlgorithm::Sort, AggAlgorithm::HybridHashSort, AggAlgorithm::Map] {
+    for algo in [
+        AggAlgorithm::Sort,
+        AggAlgorithm::HybridHashSort,
+        AggAlgorithm::Map,
+    ] {
         let results = run_all_engines(
             "select tag, sum(v) as sv, avg(v) as av, min(v) as mn, max(v) as mx, count(*) as n \
              from r where k < 30 group by tag order by tag",
@@ -151,23 +157,31 @@ fn empty_filter_results_are_consistent() {
     assert_equivalent(&results, "empty");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Randomized data: the holistic engine agrees with the iterator engine
-    /// on a join + aggregation query for arbitrary key distributions, and
-    /// the total of per-group COUNT(*) equals the join cardinality.
-    #[test]
-    fn prop_engines_agree_on_random_data(
-        r_keys in prop::collection::vec(0i32..30, 1..200),
-        s_keys in prop::collection::vec(0i32..30, 1..100),
-    ) {
+/// Randomized data: the holistic engine agrees with the iterator engine on a
+/// join + aggregation query for arbitrary key distributions, and the total of
+/// per-group COUNT(*) equals the join cardinality. Seeded loop standing in
+/// for the original proptest harness (unavailable offline); 16 cases, same
+/// key/length distributions.
+#[test]
+fn engines_agree_on_random_data() {
+    let mut rng = SmallRng::seed_from_u64(0xc405_5e17);
+    for case in 0..16 {
+        let r_keys: Vec<i32> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(0..30i32))
+            .collect();
+        let s_keys: Vec<i32> = (0..rng.gen_range(1..100usize))
+            .map(|_| rng.gen_range(0..30i32))
+            .collect();
         let r: Vec<(i32, f64, &str)> = r_keys
             .iter()
             .enumerate()
             .map(|(i, &k)| (k, i as f64, if i % 2 == 0 { "xx" } else { "yy" }))
             .collect();
-        let s: Vec<(i32, i32)> = s_keys.iter().enumerate().map(|(i, &k)| (k, i as i32)).collect();
+        let s: Vec<(i32, i32)> = s_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as i32))
+            .collect();
         let catalog = build_catalog(&r, &s).unwrap();
         let results = run_all_engines(
             "select r.k, count(*) as n, sum(s.w) as sw from r, s where r.k = s.k \
@@ -175,7 +189,7 @@ proptest! {
             &catalog,
             &PlannerConfig::default(),
         );
-        assert_equivalent(&results, "random");
+        assert_equivalent(&results, &format!("random case {case}"));
 
         // Expected join cardinality computed naively.
         let expected: i64 = r_keys
@@ -187,32 +201,47 @@ proptest! {
             .iter()
             .map(|row| row.get(1).as_i64().unwrap())
             .sum();
-        prop_assert_eq!(expected, total);
+        assert_eq!(expected, total, "join cardinality, case {case}");
     }
+}
 
-    /// The sum of SUM(v) over all groups equals the filtered column total,
-    /// independent of the aggregation algorithm used.
-    #[test]
-    fn prop_group_sums_partition_the_total(
-        keys in prop::collection::vec(0i32..10, 1..300),
-        algo_idx in 0usize..3,
-    ) {
+/// The sum of SUM(v) over all groups equals the filtered column total,
+/// independent of the aggregation algorithm used. Seeded loop standing in
+/// for the original proptest harness; 16 cases cycling the algorithms.
+#[test]
+fn group_sums_partition_the_total() {
+    let mut rng = SmallRng::seed_from_u64(0x9a5_0bef);
+    for case in 0..16 {
+        let keys: Vec<i32> = (0..rng.gen_range(1..300usize))
+            .map(|_| rng.gen_range(0..10i32))
+            .collect();
         let r: Vec<(i32, f64, &str)> = keys
             .iter()
             .enumerate()
             .map(|(i, &k)| (k, (i % 17) as f64, "zz"))
             .collect();
         let catalog = build_catalog(&r, &[(0, 0)]).unwrap();
-        let algo = [AggAlgorithm::Sort, AggAlgorithm::HybridHashSort, AggAlgorithm::Map][algo_idx];
-        let parsed = hique::sql::parse_query(
-            "select k, sum(v) as sv from r group by k order by k",
-        ).unwrap();
+        let algo = [
+            AggAlgorithm::Sort,
+            AggAlgorithm::HybridHashSort,
+            AggAlgorithm::Map,
+        ][case % 3];
+        let parsed =
+            hique::sql::parse_query("select k, sum(v) as sv from r group by k order by k").unwrap();
         let bound = hique::sql::analyze(&parsed, &CatalogProvider::new(&catalog)).unwrap();
-        let plan = plan_query(&bound, &catalog, &PlannerConfig::default().with_agg_algorithm(algo)).unwrap();
+        let plan = plan_query(
+            &bound,
+            &catalog,
+            &PlannerConfig::default().with_agg_algorithm(algo),
+        )
+        .unwrap();
         let result = hique::holistic::execute_plan(&plan, &catalog).unwrap();
         let total: f64 = result.rows.iter().map(|r| r.get(1).as_f64().unwrap()).sum();
         let expected: f64 = r.iter().map(|(_, v, _)| *v).sum();
-        prop_assert!((total - expected).abs() < 1e-6);
-        prop_assert!(result.num_rows() <= 10);
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "case {case} ({algo:?}): {total} vs {expected}"
+        );
+        assert!(result.num_rows() <= 10);
     }
 }

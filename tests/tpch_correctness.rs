@@ -67,17 +67,27 @@ fn q1_matches_a_hand_computed_reference() {
     // (returnflag, linestatus) -> (sum_qty, sum_base, sum_disc, sum_charge, sum_disc_only, count)
     let mut groups: BTreeMap<(String, String), (f64, f64, f64, f64, f64, i64)> = BTreeMap::new();
     for record in info.heap.records() {
-        let shipdate = read_value(record, schema, idx("l_shipdate")).as_i64().unwrap() as i32;
+        let shipdate = read_value(record, schema, idx("l_shipdate"))
+            .as_i64()
+            .unwrap() as i32;
         if shipdate > cutoff {
             continue;
         }
-        let qty = read_value(record, schema, idx("l_quantity")).as_f64().unwrap();
-        let price = read_value(record, schema, idx("l_extendedprice")).as_f64().unwrap();
-        let disc = read_value(record, schema, idx("l_discount")).as_f64().unwrap();
+        let qty = read_value(record, schema, idx("l_quantity"))
+            .as_f64()
+            .unwrap();
+        let price = read_value(record, schema, idx("l_extendedprice"))
+            .as_f64()
+            .unwrap();
+        let disc = read_value(record, schema, idx("l_discount"))
+            .as_f64()
+            .unwrap();
         let tax = read_value(record, schema, idx("l_tax")).as_f64().unwrap();
         let rf = read_value(record, schema, idx("l_returnflag")).to_string();
         let ls = read_value(record, schema, idx("l_linestatus")).to_string();
-        let e = groups.entry((rf, ls)).or_insert((0.0, 0.0, 0.0, 0.0, 0.0, 0));
+        let e = groups
+            .entry((rf, ls))
+            .or_insert((0.0, 0.0, 0.0, 0.0, 0.0, 0));
         e.0 += qty;
         e.1 += price;
         e.2 += price * (1.0 - disc);
@@ -98,8 +108,16 @@ fn q1_matches_a_hand_computed_reference() {
         assert_close(row.get(4), &Value::Float64(*disc_price), "sum_disc_price");
         assert_close(row.get(5), &Value::Float64(*charge), "sum_charge");
         assert_close(row.get(6), &Value::Float64(qty / *count as f64), "avg_qty");
-        assert_close(row.get(7), &Value::Float64(base / *count as f64), "avg_price");
-        assert_close(row.get(8), &Value::Float64(disc_sum / *count as f64), "avg_disc");
+        assert_close(
+            row.get(7),
+            &Value::Float64(base / *count as f64),
+            "avg_price",
+        );
+        assert_close(
+            row.get(8),
+            &Value::Float64(disc_sum / *count as f64),
+            "avg_disc",
+        );
         assert_eq!(row.get(9), &Value::Int64(*count), "count_order");
     }
 }
@@ -118,6 +136,9 @@ fn q3_and_q10_respect_their_limits_and_ordering() {
             .iter()
             .map(|r| r.get(rev_idx).as_f64().unwrap())
             .collect();
-        assert!(revenues.windows(2).all(|w| w[0] >= w[1] - 1e-9), "revenue ordering");
+        assert!(
+            revenues.windows(2).all(|w| w[0] >= w[1] - 1e-9),
+            "revenue ordering"
+        );
     }
 }
