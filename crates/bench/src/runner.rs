@@ -93,6 +93,7 @@ pub fn run_engine(
                 catalog,
                 &ExecOptions {
                     collect_rows: materialize_output,
+                    ..ExecOptions::default()
                 },
             )?
         }

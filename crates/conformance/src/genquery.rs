@@ -361,6 +361,12 @@ fn random_config(rng: &mut SmallRng) -> PlannerConfig {
             _ => None,
         },
         enable_join_teams: rng.gen_bool(0.75),
+        // Randomizing the worker count continuously cross-checks the
+        // partition-parallel holistic paths against the serial engines: the
+        // iterator/DSM baselines ignore `threads`, so any parallel-only
+        // divergence (ordering, merge, stats-driven row counts) surfaces as
+        // a cross-engine mismatch carrying the seed.
+        threads: [1, 2, 4][rng.gen_range(0..3usize)],
         ..PlannerConfig::default()
     }
 }
@@ -593,6 +599,16 @@ mod tests {
         for i in 0..20 {
             assert_eq!(g.next_query().sql, query_for_seed(99, i, 0.002).sql);
         }
+    }
+
+    #[test]
+    fn configs_cover_every_thread_count() {
+        let mut g = QueryGenerator::new(11, 0.002);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(g.next_query().config.threads);
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 4]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! function calls, no boxed values (those appear only when the handful of
 //! result groups is converted to output rows).
 
+use hique_par::{chunk_ranges, ScopedPool};
 use hique_plan::AggregateSpec;
 use hique_sql::ast::AggFunc;
 use hique_types::{DataType, ExecStats, HiqueError, Result, Row, Schema, Value};
@@ -58,6 +59,23 @@ impl Accum {
     #[inline(always)]
     fn update_count_only(&mut self) {
         self.count += 1;
+    }
+
+    /// Fold another accumulator into this one (the combine step of the
+    /// thread-local aggregation merge).  COUNT/MIN/MAX combine exactly; SUM
+    /// (and AVG through it) re-associates the floating-point addition, which
+    /// is deterministic for a fixed chunking but may differ from the serial
+    /// accumulation order in the final bits (DESIGN.md §7).
+    #[inline(always)]
+    fn combine(&mut self, other: &Accum) {
+        self.sum += other.sum;
+        self.count += other.count;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
     }
 
     fn finish(&self, func: AggFunc, dtype: DataType) -> Value {
@@ -172,30 +190,76 @@ impl CompiledAgg {
             return out;
         }
         for p in 0..input.num_partitions() {
-            let buf = input.partition(p);
-            let n = buf.len() / ts;
-            if n == 0 {
-                continue;
-            }
-            let mut accums = vec![Accum::new(); self.funcs.len()];
-            let mut group_start = 0usize;
-            for i in 0..n {
-                let rec = &buf[i * ts..(i + 1) * ts];
-                stats.tuples_processed += 1;
-                stats.bytes_touched += ts as u64;
-                if i > group_start {
-                    let prev = &buf[(i - 1) * ts..i * ts];
-                    stats.comparisons += self.group_keys.len() as u64;
-                    if compare_keys(&self.group_keys, prev, rec) != std::cmp::Ordering::Equal {
-                        out.push(self.finish_row(self.group_values(prev), &accums));
-                        accums = vec![Accum::new(); self.funcs.len()];
-                        group_start = i;
-                    }
+            self.sort_aggregate_partition(input.partition(p), ts, stats, &mut out);
+        }
+        out
+    }
+
+    /// Linear group-boundary scan over one sorted partition, appending one
+    /// output row per group.  Groups never span partitions (hash or fine
+    /// partitioning is on a grouping attribute), so partitions aggregate
+    /// independently — the unit of work of the partition-parallel mode.
+    fn sort_aggregate_partition(
+        &self,
+        buf: &[u8],
+        ts: usize,
+        stats: &mut ExecStats,
+        out: &mut Vec<Row>,
+    ) {
+        let n = buf.len() / ts;
+        if n == 0 {
+            return;
+        }
+        let mut accums = vec![Accum::new(); self.funcs.len()];
+        let mut group_start = 0usize;
+        for i in 0..n {
+            let rec = &buf[i * ts..(i + 1) * ts];
+            stats.tuples_processed += 1;
+            stats.bytes_touched += ts as u64;
+            if i > group_start {
+                let prev = &buf[(i - 1) * ts..i * ts];
+                stats.comparisons += self.group_keys.len() as u64;
+                if compare_keys(&self.group_keys, prev, rec) != std::cmp::Ordering::Equal {
+                    out.push(self.finish_row(self.group_values(prev), &accums));
+                    accums = vec![Accum::new(); self.funcs.len()];
+                    group_start = i;
                 }
-                self.update_all(&mut accums, rec);
             }
-            let last = &buf[(n - 1) * ts..n * ts];
-            out.push(self.finish_row(self.group_values(last), &accums));
+            self.update_all(&mut accums, rec);
+        }
+        let last = &buf[(n - 1) * ts..n * ts];
+        out.push(self.finish_row(self.group_values(last), &accums));
+    }
+
+    /// [`CompiledAgg::sort_aggregate`] with the partitions divided across
+    /// `pool`.
+    ///
+    /// Each partition's groups are found and accumulated entirely by one
+    /// task and the per-partition row vectors are concatenated in partition
+    /// order, so the output — including floating-point accumulation order —
+    /// is byte-identical to the serial scan.  Global aggregates (no grouping
+    /// columns) span partitions and stay serial.
+    pub fn sort_aggregate_pooled(
+        &self,
+        input: &StagedRelation,
+        pool: &ScopedPool,
+        stats: &mut ExecStats,
+    ) -> Vec<Row> {
+        if pool.is_serial() || input.num_partitions() <= 1 || self.group_keys.is_empty() {
+            return self.sort_aggregate(input, stats);
+        }
+        stats.add_calls(1);
+        let ts = input.tuple_size();
+        let results: Vec<(Vec<Row>, ExecStats)> = pool.map(input.num_partitions(), |p| {
+            let mut local = ExecStats::new();
+            let mut rows = Vec::new();
+            self.sort_aggregate_partition(input.partition(p), ts, &mut local, &mut rows);
+            (rows, local)
+        });
+        let mut out = Vec::new();
+        for (rows, local) in results {
+            stats.merge(&local);
+            out.extend(rows);
         }
         out
     }
@@ -229,6 +293,43 @@ impl CompiledAgg {
         stats.sort_passes += staged.num_partitions() as u64;
         staged.sort_all(&self.group_keys);
         self.sort_aggregate(&staged, stats)
+    }
+
+    /// [`CompiledAgg::hybrid_aggregate`] with the scatter, the per-partition
+    /// sorts and the per-partition scans divided across `pool`.
+    ///
+    /// The scatter chunks each source partition's records in scan order and
+    /// concatenates the per-chunk buckets in chunk order, so every staged
+    /// partition holds its records in exactly the serial scatter order; the
+    /// sorts are stable and the scans partition-local, making the whole path
+    /// byte-identical to the serial kernel (including float accumulation).
+    pub fn hybrid_aggregate_pooled(
+        &self,
+        input: &StagedRelation,
+        partitions: usize,
+        pool: &ScopedPool,
+        stats: &mut ExecStats,
+    ) -> Vec<Row> {
+        if pool.is_serial() {
+            return self.hybrid_aggregate(input, partitions, stats);
+        }
+        stats.add_calls(1);
+        if self.group_keys.is_empty() {
+            return self.sort_aggregate(input, stats);
+        }
+        let first = self.group_keys[0];
+        let m = partitions.max(1);
+        let mut staged = if input.num_partitions() == m {
+            input.clone()
+        } else {
+            stats.partition_passes += 1;
+            let parts = par_scatter(input, first, m, pool, stats);
+            stats.add_materialized(parts.iter().map(|p| p.len()).sum());
+            StagedRelation::from_partitions(input.schema().clone(), parts)
+        };
+        stats.sort_passes += staged.num_partitions() as u64;
+        staged.par_sort_all(&self.group_keys, pool);
+        self.sort_aggregate_pooled(&staged, pool, stats)
     }
 
     /// Map aggregation: one value directory per grouping attribute maps each
@@ -305,6 +406,176 @@ impl CompiledAgg {
         }
         out
     }
+
+    /// [`CompiledAgg::map_aggregate`] with the directory pre-pass and the
+    /// main accumulation pass divided across `pool`.
+    ///
+    /// Workers process contiguous record chunks (deterministic chunking)
+    /// into thread-local dense aggregate arrays; the final merge combines
+    /// the arrays in chunk order with [`Accum::combine`] — the existing
+    /// serial combine logic — and keeps the lowest-index representative
+    /// record, so groups, representatives and integer aggregates match the
+    /// serial pass exactly, while SUM/AVG re-associate floating-point
+    /// addition deterministically (DESIGN.md §7).
+    pub fn map_aggregate_pooled(
+        &self,
+        input: &StagedRelation,
+        pool: &ScopedPool,
+        stats: &mut ExecStats,
+    ) -> Vec<Row> {
+        if pool.is_serial() {
+            return self.map_aggregate(input, stats);
+        }
+        stats.add_calls(1);
+        let ts = input.tuple_size();
+        let records: Vec<&[u8]> = input.records().collect();
+        let ranges = chunk_ranges(records.len(), pool.threads());
+
+        if self.group_keys.is_empty() {
+            // Single global group; empty input yields no group, matching the
+            // serial path and the iterator/DSM engines.
+            let chunks: Vec<(Vec<Accum>, u64)> = pool.map_items(&ranges, |_, range| {
+                let mut accums = vec![Accum::new(); self.funcs.len()];
+                for rec in &records[range.clone()] {
+                    self.update_all(&mut accums, rec);
+                }
+                (accums, range.len() as u64)
+            });
+            let mut accums = vec![Accum::new(); self.funcs.len()];
+            let mut any = false;
+            for (local, tuples) in &chunks {
+                stats.tuples_processed += tuples;
+                stats.bytes_touched += tuples * ts as u64;
+                any = any || *tuples > 0;
+                for (a, l) in accums.iter_mut().zip(local) {
+                    a.combine(l);
+                }
+            }
+            if any {
+                return vec![self.finish_row(Vec::new(), &accums)];
+            }
+            return Vec::new();
+        }
+
+        // Pre-pass: per-worker sorted value sets, merged into the global
+        // sorted value directory per grouping attribute (the same set — and
+        // therefore the same offsets — the serial pre-pass builds).
+        let partial_dirs: Vec<Vec<Vec<i64>>> = pool.map_items(&ranges, |_, range| {
+            let mut dirs: Vec<Vec<i64>> = vec![Vec::new(); self.group_keys.len()];
+            for rec in &records[range.clone()] {
+                for (d, k) in dirs.iter_mut().zip(&self.group_keys) {
+                    let v = k.as_i64(rec);
+                    if let Err(pos) = d.binary_search(&v) {
+                        d.insert(pos, v);
+                    }
+                }
+            }
+            dirs
+        });
+        let mut directories: Vec<Vec<i64>> = vec![Vec::new(); self.group_keys.len()];
+        for dirs in &partial_dirs {
+            for (d, partial) in directories.iter_mut().zip(dirs) {
+                for &v in partial {
+                    if let Err(pos) = d.binary_search(&v) {
+                        d.insert(pos, v);
+                    }
+                }
+            }
+        }
+        let mut multipliers = vec![1usize; self.group_keys.len()];
+        for i in (0..self.group_keys.len().saturating_sub(1)).rev() {
+            multipliers[i] = multipliers[i + 1] * directories[i + 1].len().max(1);
+        }
+        let total: usize = directories.iter().map(|d| d.len().max(1)).product();
+
+        // Main pass: thread-local dense arrays + representative indexes
+        // (global record positions), merged in chunk order.
+        type MapChunk = (Vec<Vec<Accum>>, Vec<Option<usize>>, ExecStats);
+        let chunks: Vec<MapChunk> = pool.map_items(&ranges, |_, range| {
+            let mut local = ExecStats::new();
+            let mut accums = vec![vec![Accum::new(); self.funcs.len()]; total];
+            let mut representative: Vec<Option<usize>> = vec![None; total];
+            for ri in range.clone() {
+                let rec = records[ri];
+                local.tuples_processed += 1;
+                local.bytes_touched += ts as u64;
+                let mut offset = 0usize;
+                for ((d, k), m) in directories.iter().zip(&self.group_keys).zip(&multipliers) {
+                    local.comparisons += (d.len().max(2) as f64).log2().ceil() as u64;
+                    let id = d
+                        .binary_search(&k.as_i64(rec))
+                        .expect("value present in directory");
+                    offset += id * m;
+                }
+                self.update_all(&mut accums[offset], rec);
+                if representative[offset].is_none() {
+                    representative[offset] = Some(ri);
+                }
+            }
+            (accums, representative, local)
+        });
+        let mut accums = vec![vec![Accum::new(); self.funcs.len()]; total];
+        let mut representative: Vec<Option<usize>> = vec![None; total];
+        for (local_accums, local_rep, local_stats) in &chunks {
+            stats.merge(local_stats);
+            for (merged, local) in accums.iter_mut().zip(local_accums) {
+                for (a, l) in merged.iter_mut().zip(local) {
+                    a.combine(l);
+                }
+            }
+            for (merged, local) in representative.iter_mut().zip(local_rep) {
+                if merged.is_none() {
+                    *merged = *local;
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        for (offset, rep) in representative.iter().enumerate() {
+            if let Some(ri) = rep {
+                out.push(self.finish_row(self.group_values(records[*ri]), &accums[offset]));
+            }
+        }
+        out
+    }
+}
+
+/// Hash-scatter `rel`'s records into `m` buckets across `pool`,
+/// reproducing the serial scatter order: tasks are (partition, record
+/// range) chunks in partition-major scan order and each bucket
+/// concatenates the per-task buckets in that order.
+fn par_scatter(
+    rel: &StagedRelation,
+    key: CompiledKey,
+    m: usize,
+    pool: &ScopedPool,
+    stats: &mut ExecStats,
+) -> Vec<Vec<u8>> {
+    let ts = rel.tuple_size();
+    let mut tasks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    for p in 0..rel.num_partitions() {
+        for range in chunk_ranges(rel.partition_len(p), pool.threads()) {
+            tasks.push((p, range));
+        }
+    }
+    let locals: Vec<(Vec<Vec<u8>>, u64)> = pool.map_items(&tasks, |_, (p, range)| {
+        let buf = &rel.partition(*p)[range.start * ts..range.end * ts];
+        let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
+        let mut hashes = 0u64;
+        for rec in buf.chunks_exact(ts) {
+            hashes += 1;
+            parts[(key.hash(rec) as usize) % m].extend_from_slice(rec);
+        }
+        (parts, hashes)
+    });
+    let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
+    for (local_parts, hashes) in &locals {
+        stats.add_hashes(*hashes);
+        for (bucket, local) in parts.iter_mut().zip(local_parts) {
+            bucket.extend_from_slice(local);
+        }
+    }
+    parts
 }
 
 #[cfg(test)]
@@ -452,6 +723,130 @@ mod tests {
         assert!(compiled.sort_aggregate(&input, &mut stats).is_empty());
         assert!(compiled.hybrid_aggregate(&input, 4, &mut stats).is_empty());
         assert!(compiled.map_aggregate(&input, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn pooled_aggregation_matches_serial_for_every_algorithm() {
+        let input = relation(1000);
+        let compiled = CompiledAgg::compile(&spec(), input.schema()).unwrap();
+        let group_keys = [
+            CompiledKey::compile(input.schema(), 0),
+            CompiledKey::compile(input.schema(), 1),
+        ];
+        for threads in [2, 4, 16] {
+            let pool = ScopedPool::new(threads);
+
+            // Sort aggregation over a partitioned, per-partition-sorted
+            // input: partitions aggregate independently, so the pooled scan
+            // must be bit-identical, stats included.
+            let mut staged = {
+                let mut s = ExecStats::new();
+                let parts =
+                    super::par_scatter(&input, group_keys[0], 8, &ScopedPool::serial(), &mut s);
+                StagedRelation::from_partitions(input.schema().clone(), parts)
+            };
+            staged.sort_all(&group_keys);
+            let mut s1 = ExecStats::new();
+            let serial_rows = compiled.sort_aggregate(&staged, &mut s1);
+            let mut s2 = ExecStats::new();
+            let pooled_rows = compiled.sort_aggregate_pooled(&staged, &pool, &mut s2);
+            assert_eq!(pooled_rows, serial_rows, "sort threads={threads}");
+            assert_eq!(s1, s2, "sort stats threads={threads}");
+
+            // Hybrid: scatter + sort + scan are all order-preserving, so the
+            // whole pooled path is bit-identical too.
+            let mut h1 = ExecStats::new();
+            let serial_hybrid = compiled.hybrid_aggregate(&input, 16, &mut h1);
+            let mut h2 = ExecStats::new();
+            let pooled_hybrid = compiled.hybrid_aggregate_pooled(&input, 16, &pool, &mut h2);
+            assert_eq!(pooled_hybrid, serial_hybrid, "hybrid threads={threads}");
+            assert_eq!(h1, h2, "hybrid stats threads={threads}");
+
+            // Map: thread-local arrays merged with the combine logic. The
+            // test values are integer-valued floats, so even the SUM/AVG
+            // accumulators match exactly here.
+            let mut m1 = ExecStats::new();
+            let serial_map = compiled.map_aggregate(&input, &mut m1);
+            let mut m2 = ExecStats::new();
+            let pooled_map = compiled.map_aggregate_pooled(&input, &pool, &mut m2);
+            assert_eq!(pooled_map, serial_map, "map threads={threads}");
+            assert_eq!(m1, m2, "map stats threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_aggregation_with_more_threads_than_groups() {
+        // 2 groups (g2 only), 16 threads: the merge must not invent or drop
+        // groups when most thread-locals stay empty.
+        let input = relation(500);
+        let mut s = spec();
+        s.group_columns = vec![1];
+        s.group_domain_sizes = vec![2];
+        let compiled = CompiledAgg::compile(&s, input.schema()).unwrap();
+        let pool = ScopedPool::new(16);
+        let mut st = ExecStats::new();
+        let serial = normalized(compiled.map_aggregate(&input, &mut ExecStats::new()));
+        let pooled = normalized(compiled.map_aggregate_pooled(&input, &pool, &mut st));
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled, serial);
+        let hybrid = normalized(compiled.hybrid_aggregate_pooled(&input, 8, &pool, &mut st));
+        assert_eq!(hybrid, serial);
+    }
+
+    #[test]
+    fn pooled_aggregation_skewed_into_one_group() {
+        // Every record in one group: a single partition/offset receives all
+        // updates from every worker.
+        let rows: Vec<Row> = (0..600)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32(1),
+                    Value::Str("A".into()),
+                    Value::Float64((i % 10) as f64),
+                ])
+            })
+            .collect();
+        let input = StagedRelation::from_rows(schema(), &rows).unwrap();
+        let compiled = CompiledAgg::compile(&spec(), input.schema()).unwrap();
+        let pool = ScopedPool::new(4);
+        let serial = compiled.map_aggregate(&input, &mut ExecStats::new());
+        let pooled = compiled.map_aggregate_pooled(&input, &pool, &mut ExecStats::new());
+        assert_eq!(pooled, serial);
+        assert_eq!(pooled.len(), 1);
+        assert_eq!(pooled[0].get(3), &Value::Int64(600));
+        let hybrid = compiled.hybrid_aggregate_pooled(&input, 8, &pool, &mut ExecStats::new());
+        assert_eq!(hybrid, serial);
+    }
+
+    #[test]
+    fn pooled_global_aggregate_over_empty_input_returns_no_rows() {
+        // The PR-1 bug class × N threads: a global aggregate over zero rows
+        // must produce zero rows on every path and every pool width.
+        let input = StagedRelation::new(schema());
+        let mut s = spec();
+        s.group_columns = vec![];
+        s.group_domain_sizes = vec![];
+        let compiled = CompiledAgg::compile(&s, input.schema()).unwrap();
+        for threads in [2, 4, 16] {
+            let pool = ScopedPool::new(threads);
+            let mut stats = ExecStats::new();
+            assert!(compiled
+                .map_aggregate_pooled(&input, &pool, &mut stats)
+                .is_empty());
+            assert!(compiled
+                .hybrid_aggregate_pooled(&input, 4, &pool, &mut stats)
+                .is_empty());
+            assert!(compiled
+                .sort_aggregate_pooled(&input, &pool, &mut stats)
+                .is_empty());
+        }
+        // And a non-empty global aggregate still yields exactly one row.
+        let filled = relation(100);
+        let compiled = CompiledAgg::compile(&s, filled.schema()).unwrap();
+        let pool = ScopedPool::new(4);
+        let rows = compiled.map_aggregate_pooled(&filled, &pool, &mut ExecStats::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(1), &Value::Int64(100));
     }
 
     #[test]

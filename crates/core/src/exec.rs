@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use hique_par::{chunk_ranges, ScopedPool};
 use hique_plan::{AggAlgorithm, JoinAlgorithm, StagingStrategy};
 use hique_storage::Catalog;
 use hique_types::{
@@ -15,10 +16,12 @@ use hique_types::{
 };
 
 use crate::generator::{GeneratedQuery, OutputKernel};
-use crate::join::{fine_partition_join, hybrid_join, merge_join, team_join};
+use crate::join::{
+    fine_partition_join_pooled, hybrid_join_pooled, merge_join_pooled, team_join, JoinSink,
+};
 use crate::kernel::CompiledKey;
 use crate::relation::StagedRelation;
-use crate::staging::{stage_table, StagedInput};
+use crate::staging::{stage_table_pooled, StagedInput};
 
 /// Execution options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,11 +32,19 @@ pub struct ExecOptions {
     /// micro-benchmarks.  Aggregate results (a handful of groups) are always
     /// materialized.
     pub collect_rows: bool,
+    /// Worker threads for partition-parallel execution; `0` inherits the
+    /// plan's configured count ([`hique_plan::PlannerConfig::threads`]).
+    /// Every thread count produces the same result for every query
+    /// (DESIGN.md §7).
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { collect_rows: true }
+        ExecOptions {
+            collect_rows: true,
+            threads: 0,
+        }
     }
 }
 
@@ -46,30 +57,36 @@ enum OutputSink<'a> {
     Count(u64),
 }
 
+/// Decode one output record through the output kernels (non-aggregate
+/// queries).
+fn decode_output_row(kernels: &[OutputKernel], record: &[u8]) -> Row {
+    let values: Vec<Value> = kernels
+        .iter()
+        .map(|k| match k {
+            OutputKernel::Column(key) => key.value(record),
+            OutputKernel::Expr(expr, dtype) => {
+                let v = expr.eval(record);
+                match dtype {
+                    hique_types::DataType::Int32 => Value::Int32(v as i32),
+                    hique_types::DataType::Int64 => Value::Int64(v as i64),
+                    hique_types::DataType::Date => Value::Date(v as i32),
+                    _ => Value::Float64(v),
+                }
+            }
+            OutputKernel::GroupPosition(_) | OutputKernel::AggregatePosition(_) => {
+                unreachable!("aggregate kernels in a non-aggregate sink")
+            }
+        })
+        .collect();
+    Row::new(values)
+}
+
 impl OutputSink<'_> {
     #[inline]
     fn consume(&mut self, record: &[u8]) {
         match self {
             OutputSink::Collect { kernels, rows } => {
-                let values: Vec<Value> = kernels
-                    .iter()
-                    .map(|k| match k {
-                        OutputKernel::Column(key) => key.value(record),
-                        OutputKernel::Expr(expr, dtype) => {
-                            let v = expr.eval(record);
-                            match dtype {
-                                hique_types::DataType::Int32 => Value::Int32(v as i32),
-                                hique_types::DataType::Int64 => Value::Int64(v as i64),
-                                hique_types::DataType::Date => Value::Date(v as i32),
-                                _ => Value::Float64(v),
-                            }
-                        }
-                        OutputKernel::GroupPosition(_) | OutputKernel::AggregatePosition(_) => {
-                            unreachable!("aggregate kernels in a non-aggregate sink")
-                        }
-                    })
-                    .collect();
-                rows.push(Row::new(values));
+                rows.push(decode_output_row(kernels, record));
             }
             OutputSink::Count(n) => *n += 1,
         }
@@ -85,13 +102,25 @@ pub fn execute(
     let plan = &generated.plan;
     let mut stats = ExecStats::new();
     let mut timings = PhaseTimings::new();
+    // Partition-parallel execution: `options.threads` overrides the plan's
+    // configured worker count; both default to 1 (serial).
+    let pool = ScopedPool::new(if options.threads == 0 {
+        plan.threads
+    } else {
+        options.threads
+    });
 
     // ---- Staging -----------------------------------------------------------
     let t0 = Instant::now();
     let mut staged: Vec<Option<StagedInput>> = (0..plan.staged.len()).map(|_| None).collect();
     for &t in &plan.join_order {
         let info = catalog.table(&plan.staged[t].table_name)?;
-        staged[t] = Some(stage_table(&info.heap, &plan.staged[t], &mut stats)?);
+        staged[t] = Some(stage_table_pooled(
+            &info.heap,
+            &plan.staged[t],
+            &mut stats,
+            &pool,
+        )?);
     }
     timings.record("staging", t0.elapsed());
 
@@ -163,6 +192,12 @@ pub fn execute(
 
             let mut out = StagedRelation::new(out_schema.clone());
             let mut buf = vec![0u8; out_schema.tuple_size()];
+            // When the final join streams into a counting sink, hand the
+            // kernels a counting sink directly: workers count locally with
+            // nothing materialized or replayed (the paper's micro-benchmark
+            // methodology).
+            let count_final = stream_this && matches!(sink, OutputSink::Count(_));
+            let mut counted: u64 = 0;
             {
                 let mut consume = |lrec: &[u8], rrec: &[u8]| {
                     buf[..lrec.len()].copy_from_slice(lrec);
@@ -173,31 +208,38 @@ pub fn execute(
                         out.push(&buf);
                     }
                 };
+                let mut join_sink = if count_final {
+                    JoinSink::Count(&mut counted)
+                } else {
+                    JoinSink::Pairs(&mut consume)
+                };
                 match step.algorithm {
                     JoinAlgorithm::Merge => {
                         let mut left_rel = current.relation;
                         if sorted_on != Some(step.left_key) {
                             left_rel.flatten();
                             stats.sort_passes += 1;
-                            left_rel.sort_all(&[left_key]);
+                            left_rel.par_sort_all(&[left_key], &pool);
                         }
-                        merge_join(
+                        merge_join_pooled(
                             &left_rel,
                             &right.relation,
                             left_key,
                             right_key,
+                            &pool,
                             &mut stats,
-                            &mut consume,
+                            &mut join_sink,
                         );
                     }
                     JoinAlgorithm::Partition => {
-                        fine_partition_join(
+                        fine_partition_join_pooled(
                             &current,
                             &right,
                             left_key,
                             right_key,
+                            &pool,
                             &mut stats,
-                            &mut consume,
+                            &mut join_sink,
                         );
                     }
                     JoinAlgorithm::HybridHashSortMerge => {
@@ -208,14 +250,15 @@ pub fn execute(
                         };
                         let mut left_rel = current.relation;
                         let mut right_rel = right.relation;
-                        hybrid_join(
+                        hybrid_join_pooled(
                             &mut left_rel,
                             &mut right_rel,
                             left_key,
                             right_key,
                             partitions,
+                            &pool,
                             &mut stats,
-                            &mut consume,
+                            &mut join_sink,
                         );
                     }
                     JoinAlgorithm::NestedLoops => {
@@ -223,6 +266,11 @@ pub fn execute(
                             "nested-loops cross products are not generated".into(),
                         ))
                     }
+                }
+            }
+            if count_final {
+                if let OutputSink::Count(n) = &mut sink {
+                    *n += counted;
                 }
             }
             if !stream_this {
@@ -262,13 +310,13 @@ pub fn execute(
             .map(|&c| CompiledKey::compile(&plan.joined_schema, c))
             .collect();
         let group_rows = match spec.algorithm {
-            AggAlgorithm::Map => compiled.map_aggregate(&input.relation, &mut stats),
+            AggAlgorithm::Map => compiled.map_aggregate_pooled(&input.relation, &pool, &mut stats),
             AggAlgorithm::HybridHashSort => {
                 let partitions = input
                     .relation
                     .num_partitions()
                     .max((input.relation.data_bytes() / (1 << 20)).next_power_of_two());
-                compiled.hybrid_aggregate(&input.relation, partitions, &mut stats)
+                compiled.hybrid_aggregate_pooled(&input.relation, partitions, &pool, &mut stats)
             }
             AggAlgorithm::Sort => {
                 // Sort the input on the grouping columns unless staging
@@ -279,13 +327,13 @@ pub fn execute(
                         StagingStrategy::Sort { key_columns } if *key_columns == spec.group_columns
                     );
                 if already_sorted {
-                    compiled.sort_aggregate(&input.relation, &mut stats)
+                    compiled.sort_aggregate_pooled(&input.relation, &pool, &mut stats)
                 } else {
                     let mut rel = input.relation;
                     rel.flatten();
                     stats.sort_passes += 1;
-                    rel.sort_all(&group_keys);
-                    compiled.sort_aggregate(&rel, &mut stats)
+                    rel.par_sort_all(&group_keys, &pool);
+                    compiled.sort_aggregate_pooled(&rel, &pool, &mut stats)
                 }
             }
         };
@@ -308,8 +356,26 @@ pub fn execute(
         // Non-aggregate single-table (or materialized) result: run the
         // output kernels over every record.
         let t3 = Instant::now();
-        for rec in input.relation.records() {
-            sink.consume(rec);
+        match &mut sink {
+            OutputSink::Collect { kernels, rows } if !pool.is_serial() => {
+                // Decode record chunks in parallel, appended in chunk order
+                // (= serial record order).
+                let records: Vec<&[u8]> = input.relation.records().collect();
+                let ranges = chunk_ranges(records.len(), pool.threads());
+                for chunk in pool.map_items(&ranges, |_, range| {
+                    records[range.clone()]
+                        .iter()
+                        .map(|rec| decode_output_row(kernels, rec))
+                        .collect::<Vec<Row>>()
+                }) {
+                    rows.extend(chunk);
+                }
+            }
+            _ => {
+                for rec in input.relation.records() {
+                    sink.consume(rec);
+                }
+            }
         }
         timings.record("output", t3.elapsed());
     }
@@ -504,6 +570,7 @@ mod tests {
                 &cat,
                 &ExecOptions {
                     collect_rows: false,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();
@@ -512,6 +579,76 @@ mod tests {
         assert_eq!(counted.stats.rows_out, collected.num_rows() as u64);
         // 200 r-rows, each matching 2 s-rows.
         assert_eq!(counted.stats.rows_out, 400);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_on_every_query_shape() {
+        let cat = catalog();
+        let queries = [
+            // Scan/filter/project with ordered output.
+            "select v, tag from r where k = 3 and v < 100 order by v",
+            // Sorted staging + merge join + grouped aggregation.
+            "select r.k, sum(r.v) as sv, count(*) as n from r, s \
+             where r.k = s.k group by r.k order by r.k",
+            // Three-way join (team and cascade both covered via config).
+            "select r.v, s.w, u.z from r, s, u \
+             where r.k = s.k and r.k = u.k order by r.v, s.w limit 11",
+            // Global aggregate.
+            "select count(*) as n, max(v) as mx from r where tag = 'ev'",
+            // Empty result set.
+            "select v from r where k > 9999 order by v",
+        ];
+        let mut configs = vec![PlannerConfig::default().with_join_teams(false)];
+        for join in [
+            JoinAlgorithm::Merge,
+            JoinAlgorithm::Partition,
+            JoinAlgorithm::HybridHashSortMerge,
+        ] {
+            configs.push(PlannerConfig::default().with_join_algorithm(join));
+        }
+        for agg in [
+            AggAlgorithm::Sort,
+            AggAlgorithm::HybridHashSort,
+            AggAlgorithm::Map,
+        ] {
+            configs.push(PlannerConfig::default().with_agg_algorithm(agg));
+        }
+        for sql in queries {
+            for config in &configs {
+                let serial = run(sql, &cat, config);
+                for threads in [2, 4] {
+                    let par = run(sql, &cat, &config.clone().with_threads(threads));
+                    assert_eq!(par.rows, serial.rows, "{sql} / {config:?} x{threads}");
+                    // Per-worker counters sum exactly to the serial counts
+                    // (rows_out included).
+                    assert_eq!(par.stats, serial.stats, "{sql} / {config:?} x{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exec_options_threads_override_the_plan() {
+        let cat = catalog();
+        let q = hique_sql::parse_query("select r.v, s.w from r, s where r.k = s.k").unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        let plan = plan_query(&bound, &cat, &PlannerConfig::default().with_threads(4)).unwrap();
+        assert_eq!(plan.threads, 4);
+        let generated = generate(&plan).unwrap();
+        // Inherit the plan's 4 workers, then override back down to 1: both
+        // must agree with each other.
+        let inherited = generated.execute(&cat).unwrap();
+        let overridden = generated
+            .execute_with(
+                &cat,
+                &ExecOptions {
+                    threads: 1,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(inherited.rows, overridden.rows);
+        assert_eq!(inherited.stats, overridden.stats);
     }
 
     #[test]

@@ -10,11 +10,101 @@
 
 use std::collections::BTreeMap;
 
+use hique_par::ScopedPool;
 use hique_types::ExecStats;
 
 use crate::kernel::CompiledKey;
 use crate::relation::StagedRelation;
 use crate::staging::StagedInput;
+
+/// Where a parallel join kernel sends its matches.
+pub enum JoinSink<'a> {
+    /// Stream every match pair, in the serial kernel's match order.
+    Pairs(&'a mut dyn FnMut(&[u8], &[u8])),
+    /// Count matches without materializing them — the paper's
+    /// micro-benchmark methodology ("we did not materialize the output").
+    /// Workers count locally and the counts are summed, so the final join of
+    /// a count-only query has no serial replay stage.
+    Count(&'a mut u64),
+}
+
+/// The per-task output matching a [`JoinSink`] mode.
+enum TaskMatches {
+    Pairs(Vec<u8>),
+    Count(u64),
+}
+
+/// Run `tasks` pair-producing join tasks across `pool` and deliver their
+/// matches to `sink` in task order.
+///
+/// `task` receives (task index, per-match emit callback, local stats).  In
+/// `Pairs` mode each task buffers its matches as packed `lts + rts`-byte
+/// records which are replayed in task order afterwards, so the consumer sees
+/// exactly the serial kernel's match sequence and a streaming sink or
+/// materialized intermediate is byte-identical for any pool width.  In
+/// `Count` mode tasks count locally and the counts are summed in task order.
+///
+/// The `Pairs` buffering bounds peak memory by the join's total output
+/// size: every consumer of a pooled join either materializes that output
+/// anyway (intermediate relations, collected result rows) — so the
+/// parallel mode at most doubles the output's footprint transiently — or
+/// is counting, which takes the `Count` path and buffers nothing.
+fn run_join_tasks(
+    tasks: usize,
+    lts: usize,
+    rts: usize,
+    pool: &ScopedPool,
+    stats: &mut ExecStats,
+    sink: &mut JoinSink,
+    task: impl Fn(usize, &mut dyn FnMut(&[u8], &[u8]), &mut ExecStats) + Sync,
+) {
+    let counting = matches!(sink, JoinSink::Count(_));
+    let results: Vec<(TaskMatches, ExecStats)> = pool.map(tasks, |p| {
+        let mut local = ExecStats::new();
+        let out = if counting {
+            let mut n = 0u64;
+            task(p, &mut |_, _| n += 1, &mut local);
+            TaskMatches::Count(n)
+        } else {
+            let mut buf: Vec<u8> = Vec::new();
+            task(
+                p,
+                &mut |l, r| {
+                    buf.extend_from_slice(l);
+                    buf.extend_from_slice(r);
+                },
+                &mut local,
+            );
+            TaskMatches::Pairs(buf)
+        };
+        (out, local)
+    });
+    for (matches, local) in &results {
+        stats.merge(local);
+        match (matches, &mut *sink) {
+            (TaskMatches::Pairs(buf), JoinSink::Pairs(consumer)) => {
+                for pair in buf.chunks_exact(lts + rts) {
+                    consumer(&pair[..lts], &pair[lts..]);
+                }
+            }
+            (TaskMatches::Count(n), JoinSink::Count(total)) => **total += n,
+            _ => unreachable!("task output mode follows the sink mode"),
+        }
+    }
+}
+
+/// Dispatch a serial join kernel into a [`JoinSink`] (the pooled kernels'
+/// single-thread fallback).
+fn serial_into_sink(sink: &mut JoinSink, run: impl FnOnce(&mut dyn FnMut(&[u8], &[u8]))) {
+    match sink {
+        JoinSink::Pairs(consumer) => run(consumer),
+        JoinSink::Count(total) => {
+            let mut n = 0u64;
+            run(&mut |_, _| n += 1);
+            **total += n;
+        }
+    }
+}
 
 /// Merge join over two relations sorted on their join keys (each flattened
 /// to a single partition).  `consumer` receives (left record, right record)
@@ -50,6 +140,43 @@ pub fn merge_join(
             consumer,
         );
     }
+}
+
+/// [`merge_join`] with the partition pairs divided across `pool`.
+///
+/// Each pair is merged independently with local counters; matches reach
+/// `sink` in partition order, so both the match sequence and the summed
+/// [`ExecStats`] equal the serial kernel's.
+pub fn merge_join_pooled(
+    left: &StagedRelation,
+    right: &StagedRelation,
+    left_key: CompiledKey,
+    right_key: CompiledKey,
+    pool: &ScopedPool,
+    stats: &mut ExecStats,
+    sink: &mut JoinSink,
+) {
+    let parts = left.num_partitions().max(right.num_partitions());
+    if pool.is_serial() || parts <= 1 {
+        return serial_into_sink(sink, |consumer| {
+            merge_join(left, right, left_key, right_key, stats, consumer)
+        });
+    }
+    stats.add_calls(1);
+    let (lts, rts) = (left.tuple_size(), right.tuple_size());
+    run_join_tasks(parts, lts, rts, pool, stats, sink, |p, emit, local| {
+        let lbuf = if p < left.num_partitions() {
+            left.partition(p)
+        } else {
+            &[]
+        };
+        let rbuf = if p < right.num_partitions() {
+            right.partition(p)
+        } else {
+            &[]
+        };
+        merge_buffers(lbuf, lts, rbuf, rts, left_key, right_key, local, emit);
+    });
 }
 
 /// Merge two sorted packed buffers (the inner loops of the template, with
@@ -169,6 +296,61 @@ pub fn hybrid_join(
     }
 }
 
+/// [`hybrid_join`] with the per-partition sorts and the partition-pair
+/// merges divided across `pool`.
+///
+/// Repartitioning (only needed when an input's staged partition count does
+/// not match) stays serial — it is a single memcpy-bound scatter pass — so
+/// its counters and partition contents are trivially identical to the
+/// serial kernel's.
+#[allow(clippy::too_many_arguments)]
+pub fn hybrid_join_pooled(
+    left: &mut StagedRelation,
+    right: &mut StagedRelation,
+    left_key: CompiledKey,
+    right_key: CompiledKey,
+    partitions: usize,
+    pool: &ScopedPool,
+    stats: &mut ExecStats,
+    sink: &mut JoinSink,
+) {
+    if pool.is_serial() {
+        return serial_into_sink(sink, |consumer| {
+            hybrid_join(
+                left, right, left_key, right_key, partitions, stats, consumer,
+            )
+        });
+    }
+    stats.add_calls(1);
+    let m = partitions
+        .max(left.num_partitions())
+        .max(right.num_partitions())
+        .max(1);
+    if left.num_partitions() != m {
+        repartition(left, left_key, m, stats);
+    }
+    if right.num_partitions() != m {
+        repartition(right, right_key, m, stats);
+    }
+    stats.sort_passes += (2 * m) as u64;
+    left.par_sort_all(&[left_key], pool);
+    right.par_sort_all(&[right_key], pool);
+    let (lts, rts) = (left.tuple_size(), right.tuple_size());
+    let (left, right) = (&*left, &*right);
+    run_join_tasks(m, lts, rts, pool, stats, sink, |p, emit, local| {
+        merge_buffers(
+            left.partition(p),
+            lts,
+            right.partition(p),
+            rts,
+            left_key,
+            right_key,
+            local,
+            emit,
+        );
+    });
+}
+
 /// Re-partition a relation by hash of `key` into `m` partitions.
 fn repartition(rel: &mut StagedRelation, key: CompiledKey, m: usize, stats: &mut ExecStats) {
     stats.partition_passes += 1;
@@ -219,6 +401,63 @@ pub fn fine_partition_join(
             }
         }
     }
+}
+
+/// [`fine_partition_join`] with the matched partition pairs divided across
+/// `pool`.
+///
+/// The directories are ordered maps, so the matched (key → partition pair)
+/// list is in key order; cross-joining each pair into a local buffer and
+/// replaying in that order reproduces the serial match sequence exactly.
+pub fn fine_partition_join_pooled(
+    left: &StagedInput,
+    right: &StagedInput,
+    left_key: CompiledKey,
+    right_key: CompiledKey,
+    pool: &ScopedPool,
+    stats: &mut ExecStats,
+    sink: &mut JoinSink,
+) {
+    if pool.is_serial() {
+        return serial_into_sink(sink, |consumer| {
+            fine_partition_join(left, right, left_key, right_key, stats, consumer)
+        });
+    }
+    stats.add_calls(1);
+    let left_dir = fine_directory_of(left, left_key, stats);
+    let right_dir = fine_directory_of(right, right_key, stats);
+    let (lts, rts) = (left.relation.tuple_size(), right.relation.tuple_size());
+    let pairs: Vec<(usize, usize)> = left_dir
+        .0
+        .iter()
+        .filter_map(|(key, &lp)| right_dir.0.get(key).map(|&rp| (lp, rp)))
+        .collect();
+    run_join_tasks(
+        pairs.len(),
+        lts,
+        rts,
+        pool,
+        stats,
+        sink,
+        |i, emit, local| {
+            let (lp, rp) = pairs[i];
+            let lbuf = left_dir
+                .1
+                .as_ref()
+                .map_or_else(|| left.relation.partition(lp), |v| v[lp].as_slice());
+            let rbuf = right_dir
+                .1
+                .as_ref()
+                .map_or_else(|| right.relation.partition(rp), |v| v[rp].as_slice());
+            local.tuples_processed += (lbuf.len() / lts + rbuf.len() / rts) as u64;
+            local.bytes_touched += (lbuf.len() + rbuf.len()) as u64;
+            for lrec in lbuf.chunks_exact(lts) {
+                for rrec in rbuf.chunks_exact(rts) {
+                    emit(lrec, rrec);
+                }
+            }
+        },
+    );
 }
 
 /// The fine directory of a staged input, building one on the fly (plus the
@@ -492,6 +731,173 @@ mod tests {
         let mut count = 0usize;
         fine_partition_join(&left, &right, lk, rk, &mut stats, &mut |_, _| count += 1);
         assert_eq!(count, expected_pairs(&lkeys, &rkeys));
+    }
+
+    /// Collect a join's match sequence as (left bytes, right bytes) pairs.
+    fn pair_trace(f: impl FnOnce(&mut dyn FnMut(&[u8], &[u8]))) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut trace = Vec::new();
+        let mut consumer = |l: &[u8], r: &[u8]| trace.push((l.to_vec(), r.to_vec()));
+        f(&mut consumer);
+        trace
+    }
+
+    #[test]
+    fn pooled_merge_join_replays_the_serial_match_sequence() {
+        let lkeys: Vec<i32> = (0..300).map(|i| (i * 3) % 31).collect();
+        let rkeys: Vec<i32> = (0..200).map(|i| (i * 5) % 29).collect();
+        // Partitioned inputs: hash-partition both sides the same way, sort
+        // each partition, so partition pairs merge independently.
+        let mut left = relation("l", &lkeys);
+        let mut right = relation("r", &rkeys);
+        let lk = CompiledKey::compile(left.schema(), 0);
+        let rk = CompiledKey::compile(right.schema(), 0);
+        let mut setup = ExecStats::new();
+        repartition(&mut left, lk, 8, &mut setup);
+        repartition(&mut right, rk, 8, &mut setup);
+        left.sort_all(&[lk]);
+        right.sort_all(&[rk]);
+
+        let mut serial_stats = ExecStats::new();
+        let serial = pair_trace(|c| merge_join(&left, &right, lk, rk, &mut serial_stats, c));
+        for threads in [2, 4, 7] {
+            let pool = ScopedPool::new(threads);
+            let mut par_stats = ExecStats::new();
+            let par = pair_trace(|c| {
+                merge_join_pooled(
+                    &left,
+                    &right,
+                    lk,
+                    rk,
+                    &pool,
+                    &mut par_stats,
+                    &mut JoinSink::Pairs(c),
+                )
+            });
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(par_stats, serial_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_hybrid_join_matches_serial_including_stats() {
+        let lkeys: Vec<i32> = (0..400).map(|i| i % 37).collect();
+        let rkeys: Vec<i32> = (0..150).map(|i| (i * 5) % 41).collect();
+        let lk = CompiledKey::compile(relation("l", &lkeys).schema(), 0);
+        let rk = CompiledKey::compile(relation("r", &rkeys).schema(), 0);
+        let mut serial_stats = ExecStats::new();
+        let serial = {
+            let (mut l, mut r) = (relation("l", &lkeys), relation("r", &rkeys));
+            pair_trace(|c| hybrid_join(&mut l, &mut r, lk, rk, 8, &mut serial_stats, c))
+        };
+        let pool = ScopedPool::new(4);
+        let mut par_stats = ExecStats::new();
+        let par = {
+            let (mut l, mut r) = (relation("l", &lkeys), relation("r", &rkeys));
+            pair_trace(|c| {
+                hybrid_join_pooled(
+                    &mut l,
+                    &mut r,
+                    lk,
+                    rk,
+                    8,
+                    &pool,
+                    &mut par_stats,
+                    &mut JoinSink::Pairs(c),
+                )
+            })
+        };
+        assert_eq!(par, serial);
+        assert_eq!(par_stats, serial_stats);
+    }
+
+    #[test]
+    fn counting_sink_agrees_with_pair_streaming() {
+        // The count-only fast path (no pair materialization, no replay) must
+        // report exactly as many matches as the streaming mode delivers.
+        let lkeys: Vec<i32> = (0..500).map(|i| i % 43).collect();
+        let rkeys: Vec<i32> = (0..300).map(|i| (i * 3) % 47).collect();
+        let expected = expected_pairs(&lkeys, &rkeys) as u64;
+        for threads in [1, 4] {
+            let pool = ScopedPool::new(threads);
+            let left = StagedInput::unpartitioned(relation("l", &lkeys));
+            let right = StagedInput::unpartitioned(relation("r", &rkeys));
+            let lk = CompiledKey::compile(left.relation.schema(), 0);
+            let rk = CompiledKey::compile(right.relation.schema(), 0);
+            let mut count = 0u64;
+            let mut stats = ExecStats::new();
+            fine_partition_join_pooled(
+                &left,
+                &right,
+                lk,
+                rk,
+                &pool,
+                &mut stats,
+                &mut JoinSink::Count(&mut count),
+            );
+            assert_eq!(count, expected, "fine threads={threads}");
+
+            let (mut l, mut r) = (relation("l", &lkeys), relation("r", &rkeys));
+            let mut count = 0u64;
+            hybrid_join_pooled(
+                &mut l,
+                &mut r,
+                lk,
+                rk,
+                8,
+                &pool,
+                &mut stats,
+                &mut JoinSink::Count(&mut count),
+            );
+            assert_eq!(count, expected, "hybrid threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_fine_partition_join_matches_serial_and_handles_empty_inputs() {
+        let lkeys = vec![1, 1, 2, 3, 3, 3, 9, 9];
+        let rkeys = vec![1, 3, 3, 4, 9];
+        let left = StagedInput::unpartitioned(relation("l", &lkeys));
+        let right = StagedInput::unpartitioned(relation("r", &rkeys));
+        let lk = CompiledKey::compile(left.relation.schema(), 0);
+        let rk = CompiledKey::compile(right.relation.schema(), 0);
+        let mut serial_stats = ExecStats::new();
+        let serial =
+            pair_trace(|c| fine_partition_join(&left, &right, lk, rk, &mut serial_stats, c));
+        let pool = ScopedPool::new(4);
+        let mut par_stats = ExecStats::new();
+        let par = pair_trace(|c| {
+            fine_partition_join_pooled(
+                &left,
+                &right,
+                lk,
+                rk,
+                &pool,
+                &mut par_stats,
+                &mut JoinSink::Pairs(c),
+            )
+        });
+        assert_eq!(par, serial);
+        assert_eq!(par_stats, serial_stats);
+
+        // Empty sides: no matches, no panics, stats still mirror serial.
+        let empty = StagedInput::unpartitioned(relation("e", &[]));
+        let ek = CompiledKey::compile(empty.relation.schema(), 0);
+        let mut s1 = ExecStats::new();
+        let mut s2 = ExecStats::new();
+        let serial_empty = pair_trace(|c| fine_partition_join(&empty, &right, ek, rk, &mut s1, c));
+        let par_empty = pair_trace(|c| {
+            fine_partition_join_pooled(
+                &empty,
+                &right,
+                ek,
+                rk,
+                &pool,
+                &mut s2,
+                &mut JoinSink::Pairs(c),
+            )
+        });
+        assert!(serial_empty.is_empty() && par_empty.is_empty());
+        assert_eq!(s1, s2);
     }
 
     #[test]

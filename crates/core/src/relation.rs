@@ -7,9 +7,92 @@
 //! generated code of the paper relies on for prefetcher-friendly, cache-
 //! resident processing.
 
+use hique_par::{chunk_ranges, ScopedPool};
 use hique_types::{HiqueError, Result, Row, Schema};
 
 use crate::kernel::{compare_keys, CompiledKey};
+
+/// Stable-sorted copy of a packed record buffer.
+///
+/// Stability is load-bearing for the parallel mode: a stable sort of the
+/// whole buffer equals chunk-wise stable sorts merged with
+/// [`merge_sorted_runs`], so `threads = N` staging produces byte-identical
+/// relations to `threads = 1`.
+pub(crate) fn sorted_copy(buf: &[u8], ts: usize, keys: &[CompiledKey]) -> Vec<u8> {
+    let n = buf.len() / ts;
+    if n <= 1 {
+        return buf.to_vec();
+    }
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_by(|&a, &b| {
+        let ra = &buf[a as usize * ts..(a as usize + 1) * ts];
+        let rb = &buf[b as usize * ts..(b as usize + 1) * ts];
+        compare_keys(keys, ra, rb)
+    });
+    let mut sorted = Vec::with_capacity(buf.len());
+    for &i in &idx {
+        sorted.extend_from_slice(&buf[i as usize * ts..(i as usize + 1) * ts]);
+    }
+    sorted
+}
+
+/// Merge stable-sorted runs into one sorted buffer, preferring the lowest
+/// run index on key ties.
+///
+/// When the runs are stable-sorted contiguous chunks of one logical buffer
+/// (in chunk order), the result is byte-identical to a stable sort of that
+/// whole buffer — the mergesort equivalence the parallel sort paths rely on.
+pub(crate) fn merge_sorted_runs(runs: &[Vec<u8>], ts: usize, keys: &[CompiledKey]) -> Vec<u8> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    // `live` stays in ascending run order (ties must go to the lowest run)
+    // and is pruned as runs drain, so the per-record scan only touches runs
+    // that still hold records.  Run counts equal the pool width, so a
+    // linear scan beats a loser tree at these sizes.
+    let mut live: Vec<usize> = (0..runs.len()).filter(|&r| !runs[r].is_empty()).collect();
+    match live.len() {
+        0 => return Vec::new(),
+        1 => return runs[live[0]].clone(),
+        _ => {}
+    }
+    let mut cursors = vec![0usize; runs.len()];
+    let mut out = Vec::with_capacity(total);
+    while !live.is_empty() {
+        let mut best = live[0];
+        for &r in &live[1..] {
+            let rec = &runs[r][cursors[r] * ts..(cursors[r] + 1) * ts];
+            let brec = &runs[best][cursors[best] * ts..(cursors[best] + 1) * ts];
+            // Strictly-less comparison keeps ties on the lowest run index.
+            if compare_keys(keys, rec, brec) == std::cmp::Ordering::Less {
+                best = r;
+            }
+        }
+        out.extend_from_slice(&runs[best][cursors[best] * ts..(cursors[best] + 1) * ts]);
+        cursors[best] += 1;
+        if cursors[best] * ts >= runs[best].len() {
+            live.retain(|&r| r != best);
+        }
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+/// Stable-sorted copy of `buf`, chunk-sorted across `pool` and merged.
+pub(crate) fn par_sorted_copy(
+    buf: &[u8],
+    ts: usize,
+    keys: &[CompiledKey],
+    pool: &ScopedPool,
+) -> Vec<u8> {
+    let n = buf.len() / ts;
+    if pool.is_serial() || n <= 1 {
+        return sorted_copy(buf, ts, keys);
+    }
+    let ranges = chunk_ranges(n, pool.threads());
+    let runs: Vec<Vec<u8>> = pool.map_items(&ranges, |_, r| {
+        sorted_copy(&buf[r.start * ts..r.end * ts], ts, keys)
+    });
+    merge_sorted_runs(&runs, ts, keys)
+}
 
 /// A materialized relation: packed records plus optional partitioning.
 #[derive(Debug, Clone)]
@@ -122,29 +205,18 @@ impl StagedRelation {
         self.partitions[0].reserve(n * self.tuple_size);
     }
 
-    /// Sort the records of partition `p` by `keys` (ascending, major first).
+    /// Sort the records of partition `p` by `keys` (ascending, major first,
+    /// stable).
     ///
     /// This is the engine's "optimized quicksort over cache-fitting
     /// partitions": indices are sorted with the specialized key comparator
     /// and the records gathered into a fresh buffer in one pass.
     pub fn sort_partition(&mut self, p: usize, keys: &[CompiledKey]) {
         let ts = self.tuple_size;
-        let buf = &self.partitions[p];
-        let n = buf.len() / ts;
-        if n <= 1 {
+        if self.partitions[p].len() / ts <= 1 {
             return;
         }
-        let mut idx: Vec<u32> = (0..n as u32).collect();
-        idx.sort_unstable_by(|&a, &b| {
-            let ra = &buf[a as usize * ts..(a as usize + 1) * ts];
-            let rb = &buf[b as usize * ts..(b as usize + 1) * ts];
-            compare_keys(keys, ra, rb)
-        });
-        let mut sorted = Vec::with_capacity(buf.len());
-        for &i in &idx {
-            sorted.extend_from_slice(&buf[i as usize * ts..(i as usize + 1) * ts]);
-        }
-        self.partitions[p] = sorted;
+        self.partitions[p] = sorted_copy(&self.partitions[p], ts, keys);
     }
 
     /// Sort every partition by `keys`.
@@ -152,6 +224,33 @@ impl StagedRelation {
         for p in 0..self.partitions.len() {
             self.sort_partition(p, keys);
         }
+    }
+
+    /// Sort every partition by `keys` across `pool`, producing exactly the
+    /// bytes [`StagedRelation::sort_all`] would.
+    ///
+    /// Multi-partition relations sort one partition per task; a single
+    /// partition is chunk-sorted and merged (stable, lowest-chunk ties), so
+    /// both shapes match the serial stable sort byte-for-byte.
+    pub fn par_sort_all(&mut self, keys: &[CompiledKey], pool: &ScopedPool) {
+        if pool.is_serial() {
+            return self.sort_all(keys);
+        }
+        let ts = self.tuple_size;
+        if self.partitions.len() == 1 {
+            if self.partitions[0].len() / ts > 1 {
+                self.partitions[0] = par_sorted_copy(&self.partitions[0], ts, keys, pool);
+            }
+            return;
+        }
+        let parts = std::mem::take(&mut self.partitions);
+        self.partitions = pool.map_items(&parts, |_, buf| {
+            if buf.len() / ts <= 1 {
+                buf.clone()
+            } else {
+                sorted_copy(buf, ts, keys)
+            }
+        });
     }
 
     /// Collapse a partitioned relation into a single concatenated partition
@@ -270,6 +369,69 @@ mod tests {
             .collect();
         assert_eq!(pairs[0], (1, 1.0));
         assert_eq!(pairs[1], (1, 3.0));
+    }
+
+    #[test]
+    fn merge_sorted_runs_equals_stable_sort_of_concatenation() {
+        let ts = schema().tuple_size();
+        let key = |rel: &StagedRelation| CompiledKey::compile(rel.schema(), 0);
+        // Duplicate keys with distinct payloads expose stability violations.
+        let keys: Vec<i32> = (0..200).map(|i| (i * 7) % 13).collect();
+        let rows: Vec<Row> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| row(k, i as f64))
+            .collect();
+        let rel = StagedRelation::from_rows(schema(), &rows).unwrap();
+        let whole = sorted_copy(rel.partition(0), ts, &[key(&rel)]);
+        for chunks in [1, 2, 3, 4, 7] {
+            let runs: Vec<Vec<u8>> = chunk_ranges(rows.len(), chunks)
+                .into_iter()
+                .map(|r| {
+                    sorted_copy(
+                        &rel.partition(0)[r.start * ts..r.end * ts],
+                        ts,
+                        &[key(&rel)],
+                    )
+                })
+                .collect();
+            assert_eq!(
+                merge_sorted_runs(&runs, ts, &[key(&rel)]),
+                whole,
+                "chunks={chunks}"
+            );
+        }
+        // Degenerate runs: all empty, one non-empty, interleaved empties.
+        assert!(merge_sorted_runs(&[Vec::new(), Vec::new()], ts, &[key(&rel)]).is_empty());
+        let single = vec![Vec::new(), whole.clone(), Vec::new()];
+        assert_eq!(merge_sorted_runs(&single, ts, &[key(&rel)]), whole);
+    }
+
+    #[test]
+    fn par_sort_all_matches_serial_sort_bytes() {
+        let rows: Vec<Row> = (0..300).map(|i| row((i * 11) % 23, i as f64)).collect();
+        let key = CompiledKey::compile(&schema(), 0);
+        // Single partition: chunk-sort + merge path.
+        let mut serial = StagedRelation::from_rows(schema(), &rows).unwrap();
+        serial.sort_all(&[key]);
+        for threads in [2, 3, 8] {
+            let mut par = StagedRelation::from_rows(schema(), &rows).unwrap();
+            par.par_sort_all(&[key], &ScopedPool::new(threads));
+            assert_eq!(par.partition(0), serial.partition(0), "threads={threads}");
+        }
+        // Multi-partition: one task per partition (including empty ones).
+        let mut multi = StagedRelation::with_partitions(schema(), 5);
+        for (i, r) in rows.iter().enumerate() {
+            let rec = r.to_record(&schema()).unwrap();
+            multi.push_to(if i % 2 == 0 { 0 } else { 3 }, &rec);
+        }
+        let mut serial_multi = multi.clone();
+        serial_multi.sort_all(&[key]);
+        let mut par_multi = multi.clone();
+        par_multi.par_sort_all(&[key], &ScopedPool::new(4));
+        for p in 0..5 {
+            assert_eq!(par_multi.partition(p), serial_multi.partition(p), "p={p}");
+        }
     }
 
     #[test]

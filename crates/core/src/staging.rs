@@ -9,13 +9,15 @@
 //! code." (paper §IV)
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
+use hique_par::{chunk_ranges, ScopedPool};
 use hique_plan::{StagedTable, StagingStrategy};
 use hique_storage::TableHeap;
 use hique_types::{ExecStats, Result};
 
 use crate::kernel::{CompiledFilter, CompiledKey, CompiledProjection};
-use crate::relation::StagedRelation;
+use crate::relation::{merge_sorted_runs, StagedRelation};
 
 /// The result of staging one input: the materialized relation plus, for
 /// fine-grained partitioning, the value → partition directory needed to
@@ -38,61 +40,166 @@ impl StagedInput {
     }
 }
 
-/// Stage one base table according to its plan descriptor.
-///
-/// The scan/filter/project loop is the instantiated Listing 1 template: the
-/// filters are [`CompiledFilter`]s with baked-in offsets and constants, the
-/// projection is a list of byte-range copies, and partitioning/sorting are
-/// interleaved with the scan exactly as the generated code would do.
+/// Stage one base table according to its plan descriptor on the calling
+/// thread (serial; see [`stage_table_pooled`] for the partition-parallel
+/// form).
 pub fn stage_table(
     heap: &TableHeap,
     staged: &StagedTable,
     stats: &mut ExecStats,
 ) -> Result<StagedInput> {
+    stage_table_pooled(heap, staged, stats, &ScopedPool::serial())
+}
+
+/// The compiled scan/filter/project kernels shared by every worker.
+struct ScanKernels {
+    filters: Vec<CompiledFilter>,
+    projection: CompiledProjection,
+    tuple_size: usize,
+}
+
+impl ScanKernels {
+    /// Run the instantiated Listing 1 loop over the heap pages of `pages`,
+    /// feeding every surviving projected record to `emit`.
+    fn scan_chunk(
+        &self,
+        heap: &TableHeap,
+        pages: Range<usize>,
+        stats: &mut ExecStats,
+        mut emit: impl FnMut(&[u8], &mut ExecStats),
+    ) {
+        let mut buf = vec![0u8; self.projection.output_width()];
+        // loop over pages / loop over tuples (Listing 1).
+        for p in pages {
+            'tuples: for record in heap.page(p).records() {
+                stats.add_tuple(self.tuple_size);
+                for f in &self.filters {
+                    stats.add_comparisons(1);
+                    if !f.matches(record) {
+                        continue 'tuples;
+                    }
+                }
+                self.projection.project_into(record, &mut buf);
+                emit(&buf, stats);
+            }
+        }
+    }
+}
+
+/// The per-worker output of a fine-partitioning scan chunk: local
+/// value→partition directory, the key values in first-occurrence order, and
+/// the local partition buffers.
+struct FineChunk {
+    directory: BTreeMap<i64, usize>,
+    order: Vec<i64>,
+    parts: Vec<Vec<u8>>,
+    stats: ExecStats,
+}
+
+/// Stage one base table according to its plan descriptor, dividing the scan
+/// across `pool`.
+///
+/// The scan/filter/project loop is the instantiated Listing 1 template: the
+/// filters are [`CompiledFilter`]s with baked-in offsets and constants, the
+/// projection is a list of byte-range copies, and partitioning/sorting are
+/// interleaved with the scan exactly as the generated code would do.
+///
+/// The parallel decomposition is the paper's partitioning pre-processing
+/// read backwards: pages are divided into contiguous per-worker chunks
+/// ([`chunk_ranges`] — deterministic in the page and worker counts), each
+/// worker runs the same compiled loop over its chunk, and the per-worker
+/// outputs are merged in chunk order.  Every strategy's merge reproduces the
+/// serial scan order exactly (concatenation, stable sort + run merge,
+/// per-partition concatenation, first-occurrence directory renumbering), so
+/// the staged relation is byte-identical for every pool width.
+pub fn stage_table_pooled(
+    heap: &TableHeap,
+    staged: &StagedTable,
+    stats: &mut ExecStats,
+    pool: &ScopedPool,
+) -> Result<StagedInput> {
     let base_schema = heap.schema();
-    let filters: Vec<CompiledFilter> = staged
-        .filters
-        .iter()
-        .map(|f| CompiledFilter::compile(f, base_schema))
-        .collect::<Result<_>>()?;
-    let projection = CompiledProjection::compile(base_schema, &staged.keep);
+    let kernels = ScanKernels {
+        filters: staged
+            .filters
+            .iter()
+            .map(|f| CompiledFilter::compile(f, base_schema))
+            .collect::<Result<_>>()?,
+        projection: CompiledProjection::compile(base_schema, &staged.keep),
+        tuple_size: base_schema.tuple_size(),
+    };
     let out_schema = staged.schema.clone();
-    let tuple_size = base_schema.tuple_size();
-    let mut buf = vec![0u8; projection.output_width()];
+    let out_width = kernels.projection.output_width();
+    let chunks = chunk_ranges(heap.num_pages(), pool.threads());
 
     // One operator invocation: the generated staging function is one call.
     stats.add_calls(1);
 
     let mut output = match &staged.strategy {
         StagingStrategy::None | StagingStrategy::Sort { .. } => {
+            let sort_keys: Option<Vec<CompiledKey>> = match &staged.strategy {
+                StagingStrategy::Sort { key_columns } => Some(
+                    key_columns
+                        .iter()
+                        .map(|&c| CompiledKey::compile(&out_schema, c))
+                        .collect(),
+                ),
+                _ => None,
+            };
+            let worker_outputs: Vec<(Vec<u8>, ExecStats)> = pool.map_items(&chunks, |_, pages| {
+                let mut local = ExecStats::new();
+                let mut out: Vec<u8> = Vec::new();
+                kernels.scan_chunk(heap, pages.clone(), &mut local, |rec, _| {
+                    out.extend_from_slice(rec)
+                });
+                // Sorting interleaved with the scan: each worker sorts its
+                // chunk (stable) so the merge below only has to interleave
+                // sorted runs.
+                if let Some(keys) = &sort_keys {
+                    if !pool.is_serial() {
+                        out = crate::relation::sorted_copy(&out, out_width, keys);
+                    }
+                }
+                (out, local)
+            });
+            let (runs, worker_stats): (Vec<Vec<u8>>, Vec<ExecStats>) =
+                worker_outputs.into_iter().unzip();
+            let total_records: usize = runs.iter().map(|b| b.len() / out_width.max(1)).sum();
             let mut rel = StagedRelation::new(out_schema.clone());
-            rel.reserve(staged.estimated_rows.min(heap.num_tuples()));
-            // loop over pages / loop over tuples (Listing 1).
-            for page in heap.pages() {
-                'tuples: for record in page.records() {
-                    stats.add_tuple(tuple_size);
-                    for f in &filters {
-                        stats.add_comparisons(1);
-                        if !f.matches(record) {
-                            continue 'tuples;
+            rel.reserve(total_records);
+            match &sort_keys {
+                Some(keys) if !pool.is_serial() => {
+                    // Runs are stable-sorted chunks in scan order: the
+                    // lowest-run-wins merge equals a stable sort of the
+                    // whole staged buffer.
+                    for rec in
+                        merge_sorted_runs(&runs, out_width, keys).chunks_exact(out_width.max(1))
+                    {
+                        rel.push(rec);
+                    }
+                }
+                _ => {
+                    for buf in &runs {
+                        for rec in buf.chunks_exact(out_width.max(1)) {
+                            rel.push(rec);
                         }
                     }
-                    projection.project_into(record, &mut buf);
-                    rel.push(&buf);
                 }
             }
+            stats.merge(&worker_stats.into_iter().sum());
             stats.add_materialized(rel.data_bytes());
-            if let StagingStrategy::Sort { key_columns } = &staged.strategy {
-                let keys: Vec<CompiledKey> = key_columns
-                    .iter()
-                    .map(|&c| CompiledKey::compile(&out_schema, c))
-                    .collect();
+            if let Some(keys) = sort_keys {
+                // Sort accounting is derived from the total row count (as in
+                // the serial path) so the counters do not depend on the pool
+                // width.
                 stats.sort_passes += 1;
                 let n = rel.num_records() as f64;
                 if n > 1.0 {
                     stats.add_comparisons((n * n.log2()).ceil() as u64);
                 }
-                rel.sort_all(&keys);
+                if pool.is_serial() {
+                    rel.sort_all(&keys);
+                }
             }
             StagedInput::unpartitioned(rel)
         }
@@ -106,56 +213,81 @@ pub fn stage_table(
         } => {
             let key = CompiledKey::compile(&out_schema, *key_column);
             let m = (*partitions).max(1);
-            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
             stats.partition_passes += 1;
-            for page in heap.pages() {
-                'tuples: for record in page.records() {
-                    stats.add_tuple(tuple_size);
-                    for f in &filters {
-                        stats.add_comparisons(1);
-                        if !f.matches(record) {
-                            continue 'tuples;
-                        }
-                    }
-                    projection.project_into(record, &mut buf);
-                    stats.add_hashes(1);
-                    let p = (key.hash(&buf) as usize) % m;
-                    parts[p].extend_from_slice(&buf);
+            let worker_outputs: Vec<(Vec<Vec<u8>>, ExecStats)> =
+                pool.map_items(&chunks, |_, pages| {
+                    let mut local = ExecStats::new();
+                    let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
+                    kernels.scan_chunk(heap, pages.clone(), &mut local, |rec, local| {
+                        local.add_hashes(1);
+                        let p = (key.hash(rec) as usize) % m;
+                        parts[p].extend_from_slice(rec);
+                    });
+                    (parts, local)
+                });
+            // Per-partition concatenation in chunk order reproduces the
+            // serial scan order within every partition.
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
+            for (worker_parts, local) in &worker_outputs {
+                stats.merge(local);
+                for (p, wp) in worker_parts.iter().enumerate() {
+                    parts[p].extend_from_slice(wp);
                 }
             }
             let mut rel = StagedRelation::from_partitions(out_schema.clone(), parts);
             stats.add_materialized(rel.data_bytes());
             if matches!(staged.strategy, StagingStrategy::PartitionThenSort { .. }) {
                 stats.sort_passes += rel.num_partitions() as u64;
-                rel.sort_all(&[key]);
+                rel.par_sort_all(&[key], pool);
             }
             StagedInput::unpartitioned(rel)
         }
         StagingStrategy::PartitionFine { key_column, .. } => {
             let key = CompiledKey::compile(&out_schema, *key_column);
-            let mut directory: BTreeMap<i64, usize> = BTreeMap::new();
-            let mut parts: Vec<Vec<u8>> = Vec::new();
             stats.partition_passes += 1;
-            for page in heap.pages() {
-                'tuples: for record in page.records() {
-                    stats.add_tuple(tuple_size);
-                    for f in &filters {
-                        stats.add_comparisons(1);
-                        if !f.matches(record) {
-                            continue 'tuples;
-                        }
-                    }
-                    projection.project_into(record, &mut buf);
+            let worker_outputs: Vec<FineChunk> = pool.map_items(&chunks, |_, pages| {
+                let mut chunk = FineChunk {
+                    directory: BTreeMap::new(),
+                    order: Vec::new(),
+                    parts: Vec::new(),
+                    stats: ExecStats::new(),
+                };
+                let (directory, order, parts) =
+                    (&mut chunk.directory, &mut chunk.order, &mut chunk.parts);
+                kernels.scan_chunk(heap, pages.clone(), &mut chunk.stats, |rec, local| {
                     // Value → partition directory lookup (the sorted-array
                     // binary search of the paper, realised as an ordered map).
-                    stats.add_hashes(1);
-                    let k = key.as_i64(&buf);
+                    local.add_hashes(1);
+                    let k = key.as_i64(rec);
                     let next = parts.len();
                     let p = *directory.entry(k).or_insert_with(|| {
                         parts.push(Vec::new());
+                        order.push(k);
                         next
                     });
-                    parts[p].extend_from_slice(&buf);
+                    parts[p].extend_from_slice(rec);
+                });
+                chunk
+            });
+            // Renumber partitions by global first occurrence: chunks are in
+            // scan order, so visiting each chunk's keys in its local
+            // first-occurrence order assigns exactly the ids the serial scan
+            // would have.
+            let mut directory: BTreeMap<i64, usize> = BTreeMap::new();
+            let mut parts: Vec<Vec<u8>> = Vec::new();
+            for chunk in &worker_outputs {
+                stats.merge(&chunk.stats);
+                for &k in &chunk.order {
+                    let next = parts.len();
+                    directory.entry(k).or_insert_with(|| {
+                        parts.push(Vec::new());
+                        next
+                    });
+                }
+            }
+            for chunk in &worker_outputs {
+                for (&k, &local_p) in &chunk.directory {
+                    parts[directory[&k]].extend_from_slice(&chunk.parts[local_p]);
                 }
             }
             let rel = StagedRelation::from_partitions(out_schema.clone(), parts);
@@ -329,6 +461,139 @@ mod tests {
                 .relation
                 .partition_records(p)
                 .all(|r| hique_types::tuple::read_i32_at(r, 0) as i64 == k));
+        }
+    }
+
+    fn all_strategies() -> Vec<StagingStrategy> {
+        vec![
+            StagingStrategy::None,
+            StagingStrategy::Sort {
+                key_columns: vec![0, 1],
+            },
+            StagingStrategy::PartitionCoarse {
+                key_column: 0,
+                partitions: 8,
+            },
+            StagingStrategy::PartitionThenSort {
+                key_column: 0,
+                partitions: 8,
+            },
+            StagingStrategy::PartitionFine {
+                key_column: 0,
+                partitions: 25,
+            },
+        ]
+    }
+
+    fn assert_identical(a: &StagedInput, b: &StagedInput, context: &str) {
+        assert_eq!(
+            a.relation.num_partitions(),
+            b.relation.num_partitions(),
+            "{context}: partition count"
+        );
+        for p in 0..a.relation.num_partitions() {
+            assert_eq!(
+                a.relation.partition(p),
+                b.relation.partition(p),
+                "{context}: partition {p} bytes"
+            );
+        }
+        assert_eq!(a.fine_directory, b.fine_directory, "{context}: directory");
+    }
+
+    #[test]
+    fn parallel_staging_is_byte_identical_to_serial_with_equal_stats() {
+        let heap = heap();
+        for strategy in all_strategies() {
+            let desc = descriptor(strategy.clone(), vec![]);
+            let mut serial_stats = ExecStats::new();
+            let serial = stage_table(&heap, &desc, &mut serial_stats).unwrap();
+            for threads in [2, 3, 4, 16] {
+                let mut par_stats = ExecStats::new();
+                let par = stage_table_pooled(
+                    &heap,
+                    &desc,
+                    &mut par_stats,
+                    &hique_par::ScopedPool::new(threads),
+                )
+                .unwrap();
+                let context = format!("{strategy:?} threads={threads}");
+                assert_identical(&serial, &par, &context);
+                // Per-worker counters must sum exactly to the serial counts.
+                assert_eq!(serial_stats, par_stats, "{context}: stats");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_staging_handles_skew_into_one_partition() {
+        // Every row carries the same key: fine partitioning yields a single
+        // partition fed by every worker, coarse partitioning leaves all but
+        // one partition empty.
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("v", DataType::Float64),
+        ]);
+        let heap = TableHeap::from_rows(
+            schema.clone(),
+            (0..400).map(|i| Row::new(vec![Value::Int32(7), Value::Float64(i as f64)])),
+        )
+        .unwrap();
+        for strategy in [
+            StagingStrategy::PartitionFine {
+                key_column: 0,
+                partitions: 1,
+            },
+            StagingStrategy::PartitionThenSort {
+                key_column: 0,
+                partitions: 8,
+            },
+        ] {
+            let desc = StagedTable {
+                table: 0,
+                table_name: "skew".into(),
+                filters: vec![],
+                keep: vec![0, 1],
+                schema: schema.clone(),
+                strategy: strategy.clone(),
+                estimated_rows: 400,
+            };
+            let mut s1 = ExecStats::new();
+            let serial = stage_table(&heap, &desc, &mut s1).unwrap();
+            let mut s4 = ExecStats::new();
+            let par =
+                stage_table_pooled(&heap, &desc, &mut s4, &hique_par::ScopedPool::new(4)).unwrap();
+            assert_identical(&serial, &par, &format!("{strategy:?}"));
+            assert_eq!(s1, s4);
+            assert_eq!(par.relation.num_records(), 400);
+            if matches!(strategy, StagingStrategy::PartitionFine { .. }) {
+                assert_eq!(par.relation.num_partitions(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_staging_of_an_empty_heap() {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("v", DataType::Float64),
+        ]);
+        let heap = TableHeap::new(schema.clone()).unwrap();
+        for strategy in all_strategies() {
+            let desc = StagedTable {
+                table: 0,
+                table_name: "empty".into(),
+                filters: vec![],
+                keep: vec![0, 1],
+                schema: schema.clone(),
+                strategy,
+                estimated_rows: 0,
+            };
+            let mut stats = ExecStats::new();
+            let par = stage_table_pooled(&heap, &desc, &mut stats, &hique_par::ScopedPool::new(4))
+                .unwrap();
+            assert_eq!(par.relation.num_records(), 0);
+            assert!(par.relation.num_partitions() >= 1);
         }
     }
 

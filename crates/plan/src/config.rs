@@ -25,6 +25,12 @@ pub struct PlannerConfig {
     /// Maximum number of distinct values for which fine-grained partitioning
     /// (a value→partition map) is preferred over coarse hashing.
     pub fine_partition_limit: usize,
+    /// Worker threads for partition-parallel execution (1 = serial).  The
+    /// generated program divides staging scans, join partition pairs and
+    /// aggregation across this many workers with deterministic chunking and
+    /// merge order, so `threads = N` returns the same result as `threads = 1`
+    /// for every query (see DESIGN.md §7).
+    pub threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -36,6 +42,7 @@ impl Default for PlannerConfig {
             force_agg_algorithm: None,
             enable_join_teams: true,
             fine_partition_limit: 1024,
+            threads: 1,
         }
     }
 }
@@ -64,6 +71,12 @@ impl PlannerConfig {
         self
     }
 
+    /// Builder-style override of the worker-thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Number of groups up to which the map-aggregation value directories
     /// and aggregate arrays comfortably fit in the L2 cache.
     ///
@@ -87,6 +100,7 @@ mod tests {
         assert_eq!(c.l2_cache_bytes, 2 * 1024 * 1024);
         assert!(c.enable_join_teams);
         assert!(c.force_join_algorithm.is_none());
+        assert_eq!(c.threads, 1);
         assert_eq!(c, PlannerConfig::paper_testbed());
     }
 
@@ -95,10 +109,13 @@ mod tests {
         let c = PlannerConfig::default()
             .with_join_algorithm(JoinAlgorithm::Merge)
             .with_agg_algorithm(AggAlgorithm::Map)
-            .with_join_teams(false);
+            .with_join_teams(false)
+            .with_threads(4);
         assert_eq!(c.force_join_algorithm, Some(JoinAlgorithm::Merge));
         assert_eq!(c.force_agg_algorithm, Some(AggAlgorithm::Map));
         assert!(!c.enable_join_teams);
+        assert_eq!(c.threads, 4);
+        assert_eq!(PlannerConfig::default().with_threads(0).threads, 1);
     }
 
     #[test]

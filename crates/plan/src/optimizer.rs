@@ -368,6 +368,7 @@ pub fn plan_query(
         output_schema: bound.output_schema.clone(),
         order_by: bound.order_by.clone(),
         limit: bound.limit,
+        threads: config.threads.max(1),
     })
 }
 

@@ -193,6 +193,9 @@ pub struct PhysicalPlan {
     pub order_by: Vec<(usize, bool)>,
     /// Row limit.
     pub limit: Option<u64>,
+    /// Worker threads the generated program should execute with (from
+    /// [`crate::PlannerConfig::threads`]; 1 = serial).
+    pub threads: usize,
 }
 
 impl PhysicalPlan {

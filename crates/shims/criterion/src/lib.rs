@@ -72,7 +72,33 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// Clamp both windows to the `CRITERION_SHIM_BUDGET_MS` environment
+    /// variable (if set), overriding whatever the bench configured.  CI uses
+    /// this to *execute* every bench case on a tiny time budget.
+    fn clamped_to_budget(self) -> Self {
+        self.clamped_to(
+            std::env::var("CRITERION_SHIM_BUDGET_MS")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok()),
+        )
+    }
+
+    fn clamped_to(mut self, budget_ms: Option<u64>) -> Self {
+        if let Some(ms) = budget_ms {
+            let budget = Duration::from_millis(ms.max(1));
+            self.measurement_time = self.measurement_time.min(budget);
+            self.warm_up_time = self
+                .warm_up_time
+                .min(budget / 4)
+                .max(Duration::from_millis(1));
+        }
+        self
+    }
+}
+
 fn run_case(name: &str, config: Config, mut routine: impl FnMut(&mut Bencher)) {
+    let config = config.clamped_to_budget();
     // Warm-up: run single iterations until the warm-up window is spent, to
     // estimate the per-iteration cost.
     let mut probe = Bencher {
@@ -223,5 +249,24 @@ mod tests {
         });
         group.finish();
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn budget_clamps_both_windows() {
+        // Tested through the injected budget (not the real environment):
+        // sibling tests read the variable concurrently via run_case, and
+        // mutating process-wide env from a parallel test is a data race.
+        let generous = Config {
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(10),
+        };
+        let clamped = generous.clamped_to(Some(40));
+        assert_eq!(clamped.measurement_time, Duration::from_millis(40));
+        assert_eq!(clamped.warm_up_time, Duration::from_millis(10));
+        // Without a budget the config passes through untouched.
+        assert_eq!(
+            generous.clamped_to(None).measurement_time,
+            Duration::from_secs(10)
+        );
     }
 }

@@ -84,8 +84,25 @@ impl ExecStats {
     }
 
     /// Merge another counter set into this one.
+    ///
+    /// This is the combine step of partition-parallel execution: every
+    /// worker accumulates into a fresh `ExecStats` and the executor merges
+    /// the per-worker sets in deterministic task order.  All counters are
+    /// plain sums, so for the same query the merged counters are *exactly*
+    /// the serial engine's — kernels maintain this by counting real work
+    /// per record and computing estimated quantities (e.g. sort-cost
+    /// formulas) from totals rather than per-chunk.
     pub fn merge(&mut self, other: &ExecStats) {
         *self += *other;
+    }
+}
+
+impl std::iter::Sum for ExecStats {
+    fn sum<I: Iterator<Item = ExecStats>>(iter: I) -> Self {
+        iter.fold(ExecStats::new(), |mut acc, s| {
+            acc += s;
+            acc
+        })
     }
 }
 
@@ -156,6 +173,22 @@ mod tests {
         assert_eq!(a.tuples_processed, 2);
         assert_eq!(a.bytes_touched, 30);
         assert_eq!(a.rows_out, 7);
+    }
+
+    #[test]
+    fn sum_folds_worker_counter_sets() {
+        let workers: Vec<ExecStats> = (1..=4)
+            .map(|i| {
+                let mut s = ExecStats::new();
+                s.add_tuple(10 * i);
+                s.add_comparisons(i as u64);
+                s
+            })
+            .collect();
+        let total: ExecStats = workers.into_iter().sum();
+        assert_eq!(total.tuples_processed, 4);
+        assert_eq!(total.bytes_touched, 100);
+        assert_eq!(total.comparisons, 10);
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn main() -> hique::types::Result<()> {
         &catalog,
         &hique::holistic::ExecOptions {
             collect_rows: false,
+            ..Default::default()
         },
     )?;
     let team_time = t.elapsed();
@@ -91,6 +92,7 @@ fn main() -> hique::types::Result<()> {
         &catalog,
         &hique::holistic::ExecOptions {
             collect_rows: false,
+            ..Default::default()
         },
     )?;
     let cascade_time = t.elapsed();
