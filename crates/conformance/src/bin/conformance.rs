@@ -8,14 +8,18 @@
 //! cargo run --release -p hique-conformance --bin conformance -- --replay 0xdeadbeef
 //! ```
 
-use hique_conformance::genquery::replay_seed;
+use hique_conformance::genquery::{replay_seed, scan_query_for_seed};
+use hique_conformance::planquality::{measure_actuals, QualityReport};
+use hique_conformance::runner::plan_sql;
 use hique_conformance::{run_suite, Fixture};
+use hique_plan::explain_with_actuals;
 
 struct Args {
     queries: usize,
     seed: u64,
     sf: f64,
     replay: Option<u64>,
+    plan_quality: Option<usize>,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -32,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0x41_1CDE,
         sf: 0.002,
         replay: None,
+        plan_quality: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,9 +58,17 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--replay: bad value".to_string())?,
                 )
             }
+            "--plan-quality" => {
+                args.plan_quality = Some(
+                    value("--plan-quality")?
+                        .parse()
+                        .map_err(|e| format!("--plan-quality: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: conformance [--queries N] [--seed S] [--sf F] [--replay SEED]"
+                    "usage: conformance [--queries N] [--seed S] [--sf F] [--replay SEED] \
+                     [--plan-quality N]"
                         .to_string(),
                 )
             }
@@ -94,6 +107,62 @@ fn main() {
             }
             std::process::exit(1);
         }
+        return;
+    }
+
+    if let Some(scans) = args.plan_quality {
+        // Estimate-accuracy mode: generated filtered scans compared against
+        // exact counts, plus Q3/Q10 rendered with per-operator actuals.
+        // Exits non-zero when the q-error gate (median <= 2, p95 <= 10)
+        // fails, so scheduled CI can block on estimation regressions.
+        let mut report = QualityReport::default();
+        for i in 0..scans as u64 {
+            let query = scan_query_for_seed(args.seed, i, args.sf);
+            let plan = match plan_sql(&query.sql, &fixture.catalog, &query.config) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("planning failed: {e}\n  sql: {}", query.sql);
+                    std::process::exit(1);
+                }
+            };
+            if let Err(e) = report.record(&query.sql, &plan, &fixture.catalog) {
+                eprintln!("measurement failed: {e}\n  sql: {}", query.sql);
+                std::process::exit(1);
+            }
+        }
+        println!("plan quality @ SF {}: {}", args.sf, report.summary());
+        for sample in report.worst(5) {
+            println!(
+                "  worst: q={:.2} est={} actual={} [{}] {}",
+                sample.q_error(),
+                sample.estimated,
+                sample.actual,
+                sample.operator,
+                sample.sql
+            );
+        }
+        for (name, sql) in hique_tpch::queries::all_queries() {
+            let plan = plan_sql(sql, &fixture.catalog, &Default::default())
+                .expect("TPC-H query must plan");
+            let actuals = measure_actuals(&plan, &fixture.catalog).expect("measurable");
+            println!("--- {name}\n{}", explain_with_actuals(&plan, &actuals));
+        }
+        let (median, p95) = (report.median(), report.quantile(0.95));
+        let (gate_median, gate_p95) = (
+            hique_conformance::planquality::GATE_MEDIAN_Q_ERROR,
+            hique_conformance::planquality::GATE_P95_Q_ERROR,
+        );
+        if !report.passes_gate() {
+            eprintln!(
+                "plan-quality gate FAILED: median {median:.2} (<= {gate_median}), \
+                 p95 {p95:.2} (<= {gate_p95})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "plan-quality gate passed: median {median:.2} <= {gate_median}, \
+             p95 {p95:.2} <= {gate_p95}"
+        );
         return;
     }
 

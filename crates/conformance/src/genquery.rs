@@ -336,6 +336,76 @@ pub fn query_for_seed(base_seed: u64, index: u64, sf: f64) -> RandomQuery {
     replay_seed(seed, sf)
 }
 
+/// Columns whose values the TPC-H generator derives from one another, so
+/// that conjunctions across them violate the cross-column independence
+/// assumption by construction (e.g. `l_returnflag` is a function of
+/// `l_receiptdate`, `o_orderstatus` of the line ship dates).  The scan
+/// q-error stream draws at most one column per group: single-column
+/// statistics cannot see these dependencies, and the gate is meant to
+/// measure histogram/MCV quality, not the (open, see ROADMAP) lack of
+/// multi-column statistics.  Two filters on the *same* column remain in
+/// the domain — the estimator intersects those exactly.
+const CORRELATED_GROUPS: [&[&str]; 3] = [
+    &[
+        "l_shipdate",
+        "l_receiptdate",
+        "l_returnflag",
+        "l_linestatus",
+    ],
+    &["o_orderdate", "o_orderstatus"],
+    &["l_quantity", "l_extendedprice"],
+];
+
+fn correlation_group(column: &str) -> Option<usize> {
+    CORRELATED_GROUPS.iter().position(|g| g.contains(&column))
+}
+
+/// Build the `index`-th **filtered scan** query of the plan-quality stream:
+/// a single-table `count(*)` with 1–3 conjunctive filters, used to compare
+/// the planner's post-filter cardinality estimates against measured row
+/// counts (the q-error gate).  Runs under the default planner config so the
+/// estimates under test are the ones production plans would use.
+pub fn scan_query_for_seed(base_seed: u64, index: u64, sf: f64) -> RandomQuery {
+    let seed = base_seed
+        .wrapping_mul(0xd134_2543_de82_ef95)
+        .wrapping_add(index)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pool = filter_cols();
+    // Drawing the anchor column first weights tables by how many
+    // filterable columns they expose (lineitem-heavy, like real plans).
+    let anchor = &pool[rng.gen_range(0..pool.len())];
+    let table = anchor.table;
+    let tpool: Vec<&FilterCol> = pool.iter().filter(|c| c.table == table).collect();
+    let count = rng.gen_range(1..=3usize.min(tpool.len()));
+    let mut chosen: Vec<&FilterCol> = Vec::new();
+    let mut attempts = 0;
+    while chosen.len() < count && attempts < count * 8 {
+        attempts += 1;
+        let col = tpool[rng.gen_range(0..tpool.len())];
+        let conflicts = chosen.iter().any(|picked| {
+            picked.column != col.column
+                && correlation_group(picked.column).is_some()
+                && correlation_group(picked.column) == correlation_group(col.column)
+        });
+        if !conflicts {
+            chosen.push(col);
+        }
+    }
+    let filters: Vec<String> = chosen
+        .into_iter()
+        .map(|col| random_filter(&mut rng, col, sf))
+        .collect();
+    RandomQuery {
+        sql: format!(
+            "select count(*) as n from {table} where {}",
+            filters.join(" and ")
+        ),
+        config: PlannerConfig::default(),
+        seed,
+    }
+}
+
 /// Reconstruct a query directly from the per-query seed a [`RandomQuery`]
 /// (and every divergence report) carries. Works for queries from any base
 /// seed/stream — the per-query seed fully determines the SQL and config.
@@ -414,7 +484,12 @@ fn random_date(rng: &mut SmallRng) -> String {
 }
 
 fn random_filter(rng: &mut SmallRng, col: &FilterCol, sf: f64) -> String {
-    let qualified = format!("{}.{}", col.table, col.column);
+    random_filter_as(rng, col.table, col, sf)
+}
+
+/// Render a random filter with an explicit qualifier (table name or alias).
+fn random_filter_as(rng: &mut SmallRng, qualifier: &str, col: &FilterCol, sf: f64) -> String {
+    let qualified = format!("{}.{}", qualifier, col.column);
     match col.domain {
         Domain::Key { base, floor } => {
             let max = ((base * sf) as i64).max(floor);
@@ -486,7 +561,82 @@ fn aggregate_exprs(rng: &mut SmallRng, tables: &[&'static str]) -> Vec<String> {
     exprs
 }
 
+/// (table, key column) pairs usable for self-joins via aliases.
+const SELF_JOIN_KEYS: [(&str, &str); 5] = [
+    ("lineitem", "l_orderkey"),
+    ("orders", "o_orderkey"),
+    ("customer", "c_custkey"),
+    ("nation", "n_nationkey"),
+    ("part", "p_partkey"),
+];
+
+/// A self-join of one table with itself through two aliases, projecting
+/// columns from both sides.  Ordering by every projected column keeps the
+/// (ordered, limited) result engine-independent, exactly as in the plain
+/// projection shape.
+fn generate_self_join(rng: &mut SmallRng, sf: f64) -> String {
+    let (table, key) = SELF_JOIN_KEYS[rng.gen_range(0..SELF_JOIN_KEYS.len())];
+    let pool: Vec<String> = PROJ_COLS
+        .iter()
+        .filter(|(t, _)| *t == table)
+        .flat_map(|(_, c)| ["a", "b"].into_iter().map(move |q| format!("{q}.{c}")))
+        .collect();
+    let hi = pool.len().clamp(1, 4);
+    let num_cols = rng.gen_range(2.min(hi)..=hi);
+    let mut cols: Vec<String> = Vec::new();
+    while cols.len() < num_cols {
+        let col = pool[rng.gen_range(0..pool.len())].clone();
+        if !cols.contains(&col) {
+            cols.push(col);
+        }
+    }
+    let mut predicates = vec![format!("a.{key} = b.{key}")];
+    let fpool: Vec<FilterCol> = filter_cols()
+        .into_iter()
+        .filter(|c| c.table == table)
+        .collect();
+    if !fpool.is_empty() {
+        for _ in 0..rng.gen_range(0..=2usize) {
+            let col = &fpool[rng.gen_range(0..fpool.len())];
+            let alias = if rng.gen_bool(0.5) { "a" } else { "b" };
+            predicates.push(random_filter_as(rng, alias, col, sf));
+        }
+    }
+    let order = order_by_clause(rng, &cols);
+    let limit = random_limit(rng, 0.4, 100);
+    format!(
+        "select {} from {table} a, {table} b where {} order by {order}{limit}",
+        cols.join(", "),
+        predicates.join(" and ")
+    )
+}
+
+/// Random ORDER BY over all of `cols` with per-key random direction.
+fn order_by_clause(rng: &mut SmallRng, cols: &[String]) -> String {
+    cols.iter()
+        .map(|c| {
+            let dir = if rng.gen_bool(0.25) { " desc" } else { "" };
+            format!("{c}{dir}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// With probability `p`, a LIMIT clause in `0..=max` — LIMIT 0 (empty
+/// result) is deliberately in the domain.
+fn random_limit(rng: &mut SmallRng, p: f64, max: u32) -> String {
+    if rng.gen_bool(p) {
+        format!(" limit {}", rng.gen_range(0..=max))
+    } else {
+        String::new()
+    }
+}
+
 fn generate_sql(rng: &mut SmallRng, sf: f64) -> String {
+    // A slice of the budget goes to self-joins through table aliases.
+    if rng.gen_range(0..10u32) == 0 {
+        return generate_self_join(rng, sf);
+    }
     let (tables, joins) = pick_tables(rng);
     let mut predicates = joins;
     predicates.extend(filters_for(rng, &tables, sf));
@@ -525,19 +675,8 @@ fn generate_sql(rng: &mut SmallRng, sf: f64) -> String {
         }
         // Group keys are unique per row, so ordering by all of them is a
         // total order and LIMIT selects a well-defined prefix.
-        let order = keys
-            .iter()
-            .map(|k| {
-                let dir = if rng.gen_bool(0.25) { " desc" } else { "" };
-                format!("{k}{dir}")
-            })
-            .collect::<Vec<_>>()
-            .join(", ");
-        let limit = if rng.gen_bool(0.2) {
-            format!(" limit {}", rng.gen_range(1..=25u32))
-        } else {
-            String::new()
-        };
+        let order = order_by_clause(rng, &keys);
+        let limit = random_limit(rng, 0.25, 25);
         format!(
             "select {select_list} from {from_clause}{where_clause} \
              group by {} order by {order}{limit}",
@@ -559,13 +698,10 @@ fn generate_sql(rng: &mut SmallRng, sf: f64) -> String {
             }
         }
         // Ordering by every projected column makes ties identical rows, so
-        // the (ordered, limited) result is engine-independent.
-        let order = cols.join(", ");
-        let limit = if rng.gen_bool(0.3) {
-            format!(" limit {}", rng.gen_range(1..=100u32))
-        } else {
-            String::new()
-        };
+        // the (ordered, limited) result is engine-independent regardless of
+        // per-key direction.
+        let order = order_by_clause(rng, &cols);
+        let limit = random_limit(rng, 0.35, 200);
         format!(
             "select {} from {from_clause}{where_clause} order by {order}{limit}",
             cols.join(", ")
@@ -609,6 +745,47 @@ mod tests {
             seen.insert(g.next_query().config.threads);
         }
         assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn generator_covers_self_joins_and_limit_zero() {
+        let mut g = QueryGenerator::new(21, 0.002);
+        let sqls: Vec<String> = (0..400).map(|_| g.next_query().sql).collect();
+        // Self-joins through aliases appear and always carry the a/b join.
+        let self_joins: Vec<&String> = sqls.iter().filter(|s| s.contains(" a, ")).collect();
+        assert!(!self_joins.is_empty(), "no self-joins generated");
+        for sql in &self_joins {
+            assert!(sql.contains("where a."), "{sql}");
+            assert!(sql.contains(" = b."), "{sql}");
+        }
+        // LIMIT 0 and descending ORDER BY keys are in the dialect.
+        assert!(sqls.iter().any(|s| s.ends_with("limit 0")), "no limit 0");
+        assert!(sqls.iter().any(|s| s.contains(" desc")), "no desc order");
+        assert!(
+            sqls.iter().any(|s| {
+                s.split(" limit ")
+                    .nth(1)
+                    .and_then(|l| l.parse::<u32>().ok())
+                    .is_some_and(|l| l > 100)
+            }),
+            "no wide limits"
+        );
+    }
+
+    #[test]
+    fn scan_queries_are_single_table_counts() {
+        for i in 0..50 {
+            let q = scan_query_for_seed(7, i, 0.01);
+            assert!(q.sql.starts_with("select count(*) as n from "), "{}", q.sql);
+            assert!(q.sql.contains(" where "), "{}", q.sql);
+            assert!(!q.sql.contains(", "), "single table only: {}", q.sql);
+            // Deterministic in (seed, index).
+            assert_eq!(q.sql, scan_query_for_seed(7, i, 0.01).sql);
+        }
+        assert_ne!(
+            scan_query_for_seed(7, 0, 0.01).sql,
+            scan_query_for_seed(8, 0, 0.01).sql
+        );
     }
 
     #[test]

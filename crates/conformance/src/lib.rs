@@ -18,7 +18,11 @@
 //!   for golden-file pinning;
 //! * [`runner`] — plans each query once, executes it on all four engine
 //!   modes (generic iterators, optimized iterators, DSM, holistic) and
-//!   reports any divergence with the seed and SQL needed to reproduce it.
+//!   reports any divergence with the seed and SQL needed to reproduce it;
+//! * [`planquality`] — the estimate-vs-actual harness: measures real
+//!   per-operator cardinalities (filtered scans, join steps) against the
+//!   planner's estimates and aggregates q-error distributions, gating the
+//!   histogram/MCV statistics the greedy join order depends on.
 //!
 //! The `conformance` binary runs an arbitrary-size fuzz budget; the crate's
 //! integration tests run a fixed suite (100+ queries) plus golden-file
@@ -26,8 +30,10 @@
 
 pub mod canon;
 pub mod genquery;
+pub mod planquality;
 pub mod runner;
 
 pub use canon::{canonicalize, compare, CanonicalResult, Mismatch};
-pub use genquery::{query_for_seed, replay_seed, QueryGenerator, RandomQuery};
+pub use genquery::{query_for_seed, replay_seed, scan_query_for_seed, QueryGenerator, RandomQuery};
+pub use planquality::{measure_actuals, q_error, CardSample, QualityReport};
 pub use runner::{run_suite, CheckOutcome, Divergence, EngineId, Fixture, SuiteReport};

@@ -116,6 +116,29 @@ impl Fixture {
         Ok(Fixture { catalog, dsm, sf })
     }
 
+    /// A TPC-H-shaped catalog whose tables are all **empty** (and analyzed,
+    /// so the planner knows they are empty).  Every generated query must
+    /// return zero rows through every engine — a dedicated probe for
+    /// zero-cardinality paths in staging, joins and aggregation.
+    pub fn empty(sf: f64) -> Result<Self, HiqueError> {
+        use hique_tpch::schema;
+        let mut catalog = Catalog::new();
+        for (name, schema) in [
+            ("nation", schema::nation()),
+            ("region", schema::region()),
+            ("customer", schema::customer()),
+            ("supplier", schema::supplier()),
+            ("part", schema::part()),
+            ("orders", schema::orders()),
+            ("lineitem", schema::lineitem()),
+        ] {
+            catalog.create_table(name, schema)?;
+            catalog.analyze_table(name)?;
+        }
+        let dsm = DsmDatabase::from_catalog(&catalog);
+        Ok(Fixture { catalog, dsm, sf })
+    }
+
     /// Plan `query` once and execute it on all four engine modes, comparing
     /// canonicalized results against the generic-iterator baseline.
     ///

@@ -10,9 +10,50 @@ use std::fmt::Write as _;
 use hique_sql::analyze::OutputExpr;
 
 use crate::physical::{PhysicalPlan, StagingStrategy};
+use crate::stats::q_error;
+
+/// Measured per-operator cardinalities of one plan execution, used to render
+/// estimated-vs-actual rows (and q-errors) in [`explain_with_actuals`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanActuals {
+    /// Actual post-filter row count per staged table, indexed like
+    /// [`PhysicalPlan::staged`].
+    pub stage_rows: Vec<Option<usize>>,
+    /// Actual output row count per join step, indexed like
+    /// [`PhysicalPlan::joins`].
+    pub join_rows: Vec<Option<usize>>,
+}
+
+impl PlanActuals {
+    /// An empty actuals set shaped for `plan` (all counts unknown).
+    pub fn unknown(plan: &PhysicalPlan) -> Self {
+        PlanActuals {
+            stage_rows: vec![None; plan.staged.len()],
+            join_rows: vec![None; plan.joins.len()],
+        }
+    }
+}
+
+/// Format `~est rows`, extended with the measured count and q-error when the
+/// actual cardinality is known.
+fn rows_clause(estimated: usize, actual: Option<usize>) -> String {
+    match actual {
+        Some(actual) => format!(
+            "~{estimated} rows, actual {actual}, q-error {:.2}",
+            q_error(estimated, actual)
+        ),
+        None => format!("~{estimated} rows"),
+    }
+}
 
 /// Render a multi-line explanation of the plan.
 pub fn explain(plan: &PhysicalPlan) -> String {
+    explain_with_actuals(plan, &PlanActuals::default())
+}
+
+/// Render the plan with measured per-operator cardinalities alongside the
+/// optimizer's estimates.
+pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Physical plan");
     let _ = writeln!(out, "=============");
@@ -42,11 +83,14 @@ pub fn explain(plan: &PhysicalPlan) -> String {
         };
         let _ = writeln!(
             out,
-            "stage[{i}] {} ({} filters, keep {} cols, ~{} rows): {strategy}",
+            "stage[{i}] {} ({} filters, keep {} cols, {}): {strategy}",
             st.table_name,
             st.filters.len(),
             st.keep.len(),
-            st.estimated_rows
+            rows_clause(
+                st.estimated_rows,
+                actuals.stage_rows.get(t).copied().flatten()
+            )
         );
     }
     if let Some(team) = &plan.join_team {
@@ -61,12 +105,15 @@ pub fn explain(plan: &PhysicalPlan) -> String {
     for (i, j) in plan.joins.iter().enumerate() {
         let _ = writeln!(
             out,
-            "join[{i}] + {} using {} (left key #{}, right key #{}, ~{} rows)",
+            "join[{i}] + {} using {} (left key #{}, right key #{}, {})",
             plan.staged[j.right].table_name,
             j.algorithm.name(),
             j.left_key,
             j.right_key,
-            j.estimated_rows
+            rows_clause(
+                j.estimated_rows,
+                actuals.join_rows.get(i).copied().flatten()
+            )
         );
     }
     if let Some(agg) = &plan.aggregate {
@@ -167,5 +214,18 @@ mod tests {
         assert!(text.contains("order by: total desc"));
         assert!(text.contains("limit: 3"));
         assert!(text.contains("output:"));
+        // Without actuals no measured counts are rendered.
+        assert!(!text.contains("actual"));
+
+        // With actuals, estimated vs. actual rows and q-errors show up.
+        let mut actuals = PlanActuals::unknown(&plan);
+        for slot in actuals.stage_rows.iter_mut() {
+            *slot = Some(37);
+        }
+        actuals.join_rows[0] = Some(100);
+        let text = explain_with_actuals(&plan, &actuals);
+        assert!(text.contains("actual 37"), "{text}");
+        assert!(text.contains("actual 100"), "{text}");
+        assert!(text.contains("q-error"), "{text}");
     }
 }

@@ -21,7 +21,7 @@ use crate::physical::{
     AggAlgorithm, AggregateSpec, JoinAlgorithm, JoinStep, JoinTeam, PhysicalPlan, StagedTable,
     StagingStrategy,
 };
-use crate::stats::{estimate_filtered_rows, estimate_join_rows, TableStats};
+use crate::stats::{estimate_filtered_rows, estimate_join_rows_dist, TableStats};
 
 /// Optimize a bound query into a physical plan.
 pub fn plan_query(
@@ -63,10 +63,15 @@ pub fn plan_query(
         };
         let cand_distinct = stats[candidate].distinct_or(cand_col, estimated_rows[candidate]);
         let other_distinct = stats[other_table].distinct_or(other_col, current_est);
-        estimate_join_rows(
+        // The left side may be an intermediate result; its join-key values
+        // still come from the base table owning the other end of the edge,
+        // so that column's distribution bounds the key domain overlap.
+        estimate_join_rows_dist(
             current_est,
+            stats[other_table].distribution(other_col),
             other_distinct,
             estimated_rows[candidate],
+            stats[candidate].distribution(cand_col),
             cand_distinct,
         )
     };

@@ -2,45 +2,52 @@
 //!
 //! The paper's optimizer "chooses the optimal evaluation plan using a greedy
 //! approach, with the objective of minimizing the size of intermediate
-//! results".  The estimates here use classic System-R style heuristics over
-//! the catalog statistics gathered by `Catalog::analyze_table`: row counts,
-//! per-column distinct counts and min/max bounds.
+//! results".  Estimation consults the statistics gathered by
+//! `Catalog::analyze_table` in a fixed order:
+//!
+//! 1. **MCV list** — exact frequencies of the most common values (all
+//!    values, for low-cardinality columns);
+//! 2. **equi-depth histogram** — bucket counts with within-bucket
+//!    interpolation (integer-aware, so `<` and `<=` differ by one point of
+//!    the domain);
+//! 3. **fallback heuristics** — classic System-R `1/distinct` equality and
+//!    the textbook 1/3 range guess, used only for tables that were never
+//!    analyzed.
+//!
+//! An analyzed table is allowed to estimate **zero** rows (empty table, or
+//! an equality constant outside the observed domain); only unanalyzed
+//! tables keep the conservative minimum of one row.
 
 use hique_sql::analyze::ColumnFilter;
 use hique_sql::ast::CmpOp;
 use hique_storage::catalog::TableInfo;
-use hique_types::Value;
+use hique_types::{CmpKind, ColumnDistribution, Value};
 
 /// Statistics snapshot of one base table, as the planner sees it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableStats {
     /// Total rows in the table.
     pub rows: usize,
-    /// Distinct values per column (0 when unknown / not analyzed).
-    pub distinct: Vec<usize>,
-    /// Per-column minimum (None when unknown).
-    pub min: Vec<Option<Value>>,
-    /// Per-column maximum (None when unknown).
-    pub max: Vec<Option<Value>>,
+    /// Whether `ANALYZE` ever ran on the table.  When false the per-column
+    /// distributions are empty and estimation falls back to heuristics.
+    pub analyzed: bool,
+    /// Per-column distributions (MCVs + histogram), aligned with the schema.
+    pub cols: Vec<ColumnDistribution>,
 }
 
 impl TableStats {
     /// Extract a snapshot from catalog metadata.
     pub fn from_table(info: &TableInfo) -> Self {
         let n = info.schema.len();
-        let mut distinct = vec![0usize; n];
-        let mut min = vec![None; n];
-        let mut max = vec![None; n];
+        let analyzed = !info.column_stats.is_empty();
+        let mut cols = vec![ColumnDistribution::default(); n];
         for (i, cs) in info.column_stats.iter().enumerate().take(n) {
-            distinct[i] = cs.distinct;
-            min[i] = cs.min.clone();
-            max[i] = cs.max.clone();
+            cols[i] = cs.distribution.clone();
         }
         TableStats {
             rows: info.row_count(),
-            distinct,
-            min,
-            max,
+            analyzed,
+            cols,
         }
     }
 
@@ -49,67 +56,113 @@ impl TableStats {
     pub fn unknown(rows: usize, columns: usize) -> Self {
         TableStats {
             rows,
-            distinct: vec![0; columns],
-            min: vec![None; columns],
-            max: vec![None; columns],
+            analyzed: false,
+            cols: vec![ColumnDistribution::default(); columns],
+        }
+    }
+
+    /// Statistics built from explicit per-column value snapshots (analyzed).
+    pub fn from_columns(rows: usize, columns: Vec<ColumnDistribution>) -> Self {
+        TableStats {
+            rows,
+            analyzed: true,
+            cols: columns,
+        }
+    }
+
+    /// The collected distribution of a column, when the table was analyzed.
+    pub fn distribution(&self, column: usize) -> Option<&ColumnDistribution> {
+        if self.analyzed {
+            self.cols.get(column)
+        } else {
+            None
         }
     }
 
     /// Distinct count of a column, falling back to a default guess.
     pub fn distinct_or(&self, column: usize, default: usize) -> usize {
-        match self.distinct.get(column) {
-            Some(&d) if d > 0 => d,
+        match self.cols.get(column) {
+            Some(d) if d.distinct > 0 => d.distinct,
             _ => default,
         }
     }
+
+    /// Minimum observed value of a column.
+    pub fn min(&self, column: usize) -> Option<&Value> {
+        self.cols.get(column).and_then(|d| d.min())
+    }
+
+    /// Maximum observed value of a column.
+    pub fn max(&self, column: usize) -> Option<&Value> {
+        self.cols.get(column).and_then(|d| d.max())
+    }
 }
 
-/// Estimated selectivity of a single filter.
-///
-/// Equality filters use `1/distinct`; range filters interpolate within the
-/// known [min, max] interval when both bounds and the constant are numeric,
-/// otherwise fall back to the textbook 1/3; inequality keeps almost
-/// everything.
+/// Map the SQL comparison operator onto the estimator's comparison kind.
+fn cmp_kind(op: CmpOp) -> CmpKind {
+    match op {
+        CmpOp::Eq => CmpKind::Eq,
+        CmpOp::NotEq => CmpKind::NotEq,
+        CmpOp::Lt => CmpKind::Lt,
+        CmpOp::LtEq => CmpKind::LtEq,
+        CmpOp::Gt => CmpKind::Gt,
+        CmpOp::GtEq => CmpKind::GtEq,
+    }
+}
+
+/// Estimated selectivity of a single filter: MCV list first, then histogram
+/// buckets, then the unanalyzed-table heuristics (equality `1/distinct`,
+/// range 1/3, inequality keeps almost everything).
 pub fn filter_selectivity(filter: &ColumnFilter, stats: &TableStats) -> f64 {
+    if let Some(dist) = stats.distribution(filter.column) {
+        return dist.cmp_fraction(cmp_kind(filter.op), &filter.value);
+    }
     let distinct = stats.distinct_or(filter.column, 10);
     match filter.op {
         CmpOp::Eq => 1.0 / distinct as f64,
         CmpOp::NotEq => 1.0 - 1.0 / distinct as f64,
-        CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq => {
-            let (min, max) = (
-                stats.min.get(filter.column).and_then(|v| v.clone()),
-                stats.max.get(filter.column).and_then(|v| v.clone()),
-            );
-            if let (Some(min), Some(max)) = (min, max) {
-                if let (Ok(lo), Ok(hi), Ok(c)) = (min.as_f64(), max.as_f64(), filter.value.as_f64())
-                {
-                    if hi > lo {
-                        let frac = ((c - lo) / (hi - lo)).clamp(0.0, 1.0);
-                        return match filter.op {
-                            CmpOp::Lt | CmpOp::LtEq => frac.max(1e-6),
-                            _ => (1.0 - frac).max(1e-6),
-                        };
-                    }
-                }
-            }
-            1.0 / 3.0
-        }
+        CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq => 1.0 / 3.0,
     }
 }
 
-/// Estimated number of rows of `table` surviving all of `filters`
-/// (independence assumed, as in System R).
+/// Estimated number of rows of `table` surviving all of `filters`.
+///
+/// Filters over the **same column** are intersected through the column's
+/// distribution (so `x > 20 AND x < 10` estimates zero rather than the
+/// product of two selectivities); independence is assumed only *across*
+/// columns, as in System R.
+///
+/// Analyzed tables may estimate zero — an empty table, or a conjunction
+/// that is impossible against the observed domain, estimates no output at
+/// all.  Unanalyzed tables keep the conservative minimum of one row.
 pub fn estimate_filtered_rows(stats: &TableStats, filters: &[&ColumnFilter]) -> usize {
-    let mut rows = stats.rows as f64;
+    let mut by_column: std::collections::BTreeMap<usize, Vec<&ColumnFilter>> = Default::default();
     for f in filters {
-        rows *= filter_selectivity(f, stats);
+        by_column.entry(f.column).or_default().push(f);
+    }
+    let mut rows = stats.rows as f64;
+    let mut impossible = false;
+    for (column, fs) in by_column {
+        let sel = match stats.distribution(column) {
+            Some(dist) => {
+                let preds: Vec<(CmpKind, &Value)> =
+                    fs.iter().map(|f| (cmp_kind(f.op), &f.value)).collect();
+                dist.conjunction_fraction(&preds)
+            }
+            None => fs.iter().map(|f| filter_selectivity(f, stats)).product(),
+        };
+        impossible |= sel == 0.0;
+        rows *= sel;
+    }
+    if stats.analyzed && (stats.rows == 0 || impossible) {
+        return 0;
     }
     rows.round().max(1.0) as usize
 }
 
 /// Estimated cardinality of an equi-join between two inputs.
 ///
-/// `|L ⋈ S| = |L| * |R| / max(d_L, d_R)` where `d` are the distinct counts
+/// `|L ⋈ R| = |L| * |R| / max(d_L, d_R)` where `d` are the distinct counts
 /// of the join keys (0 = unknown → assume key-foreign-key, i.e. the larger
 /// row count).
 pub fn estimate_join_rows(
@@ -118,6 +171,9 @@ pub fn estimate_join_rows(
     right_rows: usize,
     right_distinct: usize,
 ) -> usize {
+    if left_rows == 0 || right_rows == 0 {
+        return 0;
+    }
     let dl = if left_distinct > 0 {
         left_distinct
     } else {
@@ -134,64 +190,208 @@ pub fn estimate_join_rows(
         .max(1.0) as usize
 }
 
+/// Histogram-aware equi-join estimate.
+///
+/// When both join keys carry collected distributions, the key domains are
+/// intersected first: rows whose key falls outside `[max(min_L, min_R),
+/// min(max_L, max_R)]` cannot match, so both inputs (and their distinct
+/// counts) are scaled by the in-overlap fraction before the classic
+/// `|L|*|R|/max(d_L, d_R)` formula runs.  Disjoint key domains estimate
+/// zero.  Without distributions this degrades to [`estimate_join_rows`]
+/// with the provided distinct hints.
+pub fn estimate_join_rows_dist(
+    left_rows: usize,
+    left_key: Option<&ColumnDistribution>,
+    left_distinct_hint: usize,
+    right_rows: usize,
+    right_key: Option<&ColumnDistribution>,
+    right_distinct_hint: usize,
+) -> usize {
+    if left_rows == 0 || right_rows == 0 {
+        return 0;
+    }
+    let (l, r) = match (left_key, right_key) {
+        (Some(l), Some(r)) if l.rows > 0 && r.rows > 0 => (l, r),
+        _ => {
+            let dl = left_key.map_or(left_distinct_hint, |d| d.distinct);
+            let dr = right_key.map_or(right_distinct_hint, |d| d.distinct);
+            return estimate_join_rows(left_rows, dl, right_rows, dr);
+        }
+    };
+    let (Some(lmin), Some(lmax), Some(rmin), Some(rmax)) = (l.min(), l.max(), r.min(), r.max())
+    else {
+        return estimate_join_rows(left_rows, l.distinct, right_rows, r.distinct);
+    };
+    let lo = if lmin.total_cmp(rmin).is_ge() {
+        lmin
+    } else {
+        rmin
+    };
+    let hi = if lmax.total_cmp(rmax).is_le() {
+        lmax
+    } else {
+        rmax
+    };
+    if lo.total_cmp(hi).is_gt() {
+        return 0; // disjoint key domains: no row can match
+    }
+    let overlap = |d: &ColumnDistribution| -> f64 {
+        (d.le_fraction(hi, true) - d.le_fraction(lo, false)).clamp(0.0, 1.0)
+    };
+    let lfrac = overlap(l);
+    let rfrac = overlap(r);
+    if lfrac == 0.0 || rfrac == 0.0 {
+        return 0;
+    }
+    let eff_left = left_rows as f64 * lfrac;
+    let eff_right = right_rows as f64 * rfrac;
+    let dl = (l.distinct as f64 * lfrac).max(1.0);
+    let dr = (r.distinct as f64 * rfrac).max(1.0);
+    (eff_left * eff_right / dl.max(dr)).round().max(1.0) as usize
+}
+
+/// The q-error of a cardinality estimate: `max(est/actual, actual/est)`
+/// with both sides clamped to at least one row, so an exact estimate (and
+/// the 0-vs-0 case) scores 1.0.  The standard accuracy metric for
+/// cardinality estimators (Moerkotte et al., "Preventing bad plans by
+/// bounding the impact of cardinality estimation errors", VLDB 2009).
+pub fn q_error(estimated: usize, actual: usize) -> f64 {
+    let e = estimated.max(1) as f64;
+    let a = actual.max(1) as f64;
+    (e / a).max(a / e)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn filter(op: CmpOp, v: f64) -> ColumnFilter {
+    fn filter(op: CmpOp, v: Value) -> ColumnFilter {
         ColumnFilter {
             table: 0,
             column: 0,
             op,
-            value: Value::Float64(v),
+            value: v,
         }
     }
 
-    fn stats() -> TableStats {
-        TableStats {
-            rows: 1000,
-            distinct: vec![100],
-            min: vec![Some(Value::Float64(0.0))],
-            max: vec![Some(Value::Float64(100.0))],
-        }
+    /// 1000 rows, integers 0..100 each appearing 10 times.
+    fn analyzed_stats() -> TableStats {
+        let values: Vec<Value> = (0..100)
+            .flat_map(|v| std::iter::repeat_n(Value::Int32(v), 10))
+            .collect();
+        TableStats::from_columns(1000, vec![ColumnDistribution::build(values)])
     }
 
     #[test]
-    fn equality_uses_distinct_count() {
-        let s = stats();
-        let sel = filter_selectivity(&filter(CmpOp::Eq, 5.0), &s);
-        assert!((sel - 0.01).abs() < 1e-9);
-        let sel = filter_selectivity(&filter(CmpOp::NotEq, 5.0), &s);
-        assert!((sel - 0.99).abs() < 1e-9);
+    fn equality_uses_observed_frequencies() {
+        let s = analyzed_stats();
+        let sel = filter_selectivity(&filter(CmpOp::Eq, Value::Int32(5)), &s);
+        assert!((sel - 0.01).abs() < 1e-3, "{sel}");
+        let sel = filter_selectivity(&filter(CmpOp::NotEq, Value::Int32(5)), &s);
+        assert!((sel - 0.99).abs() < 1e-3, "{sel}");
     }
 
     #[test]
-    fn range_interpolates_within_bounds() {
-        let s = stats();
-        let sel = filter_selectivity(&filter(CmpOp::Lt, 25.0), &s);
-        assert!((sel - 0.25).abs() < 1e-9);
-        let sel = filter_selectivity(&filter(CmpOp::GtEq, 25.0), &s);
-        assert!((sel - 0.75).abs() < 1e-9);
-        // Out-of-range constants clamp.
-        assert!(filter_selectivity(&filter(CmpOp::Lt, -5.0), &s) <= 1e-5);
-        assert!((filter_selectivity(&filter(CmpOp::Gt, -5.0), &s) - 1.0).abs() < 1e-9);
+    fn equality_outside_domain_estimates_zero() {
+        let s = analyzed_stats();
+        assert_eq!(
+            filter_selectivity(&filter(CmpOp::Eq, Value::Int32(500)), &s),
+            0.0
+        );
+        let f = filter(CmpOp::Eq, Value::Int32(-3));
+        assert_eq!(estimate_filtered_rows(&s, &[&f]), 0);
     }
 
     #[test]
-    fn range_without_bounds_falls_back() {
+    fn analyzed_empty_table_estimates_zero() {
+        let s = TableStats::from_columns(0, vec![ColumnDistribution::default()]);
+        assert_eq!(estimate_filtered_rows(&s, &[]), 0);
+        let f = filter(CmpOp::Eq, Value::Int32(1));
+        assert_eq!(estimate_filtered_rows(&s, &[&f]), 0);
+        // An unanalyzed empty table keeps the conservative 1-row floor.
+        let u = TableStats::unknown(0, 1);
+        assert_eq!(estimate_filtered_rows(&u, &[]), 1);
+    }
+
+    #[test]
+    fn range_interpolates_within_histogram() {
+        let s = analyzed_stats();
+        let sel = filter_selectivity(&filter(CmpOp::Lt, Value::Int32(25)), &s);
+        assert!((sel - 0.25).abs() < 0.02, "{sel}");
+        let sel = filter_selectivity(&filter(CmpOp::GtEq, Value::Int32(25)), &s);
+        assert!((sel - 0.75).abs() < 0.02, "{sel}");
+        // Out-of-range constants clamp to nothing / everything.
+        assert_eq!(
+            filter_selectivity(&filter(CmpOp::Lt, Value::Int32(-5)), &s),
+            0.0
+        );
+        let sel = filter_selectivity(&filter(CmpOp::Gt, Value::Int32(-5)), &s);
+        assert!((sel - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lt_and_lteq_differ_on_integer_columns() {
+        let s = analyzed_stats();
+        let lt = filter_selectivity(&filter(CmpOp::Lt, Value::Int32(50)), &s);
+        let lteq = filter_selectivity(&filter(CmpOp::LtEq, Value::Int32(50)), &s);
+        // `<= 50` admits exactly one more value (10 more rows of 1000).
+        assert!(lteq > lt);
+        assert!((lteq - lt - 0.01).abs() < 5e-3, "lt {lt} lteq {lteq}");
+        // Same distinction through the full row estimate.
+        let f_lt = filter(CmpOp::Lt, Value::Int32(50));
+        let f_le = filter(CmpOp::LtEq, Value::Int32(50));
+        let r_lt = estimate_filtered_rows(&s, &[&f_lt]);
+        let r_le = estimate_filtered_rows(&s, &[&f_le]);
+        assert_eq!(r_le - r_lt, 10, "lt {r_lt} lteq {r_le}");
+    }
+
+    #[test]
+    fn same_column_filters_intersect() {
+        let s = analyzed_stats();
+        // 20 <= x < 40 keeps ~200 of 1000 rows.
+        let f1 = filter(CmpOp::GtEq, Value::Int32(20));
+        let f2 = filter(CmpOp::Lt, Value::Int32(40));
+        let est = estimate_filtered_rows(&s, &[&f1, &f2]);
+        assert!((190..=210).contains(&est), "{est}");
+        // Contradictory bounds on one column are recognized as impossible.
+        let f1 = filter(CmpOp::Gt, Value::Int32(70));
+        let f2 = filter(CmpOp::Lt, Value::Int32(30));
+        assert_eq!(estimate_filtered_rows(&s, &[&f1, &f2]), 0);
+        // An equality that violates a range on the same column is impossible
+        // too, while a consistent one keeps the equality estimate.
+        let eq = filter(CmpOp::Eq, Value::Int32(50));
+        let below = filter(CmpOp::Lt, Value::Int32(40));
+        assert_eq!(estimate_filtered_rows(&s, &[&eq, &below]), 0);
+        let above = filter(CmpOp::Gt, Value::Int32(40));
+        assert_eq!(estimate_filtered_rows(&s, &[&eq, &above]), 10);
+    }
+
+    #[test]
+    fn range_without_statistics_falls_back() {
         let s = TableStats::unknown(1000, 1);
-        let sel = filter_selectivity(&filter(CmpOp::Lt, 25.0), &s);
+        let sel = filter_selectivity(&filter(CmpOp::Lt, Value::Float64(25.0)), &s);
         assert!((sel - 1.0 / 3.0).abs() < 1e-9);
         assert_eq!(s.distinct_or(0, 42), 42);
+        let sel = filter_selectivity(&filter(CmpOp::Eq, Value::Float64(25.0)), &s);
+        assert!((sel - 0.1).abs() < 1e-9);
     }
 
     #[test]
-    fn filtered_rows_multiply_selectivities() {
-        let s = stats();
-        let f1 = filter(CmpOp::Eq, 5.0);
-        let f2 = filter(CmpOp::Lt, 50.0);
+    fn filters_on_different_columns_multiply_selectivities() {
+        // Two columns with the same 0..100 x10 shape.
+        let column = || {
+            ColumnDistribution::build(
+                (0..100)
+                    .flat_map(|v| std::iter::repeat_n(Value::Int32(v), 10))
+                    .collect(),
+            )
+        };
+        let s = TableStats::from_columns(1000, vec![column(), column()]);
+        let f1 = filter(CmpOp::Eq, Value::Int32(5));
+        let mut f2 = filter(CmpOp::Lt, Value::Int32(50));
+        f2.column = 1;
         let est = estimate_filtered_rows(&s, &[&f1, &f2]);
-        assert_eq!(est, 5); // 1000 * 0.01 * 0.5
+        assert!((4..=6).contains(&est), "~1000 * 0.01 * 0.5, got {est}");
         assert_eq!(estimate_filtered_rows(&s, &[]), 1000);
     }
 
@@ -206,5 +406,46 @@ mod tests {
         assert_eq!(estimate_join_rows(1000, 0, 100, 0), 100);
         // Inflationary join: few distinct values on both sides.
         assert_eq!(estimate_join_rows(10_000, 10, 10_000, 10), 10_000_000);
+        // Empty inputs estimate an empty join.
+        assert_eq!(estimate_join_rows(0, 10, 10_000, 10), 0);
+    }
+
+    #[test]
+    fn join_estimation_uses_domain_overlap() {
+        let keys = |range: std::ops::Range<i32>| {
+            ColumnDistribution::build(range.map(Value::Int32).collect())
+        };
+        let l = keys(0..1000);
+        let r = keys(0..1000);
+        // Full overlap behaves like the classic formula.
+        assert_eq!(
+            estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r), 0),
+            1000
+        );
+        // Half overlap: only the shared half of each domain can match.
+        let r_half = keys(500..1500);
+        let est = estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r_half), 0);
+        assert!((400..=600).contains(&est), "{est}");
+        // Disjoint domains cannot match at all.
+        let r_far = keys(5000..6000);
+        assert_eq!(
+            estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r_far), 0),
+            0
+        );
+        // Missing distributions degrade to the hint-based formula.
+        assert_eq!(
+            estimate_join_rows_dist(1000, None, 100, 500, None, 100),
+            5000
+        );
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_clamped() {
+        assert_eq!(q_error(100, 100), 1.0);
+        assert_eq!(q_error(10, 100), 10.0);
+        assert_eq!(q_error(100, 10), 10.0);
+        assert_eq!(q_error(0, 0), 1.0);
+        assert_eq!(q_error(0, 5), 5.0);
+        assert_eq!(q_error(5, 0), 5.0);
     }
 }

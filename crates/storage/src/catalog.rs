@@ -9,20 +9,35 @@
 use std::collections::BTreeMap;
 
 use hique_types::tuple::read_value;
-use hique_types::{HiqueError, Result, Schema, Value};
+use hique_types::{ColumnDistribution, HiqueError, Result, Schema, Value};
 
 use crate::btree::BPlusTree;
 use crate::heap::TableHeap;
 
-/// Per-column statistics gathered by [`Catalog::analyze_table`].
+/// Per-column statistics gathered by [`Catalog::analyze_table`]: the
+/// collected value distribution (MCV list + equi-depth histogram), from
+/// which the scalar summaries (distinct count, bounds) derive.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ColumnStats {
+    /// Most-common-value list and equi-depth histogram over the column.
+    pub distribution: ColumnDistribution,
+}
+
+impl ColumnStats {
     /// Number of distinct values observed.
-    pub distinct: usize,
+    pub fn distinct(&self) -> usize {
+        self.distribution.distinct
+    }
+
     /// Minimum value observed (None for an empty table).
-    pub min: Option<Value>,
+    pub fn min(&self) -> Option<&Value> {
+        self.distribution.min()
+    }
+
     /// Maximum value observed (None for an empty table).
-    pub max: Option<Value>,
+    pub fn max(&self) -> Option<&Value> {
+        self.distribution.max()
+    }
 }
 
 /// A table registered in the catalog.
@@ -141,36 +156,31 @@ impl Catalog {
         self.tables.keys().map(|s| s.as_str()).collect()
     }
 
-    /// Gather per-column statistics (distinct counts, min, max) for the
-    /// table, replacing any previous statistics.
+    /// Gather per-column statistics — distinct counts, min/max bounds, a
+    /// most-common-values list and an equi-depth histogram — replacing any
+    /// previous statistics.  A table analyzed while empty still gets one
+    /// (empty) [`ColumnStats`] per column, which is how the optimizer tells
+    /// "known to be empty" apart from "never analyzed".
+    ///
+    /// Columns are processed one at a time: each pass materializes and sorts
+    /// a single column's values, so peak memory is one column, not the whole
+    /// table.
     pub fn analyze_table(&mut self, name: &str) -> Result<()> {
         let info = self.table_mut(name)?;
         let schema = info.schema.clone();
-        let mut distinct: Vec<std::collections::HashSet<String>> =
-            vec![Default::default(); schema.len()];
-        let mut mins: Vec<Option<Value>> = vec![None; schema.len()];
-        let mut maxs: Vec<Option<Value>> = vec![None; schema.len()];
-        for record in info.heap.records() {
-            for c in 0..schema.len() {
-                let v = read_value(record, &schema, c);
-                distinct[c].insert(v.to_string());
-                match &mins[c] {
-                    Some(m) if *m <= v => {}
-                    _ => mins[c] = Some(v.clone()),
-                }
-                match &maxs[c] {
-                    Some(m) if *m >= v => {}
-                    _ => maxs[c] = Some(v),
-                }
-            }
+        let mut stats = Vec::with_capacity(schema.len());
+        for c in 0..schema.len() {
+            let mut values: Vec<Value> = info
+                .heap
+                .records()
+                .map(|record| read_value(record, &schema, c))
+                .collect();
+            values.sort_unstable_by(|a, b| a.total_cmp(b));
+            stats.push(ColumnStats {
+                distribution: ColumnDistribution::from_sorted(&values),
+            });
         }
-        info.column_stats = (0..schema.len())
-            .map(|c| ColumnStats {
-                distinct: distinct[c].len(),
-                min: mins[c].clone(),
-                max: maxs[c].clone(),
-            })
-            .collect();
+        info.column_stats = stats;
         Ok(())
     }
 
@@ -264,11 +274,79 @@ mod tests {
         populate(&mut cat, 30);
         cat.analyze_table("t").unwrap();
         let info = cat.table("t").unwrap();
-        assert_eq!(info.column_stats[0].distinct, 30);
-        assert_eq!(info.column_stats[1].distinct, 3);
-        assert_eq!(info.column_stats[2].distinct, 2);
-        assert_eq!(info.column_stats[0].min, Some(Value::Int32(0)));
-        assert_eq!(info.column_stats[0].max, Some(Value::Int32(29)));
+        assert_eq!(info.column_stats[0].distinct(), 30);
+        assert_eq!(info.column_stats[1].distinct(), 3);
+        assert_eq!(info.column_stats[2].distinct(), 2);
+        assert_eq!(info.column_stats[0].min(), Some(&Value::Int32(0)));
+        assert_eq!(info.column_stats[0].max(), Some(&Value::Int32(29)));
+    }
+
+    #[test]
+    fn analyze_builds_distributions() {
+        let mut cat = Catalog::new();
+        populate(&mut cat, 3000);
+        cat.analyze_table("t").unwrap();
+        let info = cat.table("t").unwrap();
+        // Wide unique column: histogram form, no MCVs (uniform).
+        let id = &info.column_stats[0].distribution;
+        assert_eq!(id.rows, 3000);
+        assert_eq!(id.distinct, 3000);
+        assert!(id.mcv.is_empty());
+        assert!(!id.buckets.is_empty());
+        let rows_covered: usize = id.buckets.iter().map(|b| b.rows).sum();
+        assert_eq!(rows_covered, 3000);
+        // Low-cardinality columns: exact MCV lists, no histogram.
+        let grp = &info.column_stats[1].distribution;
+        assert_eq!(grp.distinct, 3);
+        assert_eq!(grp.mcv.len(), 3);
+        assert!(grp.buckets.is_empty());
+        assert_eq!(grp.eq_fraction(&Value::Int32(0)), 1000.0 / 3000.0);
+        let name = &info.column_stats[2].distribution;
+        assert_eq!(name.mcv.len(), 2);
+        assert_eq!(name.eq_fraction(&Value::Str("n0".into())), 0.5);
+    }
+
+    #[test]
+    fn analyze_empty_table_marks_columns_analyzed() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        cat.analyze_table("t").unwrap();
+        let info = cat.table("t").unwrap();
+        assert_eq!(info.column_stats.len(), 3);
+        for cs in &info.column_stats {
+            assert_eq!(cs.distinct(), 0);
+            assert!(cs.min().is_none() && cs.max().is_none());
+            assert_eq!(cs.distribution.rows, 0);
+        }
+    }
+
+    #[test]
+    fn reanalyze_after_growth_refreshes_distributions() {
+        let mut cat = Catalog::new();
+        populate(&mut cat, 10);
+        cat.analyze_table("t").unwrap();
+        assert_eq!(cat.table("t").unwrap().column_stats[0].distinct(), 10);
+        assert!(cat.table("t").unwrap().column_stats[0]
+            .distribution
+            .buckets
+            .is_empty());
+        // Grow the table past the MCV limit and re-analyze: the column
+        // switches to histogram form and the bounds move.
+        let info = cat.table_mut("t").unwrap();
+        for i in 10..2000 {
+            info.heap
+                .append_row(&Row::new(vec![
+                    Value::Int32(i),
+                    Value::Int32(i % 3),
+                    Value::Str(format!("n{}", i % 2)),
+                ]))
+                .unwrap();
+        }
+        cat.analyze_table("t").unwrap();
+        let cs = &cat.table("t").unwrap().column_stats[0];
+        assert_eq!(cs.distinct(), 2000);
+        assert_eq!(cs.max(), Some(&Value::Int32(1999)));
+        assert!(!cs.distribution.buckets.is_empty());
     }
 
     #[test]

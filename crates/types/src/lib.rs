@@ -15,6 +15,7 @@
 
 pub mod datatype;
 pub mod error;
+pub mod histogram;
 pub mod result;
 pub mod row;
 pub mod schema;
@@ -24,6 +25,7 @@ pub mod value;
 
 pub use datatype::DataType;
 pub use error::{HiqueError, Result};
+pub use histogram::{Bucket, CmpKind, ColumnDistribution};
 pub use result::{PhaseTimings, QueryResult};
 pub use row::Row;
 pub use schema::{Column, Schema};
