@@ -12,7 +12,7 @@ use hique_tpch::queries::all_queries;
 
 fn bench(c: &mut Criterion) {
     let catalog = hique_tpch::generate_into_catalog(0.01).unwrap();
-    let dsm = DsmDatabase::from_catalog(&catalog);
+    let dsm = DsmDatabase::from_catalog(&catalog).unwrap();
     let mut group = c.benchmark_group("fig8_tpch_sf0.01");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(200));

@@ -1,0 +1,206 @@
+//! Bench trend snapshot: measure a fixed workload set, emit
+//! `BENCH_<sha>.json`, and (optionally) warn on >20% regressions against
+//! the previous snapshot.
+//!
+//! ```bash
+//! cargo run --release -p hique-bench --bin bench_trend -- \
+//!     --sha $GITHUB_SHA --out BENCH_$GITHUB_SHA.json --compare prev.json
+//! ```
+//!
+//! The workload is small on purpose (seconds, not minutes): TPC-H Q1/Q3/Q10
+//! through the holistic engine, the two micro-benchmarks, and a pool-backed
+//! Q1 under a tight memory budget so buffer-pool-path regressions are
+//! tracked too.  Comparison warns (GitHub `::warning::` annotations) and
+//! never fails the job — shared-runner timings are too noisy for a hard
+//! gate; the artifact trail is the record.
+
+use std::time::Instant;
+
+use hique_bench::runner::plan_sql;
+use hique_bench::trend::{parse_results, regressions, render_snapshot, BenchResult};
+use hique_bench::workload::{agg_query_sql, agg_workload, join_query_sql, join_workload};
+use hique_holistic::ExecOptions;
+use hique_plan::{AggAlgorithm, JoinAlgorithm, PlannerConfig};
+use hique_storage::Catalog;
+
+struct Args {
+    sf: f64,
+    repeats: usize,
+    sha: String,
+    out: Option<String>,
+    compare: Option<String>,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sf: 0.01,
+        repeats: 3,
+        sha: std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into()),
+        out: None,
+        compare: None,
+        threshold: 0.2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--sf" => args.sf = value("--sf")?.parse().map_err(|e| format!("--sf: {e}"))?,
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?
+            }
+            "--sha" => args.sha = value("--sha")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--compare" => args.compare = Some(value("--compare")?),
+            "--threshold" => {
+                args.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_trend [--sf F] [--repeats N] [--sha SHA] \
+                            [--out PATH] [--compare PREV.json] [--threshold 0.2]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        repeats: args.repeats.max(1),
+        ..args
+    })
+}
+
+/// Best-of-`repeats` holistic wall milliseconds.
+fn measure_ms(sql: &str, catalog: &Catalog, config: &PlannerConfig, repeats: usize) -> f64 {
+    let plan = plan_sql(sql, catalog, config).expect("plan");
+    let generated = hique_holistic::generate(&plan).expect("generate");
+    let options = ExecOptions {
+        collect_rows: false,
+        ..ExecOptions::default()
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        generated.execute_with(catalog, &options).expect("execute");
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    let mut record = |name: &str, millis: f64| {
+        println!("{name:<28} {millis:>10.3} ms");
+        results.push(BenchResult {
+            name: name.into(),
+            millis,
+        });
+    };
+
+    // TPC-H through the holistic engine, memory-resident.
+    let catalog = hique_tpch::generate_into_catalog(args.sf).expect("catalog");
+    let default_config = PlannerConfig::default();
+    for (name, sql) in [
+        ("q1_holistic_ms", hique_tpch::queries::Q1_SQL),
+        ("q3_holistic_ms", hique_tpch::queries::Q3_SQL),
+        ("q10_holistic_ms", hique_tpch::queries::Q10_SQL),
+    ] {
+        record(
+            name,
+            measure_ms(sql, &catalog, &default_config, args.repeats),
+        );
+    }
+
+    // The paper's micro-benchmarks.
+    let join_catalog = join_workload(
+        (1_500_000.0 * args.sf) as usize,
+        (6_000_000.0 * args.sf) as usize,
+        50,
+    )
+    .expect("workload");
+    record(
+        "partition_join_ms",
+        measure_ms(
+            join_query_sql(),
+            &join_catalog,
+            &PlannerConfig::default().with_join_algorithm(JoinAlgorithm::Partition),
+            args.repeats,
+        ),
+    );
+    let agg_catalog = agg_workload((6_000_000.0 * args.sf) as usize, 1000).expect("workload");
+    record(
+        "map_agg_ms",
+        measure_ms(
+            agg_query_sql(),
+            &agg_catalog,
+            &PlannerConfig::default().with_agg_algorithm(AggAlgorithm::Map),
+            args.repeats,
+        ),
+    );
+
+    // Pool-backed Q1 under a tight budget: tracks the buffer-pool path.
+    let mut paged = hique_tpch::generate_into_catalog(args.sf).expect("catalog");
+    paged.spill_to_disk(256).expect("spill");
+    record(
+        "q1_paged_256_ms",
+        measure_ms(
+            hique_tpch::queries::Q1_SQL,
+            &paged,
+            &PlannerConfig::default().with_memory_budget_pages(256),
+            args.repeats,
+        ),
+    );
+
+    let json = render_snapshot(&args.sha, &results);
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {out}");
+    } else {
+        print!("{json}");
+    }
+
+    if let Some(prev_path) = &args.compare {
+        match std::fs::read_to_string(prev_path) {
+            Ok(prev_json) => {
+                let prev = parse_results(&prev_json);
+                if prev.is_empty() {
+                    println!("previous snapshot {prev_path} had no results to compare");
+                } else {
+                    let regs = regressions(&prev, &results, args.threshold);
+                    if regs.is_empty() {
+                        println!(
+                            "no regressions > {:.0}% vs {prev_path}",
+                            args.threshold * 100.0
+                        );
+                    }
+                    for r in regs {
+                        // GitHub Actions annotation: visible on the run
+                        // summary without failing the job.
+                        println!(
+                            "::warning::bench regression: {} {:.2} ms -> {:.2} ms ({:.2}x)",
+                            r.name,
+                            r.before,
+                            r.now,
+                            r.ratio()
+                        );
+                    }
+                }
+            }
+            Err(_) => println!("no previous snapshot at {prev_path}; baseline recorded"),
+        }
+    }
+}

@@ -26,7 +26,7 @@ fn main() {
         .unwrap_or(0.02);
     eprintln!("generating TPC-H data at SF={sf} ...");
     let catalog = hique_tpch::generate_into_catalog(sf).expect("tpch generation");
-    let dsm = DsmDatabase::from_catalog(&catalog);
+    let dsm = DsmDatabase::from_catalog(&catalog).unwrap();
     eprintln!(
         "data ready: {} lineitem rows",
         catalog.table("lineitem").unwrap().row_count()

@@ -13,4 +13,5 @@
 
 pub mod handcoded;
 pub mod runner;
+pub mod trend;
 pub mod workload;

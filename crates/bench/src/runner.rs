@@ -81,7 +81,7 @@ pub fn run_engine(
             let db = match dsm {
                 Some(db) => db,
                 None => {
-                    owned = DsmDatabase::from_catalog(catalog);
+                    owned = DsmDatabase::from_catalog(catalog)?;
                     &owned
                 }
             };

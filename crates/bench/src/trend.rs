@@ -1,0 +1,191 @@
+//! Bench trend tracking: a flat JSON snapshot per commit, plus the
+//! comparison that warns on regressions between consecutive snapshots.
+//!
+//! The `bench_trend` binary measures a small fixed workload set and writes
+//! `BENCH_<sha>.json`; CI caches the previous snapshot and re-invokes the
+//! binary with `--compare` so a >20% slowdown on any benchmark surfaces as
+//! a workflow warning (trend tracking warns, it does not block — absolute
+//! times on shared runners are too noisy for a hard gate).
+//!
+//! The JSON codec is hand-rolled (the offline workspace has no serde): the
+//! format is exactly what [`render_snapshot`] emits, and [`parse_results`]
+//! accepts any flat `"name": number` object under a `"results"` key.
+
+use std::fmt::Write as _;
+
+/// One measured benchmark: label and best-of-N wall milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable benchmark name (snake_case, `_ms` suffix by convention).
+    pub name: String,
+    /// Best observed wall-clock milliseconds.
+    pub millis: f64,
+}
+
+/// Render a snapshot as the canonical trend JSON.
+pub fn render_snapshot(sha: &str, results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"sha\": \"{}\",", escape(sha));
+    let _ = writeln!(out, "  \"results\": {{");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {:.3}{comma}", escape(&r.name), r.millis);
+    }
+    let _ = writeln!(out, "  }}");
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+        .collect()
+}
+
+/// Parse the `"results"` object of a trend snapshot into (name, millis)
+/// pairs.  Returns an empty list when the file has no parseable results —
+/// comparison against a corrupt or foreign file degrades to "nothing to
+/// compare", never an error that blocks the bench job.
+pub fn parse_results(json: &str) -> Vec<BenchResult> {
+    let Some(results_at) = json.find("\"results\"") else {
+        return Vec::new();
+    };
+    let tail = &json[results_at..];
+    let Some(open) = tail.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = tail.find('}') else {
+        return Vec::new();
+    };
+    if close < open {
+        return Vec::new();
+    }
+    let body = &tail[open + 1..close];
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let Some((name_part, value_part)) = entry.split_once(':') else {
+            continue;
+        };
+        let name = name_part.trim().trim_matches('"').to_string();
+        if name.is_empty() {
+            continue;
+        }
+        if let Ok(millis) = value_part.trim().parse::<f64>() {
+            if millis.is_finite() {
+                out.push(BenchResult { name, millis });
+            }
+        }
+    }
+    out
+}
+
+/// One benchmark that slowed down beyond the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Previous snapshot's milliseconds.
+    pub before: f64,
+    /// Current snapshot's milliseconds.
+    pub now: f64,
+}
+
+impl Regression {
+    /// Slowdown ratio (`now / before`).
+    pub fn ratio(&self) -> f64 {
+        self.now / self.before.max(1e-9)
+    }
+}
+
+/// Benchmarks present in both snapshots whose time grew by more than
+/// `threshold` (0.2 = warn beyond +20%).  Sub-millisecond baselines are
+/// skipped: at that scale scheduling noise dominates any real change.
+pub fn regressions(
+    previous: &[BenchResult],
+    current: &[BenchResult],
+    threshold: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in current {
+        let Some(prev) = previous.iter().find(|p| p.name == cur.name) else {
+            continue;
+        };
+        if prev.millis < 1.0 {
+            continue;
+        }
+        if cur.millis > prev.millis * (1.0 + threshold) {
+            out.push(Regression {
+                name: cur.name.clone(),
+                before: prev.millis,
+                now: cur.millis,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> Vec<BenchResult> {
+        vec![
+            BenchResult {
+                name: "q1_holistic_ms".into(),
+                millis: 12.345,
+            },
+            BenchResult {
+                name: "q3_holistic_ms".into(),
+                millis: 40.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let json = render_snapshot("abc123", &snapshot());
+        assert!(json.contains("\"sha\": \"abc123\""));
+        let parsed = parse_results(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "q1_holistic_ms");
+        assert!((parsed[0].millis - 12.345).abs() < 1e-9);
+        assert!((parsed[1].millis - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_tolerates_garbage() {
+        assert!(parse_results("").is_empty());
+        assert!(parse_results("{\"sha\": \"x\"}").is_empty());
+        assert!(parse_results("not json at all").is_empty());
+        let partial = "{\"results\": {\"ok_ms\": 5.0, \"bad\": oops}}";
+        let parsed = parse_results(partial);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "ok_ms");
+    }
+
+    #[test]
+    fn regressions_flag_only_real_slowdowns() {
+        let prev = snapshot();
+        let mut cur = snapshot();
+        // +10%: inside the threshold.
+        cur[0].millis = 13.5;
+        assert!(regressions(&prev, &cur, 0.2).is_empty());
+        // +50%: flagged with the right ratio.
+        cur[1].millis = 60.0;
+        let regs = regressions(&prev, &cur, 0.2);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "q3_holistic_ms");
+        assert!((regs[0].ratio() - 1.5).abs() < 1e-6);
+        // Unknown benchmarks and sub-millisecond baselines are ignored.
+        let tiny_prev = vec![BenchResult {
+            name: "tiny_ms".into(),
+            millis: 0.2,
+        }];
+        let tiny_cur = vec![BenchResult {
+            name: "tiny_ms".into(),
+            millis: 0.9,
+        }];
+        assert!(regressions(&tiny_prev, &tiny_cur, 0.2).is_empty());
+    }
+}

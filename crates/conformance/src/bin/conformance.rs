@@ -12,7 +12,7 @@ use hique_conformance::genquery::{replay_seed, scan_query_for_seed};
 use hique_conformance::planquality::{measure_actuals, QualityReport};
 use hique_conformance::runner::plan_sql;
 use hique_conformance::{run_suite, Fixture};
-use hique_plan::explain_with_actuals;
+use hique_plan::{explain_with_actuals, explain_with_stats, PlanActuals, PlannerConfig};
 
 struct Args {
     queries: usize,
@@ -20,6 +20,7 @@ struct Args {
     sf: f64,
     replay: Option<u64>,
     plan_quality: Option<usize>,
+    budget_pages: Option<usize>,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         sf: 0.002,
         replay: None,
         plan_quality: None,
+        budget_pages: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,10 +67,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--plan-quality: {e}"))?,
                 )
             }
+            "--budget-pages" => {
+                args.budget_pages = Some(
+                    value("--budget-pages")?
+                        .parse()
+                        .map_err(|e| format!("--budget-pages: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: conformance [--queries N] [--seed S] [--sf F] [--replay SEED] \
-                     [--plan-quality N]"
+                     [--plan-quality N] [--budget-pages P]"
                         .to_string(),
                 )
             }
@@ -88,7 +97,13 @@ fn main() {
     };
 
     println!("generating TPC-H-shaped catalog at SF {} ...", args.sf);
-    let fixture = Fixture::generate(args.sf).expect("catalog generation");
+    let fixture = match args.budget_pages {
+        Some(pages) => {
+            println!("spilling catalog to disk behind a {pages}-page buffer pool ...");
+            Fixture::generate_paged(args.sf, pages).expect("paged catalog generation")
+        }
+        None => Fixture::generate(args.sf).expect("catalog generation"),
+    };
 
     if let Some(seed) = args.replay {
         // A reported divergence carries the per-query seed, which fully
@@ -170,8 +185,48 @@ fn main() {
         "running {} seeded random queries (seed {:#x}) on 4 engine modes ...",
         args.queries, args.seed
     );
+    // Snapshot after fixture construction so the eviction gate below is
+    // about the *suite's queries*, not about the DSM decomposition that
+    // builds the fixture (which would trivially evict on its own).
+    let suite_base = fixture.catalog.pool_stats();
     let report = run_suite(&fixture, args.seed, args.queries);
     print!("{report}");
+    if args.budget_pages.is_some() {
+        // A tight-memory run must actually have exercised the pool: every
+        // engine scanned base pages through it, so a budget below the
+        // working set shows evictions during the query suite itself.
+        let io = fixture.catalog.pool_stats().since(&suite_base);
+        println!("buffer pool (query suite only): {io}");
+        // The EXPLAIN surface for paged execution: one budgeted plan
+        // rendered with the pool counters of a live run.
+        let config = PlannerConfig::default()
+            .with_memory_budget_pages(args.budget_pages.unwrap_or_default());
+        let plan =
+            plan_sql(hique_tpch::queries::Q3_SQL, &fixture.catalog, &config).expect("Q3 plans");
+        let result = hique_holistic::execute_plan(&plan, &fixture.catalog).expect("Q3 executes");
+        println!(
+            "--- Q3 under the budget\n{}",
+            explain_with_stats(&plan, &PlanActuals::unknown(&plan), &result.stats)
+        );
+        // The eviction gate only means something when the budget actually
+        // sits below the working set; a generous budget with zero evictions
+        // is a correct, boring run, not a failure.
+        let working_set: usize = fixture
+            .catalog
+            .table_names()
+            .iter()
+            .filter_map(|n| fixture.catalog.table(n).ok())
+            .map(|t| t.heap.num_pages())
+            .sum();
+        let budget = args.budget_pages.unwrap_or_default();
+        if budget < working_set && io.pool_evictions == 0 {
+            eprintln!(
+                "budget {budget} pages sits below the {working_set}-page working set \
+                 yet the suite produced no evictions — scans bypassed the pool?"
+            );
+            std::process::exit(1);
+        }
+    }
     if !report.is_clean() {
         std::process::exit(1);
     }

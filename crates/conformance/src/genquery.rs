@@ -437,6 +437,13 @@ fn random_config(rng: &mut SmallRng) -> PlannerConfig {
         // divergence (ordering, merge, stats-driven row counts) surfaces as
         // a cross-engine mismatch carrying the seed.
         threads: [1, 2, 4][rng.gen_range(0..3usize)],
+        // Randomizing the page budget cross-checks spill-and-reload staging
+        // the same way: on a paged fixture ([`crate::Fixture::
+        // generate_paged`]) a non-zero budget makes the holistic engine
+        // round-trip staged inputs and join temporaries through the buffer
+        // pool, which must never change what any engine returns.  On
+        // memory-resident fixtures the knob is inert.
+        memory_budget_pages: [0, 0, 128, 1024][rng.gen_range(0..4usize)],
         ..PlannerConfig::default()
     }
 }

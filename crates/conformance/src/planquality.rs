@@ -28,7 +28,7 @@ fn staged_value_rows(st: &hique_plan::StagedTable, catalog: &Catalog) -> Result<
     let info = catalog.table(&st.table_name)?;
     let schema = &info.schema;
     let mut rows = Vec::new();
-    for record in info.heap.records() {
+    info.heap.for_each_record(|record| {
         if st
             .filters
             .iter()
@@ -41,7 +41,7 @@ fn staged_value_rows(st: &hique_plan::StagedTable, catalog: &Catalog) -> Result<
                     .collect::<Vec<Value>>(),
             );
         }
-    }
+    })?;
     Ok(rows)
 }
 

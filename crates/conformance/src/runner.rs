@@ -112,7 +112,20 @@ impl Fixture {
     /// for the DSM engine.
     pub fn generate(sf: f64) -> Result<Self, HiqueError> {
         let catalog = hique_tpch::generate_into_catalog(sf)?;
-        let dsm = DsmDatabase::from_catalog(&catalog);
+        let dsm = DsmDatabase::from_catalog(&catalog)?;
+        Ok(Fixture { catalog, dsm, sf })
+    }
+
+    /// Like [`Fixture::generate`], but the catalog is moved onto disk behind
+    /// an LRU buffer pool of `budget_pages` frames before the DSM
+    /// decomposition runs — every engine then reads base pages through the
+    /// pool, and budgets below the working set force eviction/reload during
+    /// the suite.  Statistics are collected before the spill, so plans (and
+    /// therefore results) are identical to the memory-resident fixture's.
+    pub fn generate_paged(sf: f64, budget_pages: usize) -> Result<Self, HiqueError> {
+        let mut catalog = hique_tpch::generate_into_catalog(sf)?;
+        catalog.spill_to_disk(budget_pages)?;
+        let dsm = DsmDatabase::from_catalog(&catalog)?;
         Ok(Fixture { catalog, dsm, sf })
     }
 
@@ -135,7 +148,7 @@ impl Fixture {
             catalog.create_table(name, schema)?;
             catalog.analyze_table(name)?;
         }
-        let dsm = DsmDatabase::from_catalog(&catalog);
+        let dsm = DsmDatabase::from_catalog(&catalog)?;
         Ok(Fixture { catalog, dsm, sf })
     }
 

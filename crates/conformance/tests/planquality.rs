@@ -145,6 +145,11 @@ fn q3_and_q10_estimates_track_join_actuals() {
         for sample in &report.samples {
             let bound = if sample.operator.starts_with("stage") {
                 10.0
+            } else if name == "Q3" {
+                // The correlated-date-pair clamp (o_orderdate vs l_shipdate)
+                // brings the final join estimate from q ≈ 10.6 down to
+                // q ≈ 5.4 at SF 0.1; the tightened bound locks the fix.
+                8.0
             } else {
                 32.0
             };

@@ -1,0 +1,130 @@
+//! The memory-budget differential gate: tight-memory execution must be
+//! invisible in results.
+//!
+//! A paged fixture puts every base table behind an LRU buffer pool whose
+//! frame budget is far below the SF 0.01 working set, and every query runs
+//! with `memory_budget_pages` set so the holistic engine also round-trips
+//! staged inputs and join temporaries through the pool.  All four engine
+//! modes, at `threads ∈ {1, 4}`, must return canonicalized results
+//! bit-identical to the unbounded memory-resident fixture — and the pool
+//! must show real evictions, or the budget was not actually below the
+//! working set and the suite proved nothing.
+
+use hique_conformance::{canonicalize, compare, EngineId, Fixture};
+use hique_conformance::{runner::plan_sql, runner::run_engine, QueryGenerator};
+
+const SF: f64 = 0.01;
+/// Frames in the pool — the SF 0.01 working set is thousands of pages.
+const BUDGET_PAGES: usize = 64;
+const SUITE_SEED: u64 = 0x59111; // fixed so failures are reproducible
+const SUITE_QUERIES: usize = 10;
+
+#[test]
+fn tight_budget_matches_unbounded_results_on_every_engine_mode() {
+    let unbounded = Fixture::generate(SF).unwrap();
+    let paged = Fixture::generate_paged(SF, BUDGET_PAGES).unwrap();
+
+    // The premise of the gate: the budget sits far below the working set.
+    let working_set: usize = paged
+        .catalog
+        .table_names()
+        .iter()
+        .map(|n| paged.catalog.table(n).unwrap().heap.num_pages())
+        .sum();
+    assert!(
+        working_set > 8 * BUDGET_PAGES,
+        "working set {working_set} pages does not dwarf the {BUDGET_PAGES}-page budget"
+    );
+
+    // Snapshot after fixture construction: the eviction assertion at the
+    // end must be about the query suite, not about the DSM decomposition
+    // (which trivially evicts while building the fixture).
+    let suite_base = paged.catalog.pool_stats();
+
+    let mut generator = QueryGenerator::new(SUITE_SEED, SF);
+    let mut nonempty = 0usize;
+    for _ in 0..SUITE_QUERIES {
+        let query = generator.next_query();
+        // The unbounded baseline is thread-independent: plan and run it once
+        // per query, outside the thread sweep.
+        let base_config = query
+            .config
+            .clone()
+            .with_threads(1)
+            .with_memory_budget_pages(BUDGET_PAGES);
+        let mem_plan = plan_sql(&query.sql, &unbounded.catalog, &base_config)
+            .unwrap_or_else(|e| panic!("planning failed (seed {:#x}): {e}", query.seed));
+        let baseline = run_engine(
+            EngineId::IterGeneric,
+            &mem_plan,
+            &unbounded.catalog,
+            &unbounded.dsm,
+        )
+        .unwrap_or_else(|e| panic!("unbounded baseline failed (seed {:#x}): {e}", query.seed));
+        let canonical_baseline = canonicalize(&baseline);
+        nonempty += usize::from(canonical_baseline.num_rows() > 0);
+
+        for threads in [1usize, 4] {
+            let config = query
+                .config
+                .clone()
+                .with_threads(threads)
+                .with_memory_budget_pages(BUDGET_PAGES);
+            // Statistics were collected before the spill, so both catalogs
+            // produce the same plan; assert that premise instead of assuming
+            // it.
+            let paged_plan = plan_sql(&query.sql, &paged.catalog, &config)
+                .unwrap_or_else(|e| panic!("planning failed (seed {:#x}): {e}", query.seed));
+            assert_eq!(
+                mem_plan.join_order, paged_plan.join_order,
+                "plans diverged between fixtures (seed {:#x})",
+                query.seed
+            );
+            assert_eq!(paged_plan.memory_budget_pages, BUDGET_PAGES);
+
+            for engine in EngineId::ALL {
+                let result = run_engine(engine, &paged_plan, &paged.catalog, &paged.dsm)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} failed under budget (seed {:#x}, threads {threads}): {e}\n  sql: {}",
+                            engine.label(),
+                            query.seed,
+                            query.sql
+                        )
+                    });
+                if let Err(mismatch) = compare(&canonicalize(&result), &canonical_baseline) {
+                    panic!(
+                        "{}: budget {BUDGET_PAGES} pages diverged from unbounded: {mismatch}\n  \
+                         seed: {:#x}\n  threads: {threads}\n  sql: {}",
+                        engine.label(),
+                        query.seed,
+                        query.sql
+                    );
+                }
+                // Paged executions report their pool traffic; the holistic
+                // engine always scans base pages through the pool.
+                if engine == EngineId::Holistic {
+                    let io = result.stats.io;
+                    assert!(
+                        io.pool_hits + io.pool_misses > 0,
+                        "holistic run reported no pool traffic (seed {:#x})",
+                        query.seed
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        nonempty >= SUITE_QUERIES / 2,
+        "only {nonempty}/{SUITE_QUERIES} baselines had rows; suite is too vacuous"
+    );
+
+    // The query suite itself must have actually spilled: evictions at the
+    // pool and pages physically read back, beyond whatever fixture
+    // construction did.
+    let io = paged.catalog.pool_stats().since(&suite_base);
+    assert!(io.pool_evictions > 0, "{io:?}");
+    assert!(io.pages_read > 0, "{io:?}");
+    // Unbounded fixture never touched a pool.
+    assert_eq!(unbounded.catalog.pool_stats().evictions, 0);
+}

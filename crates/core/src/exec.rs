@@ -21,6 +21,7 @@ use crate::join::{
 };
 use crate::kernel::CompiledKey;
 use crate::relation::StagedRelation;
+use crate::spill::{SpillContext, StagedSlot};
 use crate::staging::{stage_table_pooled, StagedInput};
 
 /// Execution options.
@@ -37,6 +38,12 @@ pub struct ExecOptions {
     /// Every thread count produces the same result for every query
     /// (DESIGN.md §7).
     pub threads: usize,
+    /// Memory budget in buffer-pool pages; `0` inherits the plan's
+    /// configured budget ([`hique_plan::PlannerConfig::memory_budget_pages`]).
+    /// Effective only on a catalog running in paged mode: staged inputs and
+    /// join temporaries above a fraction of the budget are written through
+    /// the catalog's buffer pool and reloaded on use (DESIGN.md §9).
+    pub memory_budget_pages: usize,
 }
 
 impl Default for ExecOptions {
@@ -44,6 +51,7 @@ impl Default for ExecOptions {
         ExecOptions {
             collect_rows: true,
             threads: 0,
+            memory_budget_pages: 0,
         }
     }
 }
@@ -109,18 +117,29 @@ pub fn execute(
     } else {
         options.threads
     });
+    // Memory budget: staged inputs and join temporaries spill through the
+    // catalog's buffer pool once a budget is set and the catalog runs in
+    // paged mode.  The spill decision depends only on relation sizes, so
+    // results (and work counters) are identical for every budget.
+    let budget_pages = if options.memory_budget_pages == 0 {
+        plan.memory_budget_pages
+    } else {
+        options.memory_budget_pages
+    };
+    let spill_ctx: Option<SpillContext<'_>> = match (budget_pages, catalog.storage()) {
+        (pages, Some(runtime)) if pages > 0 => SpillContext::acquire(runtime.temp(), pages),
+        _ => None,
+    };
+    let spill = spill_ctx.as_ref();
+    let io_base = catalog.pool_stats();
 
     // ---- Staging -----------------------------------------------------------
     let t0 = Instant::now();
-    let mut staged: Vec<Option<StagedInput>> = (0..plan.staged.len()).map(|_| None).collect();
+    let mut staged: Vec<Option<StagedSlot>> = (0..plan.staged.len()).map(|_| None).collect();
     for &t in &plan.join_order {
         let info = catalog.table(&plan.staged[t].table_name)?;
-        staged[t] = Some(stage_table_pooled(
-            &info.heap,
-            &plan.staged[t],
-            &mut stats,
-            &pool,
-        )?);
+        let input = stage_table_pooled(&info.heap, &plan.staged[t], &mut stats, &pool)?;
+        staged[t] = Some(StagedSlot::stage(input, spill)?);
     }
     timings.record("staging", t0.elapsed());
 
@@ -140,13 +159,19 @@ pub fn execute(
     let mut final_relation: Option<StagedInput> = None;
 
     if plan.staged.len() == 1 {
-        final_relation = staged[plan.join_order[0]].take();
+        final_relation = Some(
+            staged[plan.join_order[0]]
+                .take()
+                .expect("single input staged")
+                .reload(spill)?,
+        );
     } else if let Some(team) = &plan.join_team {
-        let inputs: Vec<&StagedRelation> = team
+        let members: Vec<StagedInput> = team
             .members
             .iter()
-            .map(|&m| &staged[m].as_ref().expect("staged").relation)
-            .collect();
+            .map(|&m| staged[m].take().expect("staged").reload(spill))
+            .collect::<Result<_>>()?;
+        let inputs: Vec<&StagedRelation> = members.iter().map(|i| &i.relation).collect();
         let keys: Vec<CompiledKey> = team
             .members
             .iter()
@@ -173,7 +198,8 @@ pub fn execute(
         // Binary cascade.
         let mut current = staged[plan.join_order[0]]
             .take()
-            .expect("first input staged");
+            .expect("first input staged")
+            .reload(spill)?;
         let mut current_schema = plan.staged[plan.join_order[0]].schema.clone();
         // Which column (if any) the current intermediate is sorted on.
         let mut sorted_on: Option<usize> = match &plan.staged[plan.join_order[0]].strategy {
@@ -183,7 +209,10 @@ pub fn execute(
 
         for (i, step) in plan.joins.iter().enumerate() {
             let right_desc = &plan.staged[step.right];
-            let right = staged[step.right].take().expect("right input staged");
+            let right = staged[step.right]
+                .take()
+                .expect("right input staged")
+                .reload(spill)?;
             let out_schema = current_schema.join(&right_desc.schema);
             let left_key = CompiledKey::compile(&current_schema, step.left_key);
             let right_key = CompiledKey::compile(&right_desc.schema, step.right_key);
@@ -280,7 +309,13 @@ pub fn execute(
                     JoinAlgorithm::Merge => Some(step.left_key),
                     _ => None,
                 };
-                current = StagedInput::unpartitioned(out);
+                // Under a memory budget, a large join temporary takes a
+                // round trip through the buffer pool before the next
+                // operator consumes it — the paper's temporary table in the
+                // buffer pool, subject to the same LRU pressure as base
+                // pages.
+                current =
+                    StagedSlot::stage(StagedInput::unpartitioned(out), spill)?.reload(spill)?;
                 current_schema = out_schema;
             } else {
                 current = StagedInput::unpartitioned(StagedRelation::new(out_schema.clone()));
@@ -398,6 +433,10 @@ pub fn execute(
         stats.rows_out = rows.len() as u64;
     }
     timings.record("output", t4.elapsed());
+
+    // Buffer-pool traffic of this execution (zero on memory-resident
+    // catalogs): base-page fetches plus temporary-table spills/reloads.
+    stats.io = catalog.pool_stats().since(&io_base);
 
     Ok(QueryResult {
         schema: plan.output_schema.clone(),

@@ -32,6 +32,7 @@ pub mod join;
 pub mod kernel;
 pub mod relation;
 pub mod source;
+pub mod spill;
 pub mod staging;
 
 pub use exec::ExecOptions;

@@ -1,0 +1,225 @@
+//! Spilling staged inputs and join temporaries through the buffer pool.
+//!
+//! The paper stages every input (and materializes join intermediates) as
+//! "temporary tables inside the buffer pool" (§IV).  When the plan carries a
+//! `memory_budget_pages` and the catalog runs in paged mode, the executor
+//! routes exactly those temporaries through the catalog's [`TempSpace`]:
+//! a staged relation larger than a fraction of the budget is written out as
+//! pool pages (dirty frames that the LRU policy evicts to disk under
+//! pressure) and reloaded when its consumer runs.  The reload materializes
+//! the whole relation again (DESIGN.md §9 known limits): spilling relieves
+//! memory between staging and consumption, not at consumption itself.
+//! The spill decision depends only on the relation's byte size, so
+//! `threads = N` spills exactly what `threads = 1` spills and results stay
+//! bit-identical for every budget.
+
+use std::collections::BTreeMap;
+
+use hique_storage::{SpillHandle, TempSpace};
+use hique_types::{Result, Schema};
+
+use crate::relation::StagedRelation;
+use crate::staging::StagedInput;
+
+/// Spill policy of one execution: where to spill and from what size.
+pub struct SpillContext<'a> {
+    temp: &'a TempSpace,
+    threshold_bytes: usize,
+}
+
+impl<'a> SpillContext<'a> {
+    /// Claim the catalog's spill space for one budgeted execution, spilling
+    /// temporaries larger than a quarter of the page budget's data capacity
+    /// — big enough that small queries stay memory-resident, small enough
+    /// that anything actually pressuring the budget goes to the pool.
+    ///
+    /// A context restarts the spill allocator (the previous execution's
+    /// temporaries are dead, their pages get reused), which is only sound
+    /// under exclusive use: when another execution already holds the space,
+    /// `None` is returned and the caller simply runs without spilling —
+    /// results are identical either way, so concurrent budgeted queries on
+    /// one catalog degrade gracefully instead of corrupting each other's
+    /// pages.  The claim is released when the context drops.
+    pub fn acquire(temp: &'a TempSpace, budget_pages: usize) -> Option<Self> {
+        if !temp.try_acquire() {
+            return None;
+        }
+        temp.reset();
+        let page_data = hique_storage::PAGE_SIZE - hique_storage::PAGE_HEADER_SIZE;
+        Some(SpillContext {
+            temp,
+            threshold_bytes: budget_pages.saturating_mul(page_data) / 4,
+        })
+    }
+
+    /// Byte size above which a staged relation is spilled.
+    pub fn threshold_bytes(&self) -> usize {
+        self.threshold_bytes
+    }
+}
+
+impl Drop for SpillContext<'_> {
+    fn drop(&mut self) {
+        self.temp.release();
+    }
+}
+
+/// A staged relation written out as pool pages, partition structure and
+/// fine directory preserved.
+pub struct SpilledInput {
+    schema: Schema,
+    tuple_size: usize,
+    parts: Vec<SpillHandle>,
+    fine_directory: Option<BTreeMap<i64, usize>>,
+}
+
+/// A staged input that is either memory-resident or spilled to the pool.
+pub enum StagedSlot {
+    /// Resident packed buffers.
+    Mem(StagedInput),
+    /// Partition page-ranges in the catalog's spill space.
+    Spilled(SpilledInput),
+}
+
+impl StagedSlot {
+    /// Wrap a freshly staged input, spilling it when a context is active
+    /// and the relation exceeds the threshold.
+    pub fn stage(input: StagedInput, ctx: Option<&SpillContext<'_>>) -> Result<StagedSlot> {
+        let Some(ctx) = ctx else {
+            return Ok(StagedSlot::Mem(input));
+        };
+        if input.relation.data_bytes() < ctx.threshold_bytes.max(1) {
+            return Ok(StagedSlot::Mem(input));
+        }
+        let rel = &input.relation;
+        let ts = rel.tuple_size();
+        let parts: Vec<SpillHandle> = (0..rel.num_partitions())
+            .map(|p| ctx.temp.spill_records(rel.partition(p), ts))
+            .collect::<Result<_>>()?;
+        Ok(StagedSlot::Spilled(SpilledInput {
+            schema: rel.schema().clone(),
+            tuple_size: ts,
+            parts,
+            fine_directory: input.fine_directory,
+        }))
+    }
+
+    /// Materialize the input for its consumer, reloading spilled partitions
+    /// through the pool.
+    pub fn reload(self, ctx: Option<&SpillContext<'_>>) -> Result<StagedInput> {
+        match self {
+            StagedSlot::Mem(input) => Ok(input),
+            StagedSlot::Spilled(spilled) => {
+                let ctx = ctx.ok_or_else(|| {
+                    hique_types::HiqueError::Execution(
+                        "spilled input reloaded without an active spill context".into(),
+                    )
+                })?;
+                let parts: Vec<Vec<u8>> = spilled
+                    .parts
+                    .iter()
+                    .map(|h| ctx.temp.reload(h))
+                    .collect::<Result<_>>()?;
+                debug_assert!(parts
+                    .iter()
+                    .all(|p| p.len() % spilled.tuple_size.max(1) == 0));
+                Ok(StagedInput {
+                    relation: StagedRelation::from_partitions(spilled.schema, parts),
+                    fine_directory: spilled.fine_directory,
+                })
+            }
+        }
+    }
+
+    /// True when the input currently lives in the spill space.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self, StagedSlot::Spilled(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_storage::BufferPool;
+    use hique_types::{Column, DataType, Row, Schema, Value};
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("v", DataType::Float64),
+        ])
+    }
+
+    fn staged(partitions: usize, rows: usize) -> StagedInput {
+        let mut rel = StagedRelation::with_partitions(schema(), partitions);
+        for i in 0..rows {
+            let rec = Row::new(vec![Value::Int32(i as i32), Value::Float64(i as f64)])
+                .to_record(&schema())
+                .unwrap();
+            rel.push_to(i % partitions, &rec);
+        }
+        StagedInput {
+            relation: rel,
+            fine_directory: Some((0..3i64).map(|k| (k, k as usize)).collect()),
+        }
+    }
+
+    fn temp_space(name: &str, budget: usize) -> (TempSpace, std::path::PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "hique_spill_ctx_{}_{name}.spill",
+            std::process::id()
+        ));
+        let pool = Arc::new(BufferPool::new(budget).unwrap());
+        (TempSpace::create(pool, &path).unwrap(), path)
+    }
+
+    #[test]
+    fn spill_and_reload_preserve_partitions_and_directory() {
+        let (temp, path) = temp_space("roundtrip", 2);
+        // Tiny budget: everything spills.
+        let ctx = SpillContext::acquire(&temp, 1).expect("space is free");
+        let input = staged(3, 500);
+        let original = input.relation.clone();
+        let slot = StagedSlot::stage(input, Some(&ctx)).unwrap();
+        assert!(slot.is_spilled());
+        let reloaded = slot.reload(Some(&ctx)).unwrap();
+        assert_eq!(reloaded.relation.num_partitions(), 3);
+        for p in 0..3 {
+            assert_eq!(reloaded.relation.partition(p), original.partition(p));
+        }
+        assert_eq!(
+            reloaded.fine_directory.as_ref().map(|d| d.len()),
+            Some(3usize)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn small_relations_stay_resident_and_no_context_means_no_spill() {
+        let (temp, path) = temp_space("resident", 4);
+        // Large budget: the 500-row relation is below a quarter of it.
+        let ctx = SpillContext::acquire(&temp, 4096).expect("space is free");
+        assert!(ctx.threshold_bytes() > 500 * 12);
+        let slot = StagedSlot::stage(staged(1, 500), Some(&ctx)).unwrap();
+        assert!(!slot.is_spilled());
+        let slot = StagedSlot::stage(staged(1, 500), None).unwrap();
+        assert!(!slot.is_spilled());
+        assert_eq!(slot.reload(None).unwrap().relation.num_records(), 500);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spill_space_is_exclusive_per_execution() {
+        let (temp, path) = temp_space("exclusive", 4);
+        let first = SpillContext::acquire(&temp, 1).expect("space is free");
+        // A concurrent execution cannot claim the space (it would reset the
+        // allocator under the first holder's handles) and runs unspilled.
+        assert!(SpillContext::acquire(&temp, 1).is_none());
+        drop(first);
+        // Released on drop: the next execution claims it again.
+        assert!(SpillContext::acquire(&temp, 1).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+}

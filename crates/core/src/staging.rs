@@ -61,17 +61,23 @@ struct ScanKernels {
 impl ScanKernels {
     /// Run the instantiated Listing 1 loop over the heap pages of `pages`,
     /// feeding every surviving projected record to `emit`.
+    ///
+    /// Pages are fetched through [`TableHeap::page_guard`], so the same
+    /// compiled loop serves memory-resident heaps (borrowed pages) and
+    /// pool-backed heaps (pinned frames, unpinned as each page's scan
+    /// finishes).
     fn scan_chunk(
         &self,
         heap: &TableHeap,
         pages: Range<usize>,
         stats: &mut ExecStats,
         mut emit: impl FnMut(&[u8], &mut ExecStats),
-    ) {
+    ) -> Result<()> {
         let mut buf = vec![0u8; self.projection.output_width()];
         // loop over pages / loop over tuples (Listing 1).
         for p in pages {
-            'tuples: for record in heap.page(p).records() {
+            let page = heap.page_guard(p)?;
+            'tuples: for record in page.records() {
                 stats.add_tuple(self.tuple_size);
                 for f in &self.filters {
                     stats.add_comparisons(1);
@@ -83,6 +89,7 @@ impl ScanKernels {
                 emit(&buf, stats);
             }
         }
+        Ok(())
     }
 }
 
@@ -146,24 +153,28 @@ pub fn stage_table_pooled(
                 ),
                 _ => None,
             };
-            let worker_outputs: Vec<(Vec<u8>, ExecStats)> = pool.map_items(&chunks, |_, pages| {
-                let mut local = ExecStats::new();
-                let mut out: Vec<u8> = Vec::new();
-                kernels.scan_chunk(heap, pages.clone(), &mut local, |rec, _| {
-                    out.extend_from_slice(rec)
-                });
-                // Sorting interleaved with the scan: each worker sorts its
-                // chunk (stable) so the merge below only has to interleave
-                // sorted runs.
-                if let Some(keys) = &sort_keys {
-                    if !pool.is_serial() {
-                        out = crate::relation::sorted_copy(&out, out_width, keys);
+            let worker_outputs: Vec<Result<(Vec<u8>, ExecStats)>> =
+                pool.map_items(&chunks, |_, pages| {
+                    let mut local = ExecStats::new();
+                    let mut out: Vec<u8> = Vec::new();
+                    kernels.scan_chunk(heap, pages.clone(), &mut local, |rec, _| {
+                        out.extend_from_slice(rec)
+                    })?;
+                    // Sorting interleaved with the scan: each worker sorts its
+                    // chunk (stable) so the merge below only has to interleave
+                    // sorted runs.
+                    if let Some(keys) = &sort_keys {
+                        if !pool.is_serial() {
+                            out = crate::relation::sorted_copy(&out, out_width, keys);
+                        }
                     }
-                }
-                (out, local)
-            });
-            let (runs, worker_stats): (Vec<Vec<u8>>, Vec<ExecStats>) =
-                worker_outputs.into_iter().unzip();
+                    Ok((out, local))
+                });
+            let (runs, worker_stats): (Vec<Vec<u8>>, Vec<ExecStats>) = worker_outputs
+                .into_iter()
+                .collect::<Result<Vec<_>>>()?
+                .into_iter()
+                .unzip();
             let total_records: usize = runs.iter().map(|b| b.len() / out_width.max(1)).sum();
             let mut rel = StagedRelation::new(out_schema.clone());
             rel.reserve(total_records);
@@ -214,17 +225,19 @@ pub fn stage_table_pooled(
             let key = CompiledKey::compile(&out_schema, *key_column);
             let m = (*partitions).max(1);
             stats.partition_passes += 1;
-            let worker_outputs: Vec<(Vec<Vec<u8>>, ExecStats)> =
-                pool.map_items(&chunks, |_, pages| {
+            let worker_outputs: Vec<(Vec<Vec<u8>>, ExecStats)> = pool
+                .map_items(&chunks, |_, pages| {
                     let mut local = ExecStats::new();
                     let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
                     kernels.scan_chunk(heap, pages.clone(), &mut local, |rec, local| {
                         local.add_hashes(1);
                         let p = (key.hash(rec) as usize) % m;
                         parts[p].extend_from_slice(rec);
-                    });
-                    (parts, local)
-                });
+                    })?;
+                    Ok((parts, local))
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>>>()?;
             // Per-partition concatenation in chunk order reproduces the
             // serial scan order within every partition.
             let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
@@ -245,30 +258,33 @@ pub fn stage_table_pooled(
         StagingStrategy::PartitionFine { key_column, .. } => {
             let key = CompiledKey::compile(&out_schema, *key_column);
             stats.partition_passes += 1;
-            let worker_outputs: Vec<FineChunk> = pool.map_items(&chunks, |_, pages| {
-                let mut chunk = FineChunk {
-                    directory: BTreeMap::new(),
-                    order: Vec::new(),
-                    parts: Vec::new(),
-                    stats: ExecStats::new(),
-                };
-                let (directory, order, parts) =
-                    (&mut chunk.directory, &mut chunk.order, &mut chunk.parts);
-                kernels.scan_chunk(heap, pages.clone(), &mut chunk.stats, |rec, local| {
-                    // Value → partition directory lookup (the sorted-array
-                    // binary search of the paper, realised as an ordered map).
-                    local.add_hashes(1);
-                    let k = key.as_i64(rec);
-                    let next = parts.len();
-                    let p = *directory.entry(k).or_insert_with(|| {
-                        parts.push(Vec::new());
-                        order.push(k);
-                        next
-                    });
-                    parts[p].extend_from_slice(rec);
-                });
-                chunk
-            });
+            let worker_outputs: Vec<FineChunk> = pool
+                .map_items(&chunks, |_, pages| {
+                    let mut chunk = FineChunk {
+                        directory: BTreeMap::new(),
+                        order: Vec::new(),
+                        parts: Vec::new(),
+                        stats: ExecStats::new(),
+                    };
+                    let (directory, order, parts) =
+                        (&mut chunk.directory, &mut chunk.order, &mut chunk.parts);
+                    kernels.scan_chunk(heap, pages.clone(), &mut chunk.stats, |rec, local| {
+                        // Value → partition directory lookup (the sorted-array
+                        // binary search of the paper, realised as an ordered map).
+                        local.add_hashes(1);
+                        let k = key.as_i64(rec);
+                        let next = parts.len();
+                        let p = *directory.entry(k).or_insert_with(|| {
+                            parts.push(Vec::new());
+                            order.push(k);
+                            next
+                        });
+                        parts[p].extend_from_slice(rec);
+                    })?;
+                    Ok(chunk)
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>>>()?;
             // Renumber partitions by global first occurrence: chunks are in
             // scan order, so visiting each chunk's keys in its local
             // first-occurrence order assigns exactly the ids the serial scan

@@ -122,8 +122,10 @@ pub struct ColumnStore {
 
 impl ColumnStore {
     /// Decompose an NSM heap into column arrays (the DSM "storage layer";
-    /// done at load time, not charged to query execution).
-    pub fn from_heap(heap: &TableHeap) -> ColumnStore {
+    /// done at load time, not charged to query execution).  The scan goes
+    /// through the heap's mode-agnostic record visitor, so a pool-backed
+    /// heap decomposes through pinned frames like any other reader.
+    pub fn from_heap(heap: &TableHeap) -> Result<ColumnStore> {
         let schema = heap.schema().clone();
         let n = heap.num_tuples();
         let mut columns: Vec<ColumnData> = schema
@@ -136,7 +138,7 @@ impl ColumnStore {
                 DataType::Char(_) => ColumnData::Str(Vec::with_capacity(n)),
             })
             .collect();
-        for record in heap.records() {
+        heap.for_each_record(|record| {
             for (c, col) in schema.columns().iter().enumerate() {
                 let off = schema.offset(c);
                 match (&mut columns[c], col.dtype) {
@@ -149,12 +151,12 @@ impl ColumnStore {
                     (ColumnData::Str(v), _) => v.push(String::new()),
                 }
             }
-        }
-        ColumnStore {
+        })?;
+        Ok(ColumnStore {
             schema,
             columns,
             rows: n,
-        }
+        })
     }
 }
 
@@ -166,13 +168,13 @@ pub struct DsmDatabase {
 
 impl DsmDatabase {
     /// Decompose every table of the catalog.
-    pub fn from_catalog(catalog: &Catalog) -> DsmDatabase {
+    pub fn from_catalog(catalog: &Catalog) -> Result<DsmDatabase> {
         let mut tables = HashMap::new();
         for name in catalog.table_names() {
             let info = catalog.table(name).expect("listed table exists");
-            tables.insert(name.to_string(), ColumnStore::from_heap(&info.heap));
+            tables.insert(name.to_string(), ColumnStore::from_heap(&info.heap)?);
         }
-        DsmDatabase { tables }
+        Ok(DsmDatabase { tables })
     }
 
     /// Look up a decomposed table.
@@ -211,7 +213,7 @@ mod tests {
 
     #[test]
     fn decomposition_round_trips_values() {
-        let store = ColumnStore::from_heap(&heap());
+        let store = ColumnStore::from_heap(&heap()).unwrap();
         assert_eq!(store.rows, 100);
         assert_eq!(store.columns.len(), 4);
         assert_eq!(store.columns[0].len(), 100);
@@ -234,7 +236,7 @@ mod tests {
 
     #[test]
     fn gather_and_keys() {
-        let store = ColumnStore::from_heap(&heap());
+        let store = ColumnStore::from_heap(&heap()).unwrap();
         let sel = vec![3u32, 5, 7];
         let g = store.columns[0].gather(&sel);
         assert_eq!(g, ColumnData::I32(vec![3, 5, 7]));
@@ -249,7 +251,7 @@ mod tests {
     fn database_from_catalog() {
         let mut catalog = Catalog::new();
         catalog.register_table("t", heap()).unwrap();
-        let db = DsmDatabase::from_catalog(&catalog);
+        let db = DsmDatabase::from_catalog(&catalog).unwrap();
         assert!(db.table("t").is_ok());
         assert!(db.table("T").is_ok());
         assert!(db.table("missing").is_err());

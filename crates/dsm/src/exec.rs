@@ -428,7 +428,7 @@ mod tests {
         let q = hique_sql::parse_query(sql).unwrap();
         let bound = hique_sql::analyze(&q, &CatalogProvider::new(cat)).unwrap();
         let plan = plan_query(&bound, cat, &PlannerConfig::default()).unwrap();
-        let db = DsmDatabase::from_catalog(cat);
+        let db = DsmDatabase::from_catalog(cat).unwrap();
         let dsm = execute_plan(&plan, &db).unwrap();
         let iter = hique_iter::execute_plan(&plan, cat, hique_iter::ExecMode::Optimized).unwrap();
         (dsm, iter)

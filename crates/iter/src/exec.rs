@@ -34,6 +34,7 @@ pub fn execute_plan_with(
 ) -> Result<QueryResult> {
     let ctx = ExecContext::new(mode);
     let started = Instant::now();
+    let io_base = catalog.pool_stats();
 
     // ---- Staged inputs ----------------------------------------------------
     let staged_iter = |t: usize, ctx: &ExecContext| -> Result<BoxedIterator<'_>> {
@@ -194,10 +195,14 @@ pub fn execute_plan_with(
 
     let mut timings = PhaseTimings::new();
     timings.record("total", started.elapsed());
+    let mut stats = ctx.stats();
+    // Buffer-pool traffic of this execution (zero on memory-resident
+    // catalogs).
+    stats.io = catalog.pool_stats().since(&io_base);
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
         rows,
-        stats: ctx.stats(),
+        stats,
         timings,
     })
 }

@@ -1,7 +1,7 @@
 //! Table scan iterator with filtering and projection.
 
 use hique_plan::StagedTable;
-use hique_storage::TableHeap;
+use hique_storage::{PageRef, TableHeap};
 use hique_types::{Result, Row, Schema};
 
 use crate::expr::filters_match;
@@ -11,12 +11,18 @@ use crate::iterator::{ExecContext, QueryIterator};
 /// columns — the iterator-engine counterpart of the paper's data staging
 /// scan (but producing one `Row` per `next()` call instead of a staged
 /// temporary table).
+///
+/// Pages are held through a [`PageRef`] guard, so the same iterator serves
+/// memory-resident heaps (borrowed pages) and pool-backed heaps: a paged
+/// heap's current page stays pinned in the buffer pool between `next()`
+/// calls and is unpinned when the scan moves on.
 pub struct ScanIterator<'a> {
     heap: &'a TableHeap,
     staged: StagedTable,
     ctx: ExecContext,
     page: usize,
     slot: usize,
+    current: Option<PageRef<'a>>,
     opened: bool,
 }
 
@@ -29,6 +35,7 @@ impl<'a> ScanIterator<'a> {
             ctx,
             page: 0,
             slot: 0,
+            current: None,
             opened: false,
         }
     }
@@ -39,6 +46,7 @@ impl QueryIterator for ScanIterator<'_> {
         self.ctx.add_calls(1);
         self.page = 0;
         self.slot = 0;
+        self.current = None;
         self.opened = true;
         Ok(())
     }
@@ -47,30 +55,46 @@ impl QueryIterator for ScanIterator<'_> {
         debug_assert!(self.opened, "next() before open()");
         // The caller/callee pair of the iterator interface.
         self.ctx.add_calls(2);
-        let base_schema = self.heap.schema();
-        while self.page < self.heap.num_pages() {
-            let page = self.heap.page(self.page);
-            while self.slot < page.num_tuples() {
-                let record = page.record(self.slot);
-                self.slot += 1;
-                self.ctx.add_tuple(record.len());
-                // Generic engines decode the whole tuple into boxed values
-                // before doing anything else with it.
-                let row = Row::from_record(base_schema, record);
-                self.ctx.add_generic_call(base_schema.len() as u64);
-                if !filters_match(&self.staged.filters, &row, &self.ctx) {
-                    continue;
+        loop {
+            if self.current.is_none() {
+                if self.page >= self.heap.num_pages() {
+                    return Ok(None);
                 }
-                return Ok(Some(row.project(&self.staged.keep)));
+                self.current = Some(self.heap.page_guard(self.page)?);
             }
-            self.page += 1;
-            self.slot = 0;
+            // Decode (copying) before advancing, so the record borrow from
+            // the guard does not outlive the cursor update.
+            let base_schema = self.heap.schema();
+            let decoded = {
+                let page = self.current.as_ref().expect("guard set above");
+                if self.slot < page.num_tuples() {
+                    let record = page.record(self.slot);
+                    self.ctx.add_tuple(record.len());
+                    // Generic engines decode the whole tuple into boxed
+                    // values before doing anything else with it.
+                    Some(Row::from_record(base_schema, record))
+                } else {
+                    None
+                }
+            };
+            let Some(row) = decoded else {
+                self.current = None;
+                self.page += 1;
+                self.slot = 0;
+                continue;
+            };
+            self.slot += 1;
+            self.ctx.add_generic_call(base_schema.len() as u64);
+            if !filters_match(&self.staged.filters, &row, &self.ctx) {
+                continue;
+            }
+            return Ok(Some(row.project(&self.staged.keep)));
         }
-        Ok(None)
     }
 
     fn close(&mut self) {
         self.ctx.add_calls(1);
+        self.current = None;
         self.opened = false;
     }
 

@@ -31,6 +31,13 @@ pub struct PlannerConfig {
     /// merge order, so `threads = N` returns the same result as `threads = 1`
     /// for every query (see DESIGN.md §7).
     pub threads: usize,
+    /// Memory budget in buffer-pool pages (0 = unbounded).  On a catalog
+    /// running in paged mode this is the budget the pool was sized with;
+    /// carrying it through the plan lets the executor spill staged
+    /// intermediates ("temporary tables inside the buffer pool", paper §IV)
+    /// once they outgrow a fraction of the budget.  Purely an execution
+    /// knob: results are identical for every value (see DESIGN.md §9).
+    pub memory_budget_pages: usize,
 }
 
 impl Default for PlannerConfig {
@@ -43,6 +50,7 @@ impl Default for PlannerConfig {
             enable_join_teams: true,
             fine_partition_limit: 1024,
             threads: 1,
+            memory_budget_pages: 0,
         }
     }
 }
@@ -77,6 +85,12 @@ impl PlannerConfig {
         self
     }
 
+    /// Builder-style override of the page budget (0 = unbounded).
+    pub fn with_memory_budget_pages(mut self, pages: usize) -> Self {
+        self.memory_budget_pages = pages;
+        self
+    }
+
     /// Number of groups up to which the map-aggregation value directories
     /// and aggregate arrays comfortably fit in the L2 cache.
     ///
@@ -101,6 +115,7 @@ mod tests {
         assert!(c.enable_join_teams);
         assert!(c.force_join_algorithm.is_none());
         assert_eq!(c.threads, 1);
+        assert_eq!(c.memory_budget_pages, 0);
         assert_eq!(c, PlannerConfig::paper_testbed());
     }
 
@@ -110,11 +125,13 @@ mod tests {
             .with_join_algorithm(JoinAlgorithm::Merge)
             .with_agg_algorithm(AggAlgorithm::Map)
             .with_join_teams(false)
-            .with_threads(4);
+            .with_threads(4)
+            .with_memory_budget_pages(256);
         assert_eq!(c.force_join_algorithm, Some(JoinAlgorithm::Merge));
         assert_eq!(c.force_agg_algorithm, Some(AggAlgorithm::Map));
         assert!(!c.enable_join_teams);
         assert_eq!(c.threads, 4);
+        assert_eq!(c.memory_budget_pages, 256);
         assert_eq!(PlannerConfig::default().with_threads(0).threads, 1);
     }
 

@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 
 use hique_sql::analyze::OutputExpr;
+use hique_types::ExecStats;
 
 use crate::physical::{PhysicalPlan, StagingStrategy};
 use crate::stats::q_error;
@@ -142,6 +143,9 @@ pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> Strin
     if let Some(l) = plan.limit {
         let _ = writeln!(out, "limit: {l}");
     }
+    if plan.memory_budget_pages > 0 {
+        let _ = writeln!(out, "memory budget: {} pages", plan.memory_budget_pages);
+    }
     let outputs: Vec<String> = plan
         .output
         .iter()
@@ -153,6 +157,21 @@ pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> Strin
         })
         .collect();
     let _ = writeln!(out, "output: {}", outputs.join(", "));
+    out
+}
+
+/// Render the plan together with the execution counters of one run,
+/// including the buffer-pool line (hits/misses/evictions and page I/O) that
+/// documents how a paged execution behaved under its memory budget.
+pub fn explain_with_stats(plan: &PhysicalPlan, actuals: &PlanActuals, stats: &ExecStats) -> String {
+    let mut out = explain_with_actuals(plan, actuals);
+    let io = &stats.io;
+    let _ = writeln!(
+        out,
+        "buffer pool: hits={} misses={} evictions={} pages_read={} pages_written={}",
+        io.pool_hits, io.pool_misses, io.pool_evictions, io.pages_read, io.pages_written
+    );
+    let _ = writeln!(out, "execution: {stats}");
     out
 }
 
@@ -227,5 +246,47 @@ mod tests {
         assert!(text.contains("actual 37"), "{text}");
         assert!(text.contains("actual 100"), "{text}");
         assert!(text.contains("q-error"), "{text}");
+    }
+
+    #[test]
+    fn explain_with_stats_renders_pool_counters_and_budget() {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("v", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..10 {
+            cat.table_mut("r")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i), Value::Float64(i as f64)]))
+                .unwrap();
+        }
+        let q = parse_query("select k from r where v > 1").unwrap();
+        let bound = analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        let config = PlannerConfig::default().with_memory_budget_pages(32);
+        let plan = plan_query(&bound, &cat, &config).unwrap();
+        assert_eq!(plan.memory_budget_pages, 32);
+
+        let mut stats = hique_types::ExecStats::new();
+        stats.io.pool_hits = 7;
+        stats.io.pool_misses = 3;
+        stats.io.pool_evictions = 2;
+        stats.io.pages_read = 3;
+        stats.io.pages_written = 2;
+        let text = explain_with_stats(&plan, &PlanActuals::unknown(&plan), &stats);
+        assert!(text.contains("memory budget: 32 pages"), "{text}");
+        assert!(
+            text.contains("buffer pool: hits=7 misses=3 evictions=2 pages_read=3 pages_written=2"),
+            "{text}"
+        );
+        assert!(text.contains("execution:"), "{text}");
+        // An unbudgeted plan renders no budget line.
+        let unbounded = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
+        assert!(!explain(&unbounded).contains("memory budget"));
     }
 }

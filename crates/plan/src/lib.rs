@@ -33,7 +33,7 @@ pub mod provider;
 pub mod stats;
 
 pub use config::PlannerConfig;
-pub use explain::{explain, explain_with_actuals, PlanActuals};
+pub use explain::{explain, explain_with_actuals, explain_with_stats, PlanActuals};
 pub use optimizer::plan_query;
 pub use physical::{
     AggAlgorithm, AggregateSpec, JoinAlgorithm, JoinStep, JoinTeam, PhysicalPlan, StagedTable,

@@ -21,7 +21,9 @@ use crate::physical::{
     AggAlgorithm, AggregateSpec, JoinAlgorithm, JoinStep, JoinTeam, PhysicalPlan, StagedTable,
     StagingStrategy,
 };
-use crate::stats::{estimate_filtered_rows, estimate_join_rows_dist, TableStats};
+use crate::stats::{
+    correlated_range_clamp, estimate_filtered_rows, estimate_join_rows_dist, TableStats,
+};
 
 /// Optimize a bound query into a physical plan.
 pub fn plan_query(
@@ -63,6 +65,15 @@ pub fn plan_query(
         };
         let cand_distinct = stats[candidate].distinct_or(cand_col, estimated_rows[candidate]);
         let other_distinct = stats[other_table].distinct_or(other_col, current_est);
+        // Correlated range predicates across the edge (e.g. Q3's
+        // o_orderdate/l_shipdate pair) shrink the predicate-filtered key
+        // domains beyond what the raw column-domain overlap sees.
+        let clamp = correlated_range_clamp(
+            &filters_per_table[other_table],
+            &stats[other_table],
+            &filters_per_table[candidate],
+            &stats[candidate],
+        );
         // The left side may be an intermediate result; its join-key values
         // still come from the base table owning the other end of the edge,
         // so that column's distribution bounds the key domain overlap.
@@ -73,6 +84,7 @@ pub fn plan_query(
             estimated_rows[candidate],
             stats[candidate].distribution(cand_col),
             cand_distinct,
+            clamp,
         )
     };
     let order = greedy_order(&estimated_rows, &bound.joins, &estimate_pair);
@@ -374,6 +386,7 @@ pub fn plan_query(
         order_by: bound.order_by.clone(),
         limit: bound.limit,
         threads: config.threads.max(1),
+        memory_budget_pages: config.memory_budget_pages,
     })
 }
 

@@ -196,6 +196,11 @@ pub struct PhysicalPlan {
     /// Worker threads the generated program should execute with (from
     /// [`crate::PlannerConfig::threads`]; 1 = serial).
     pub threads: usize,
+    /// Memory budget in buffer-pool pages (from
+    /// [`crate::PlannerConfig::memory_budget_pages`]; 0 = unbounded).  The
+    /// executor spills staged intermediates through the catalog's buffer
+    /// pool once they outgrow a fraction of this budget.
+    pub memory_budget_pages: usize,
 }
 
 impl PhysicalPlan {

@@ -199,6 +199,13 @@ pub fn estimate_join_rows(
 /// `|L|*|R|/max(d_L, d_R)` formula runs.  Disjoint key domains estimate
 /// zero.  Without distributions this degrades to [`estimate_join_rows`]
 /// with the provided distinct hints.
+///
+/// `filter_clamp` is a multiplier in `(0, 1]` produced by
+/// [`correlated_range_clamp`]: it intersects the *predicate-filtered* key
+/// domains of the two sides (concretely, correlated date windows such as
+/// Q3's `o_orderdate < D` against `l_shipdate > D`), which the raw
+/// column-domain overlap above cannot see.  Pass `1.0` when the sides carry
+/// no correlated predicates.
 pub fn estimate_join_rows_dist(
     left_rows: usize,
     left_key: Option<&ColumnDistribution>,
@@ -206,21 +213,36 @@ pub fn estimate_join_rows_dist(
     right_rows: usize,
     right_key: Option<&ColumnDistribution>,
     right_distinct_hint: usize,
+    filter_clamp: f64,
 ) -> usize {
     if left_rows == 0 || right_rows == 0 {
         return 0;
     }
+    let clamp = if filter_clamp > 0.0 && filter_clamp < 1.0 {
+        filter_clamp
+    } else {
+        1.0
+    };
+    let clamped = |est: usize| -> usize {
+        if est == 0 {
+            0
+        } else {
+            (est as f64 * clamp).round().max(1.0) as usize
+        }
+    };
     let (l, r) = match (left_key, right_key) {
         (Some(l), Some(r)) if l.rows > 0 && r.rows > 0 => (l, r),
         _ => {
             let dl = left_key.map_or(left_distinct_hint, |d| d.distinct);
             let dr = right_key.map_or(right_distinct_hint, |d| d.distinct);
-            return estimate_join_rows(left_rows, dl, right_rows, dr);
+            return clamped(estimate_join_rows(left_rows, dl, right_rows, dr));
         }
     };
     let (Some(lmin), Some(lmax), Some(rmin), Some(rmax)) = (l.min(), l.max(), r.min(), r.max())
     else {
-        return estimate_join_rows(left_rows, l.distinct, right_rows, r.distinct);
+        return clamped(estimate_join_rows(
+            left_rows, l.distinct, right_rows, r.distinct,
+        ));
     };
     let lo = if lmin.total_cmp(rmin).is_ge() {
         lmin
@@ -247,7 +269,105 @@ pub fn estimate_join_rows_dist(
     let eff_right = right_rows as f64 * rfrac;
     let dl = (l.distinct as f64 * lfrac).max(1.0);
     let dr = (r.distinct as f64 * rfrac).max(1.0);
-    (eff_left * eff_right / dl.max(dr)).round().max(1.0) as usize
+    (eff_left * eff_right / dl.max(dr) * clamp).round().max(1.0) as usize
+}
+
+/// Multiplier correcting a join estimate for *cross-table correlated range
+/// predicates* — the predicate-filtered key-domain intersection the raw
+/// column-domain overlap of [`estimate_join_rows_dist`] cannot express.
+///
+/// The motivating case is TPC-H Q3: `o_orderdate < D` on one join side and
+/// `l_shipdate > D` on the other.  Both columns describe the same time axis
+/// (their observed domains almost coincide), and a lineitem ships shortly
+/// after its order is placed, so the two windows are strongly
+/// anti-correlated across the `o_orderkey = l_orderkey` join: multiplying
+/// the per-side selectivities (the independence assumption baked into the
+/// filtered row counts) over-estimates the join by roughly 10×.
+///
+/// The correction intersects the two predicate windows on the shared axis:
+/// when date-typed range predicates exist on both sides and the columns'
+/// observed domains substantially overlap, the joint fraction is estimated
+/// as the fraction of the domain satisfying *both* predicate sets at once,
+/// floored by a square-root damping of the independent product — the
+/// intersection is exact only if the two columns were equal across the
+/// join, and the damping keeps the clamp conservative for loosely
+/// correlated pairs.  Sides without such a predicate pair return `1.0`
+/// (no correction); the clamp never raises an estimate.
+pub fn correlated_range_clamp(
+    left_filters: &[ColumnFilter],
+    left: &TableStats,
+    right_filters: &[ColumnFilter],
+    right: &TableStats,
+) -> f64 {
+    // Date-typed columns carrying range/equality predicates, per side.
+    let date_preds =
+        |filters: &[ColumnFilter], stats: &TableStats| -> Vec<(usize, Vec<(CmpKind, Value)>)> {
+            let mut by_column: std::collections::BTreeMap<usize, Vec<(CmpKind, Value)>> =
+                Default::default();
+            for f in filters {
+                if !matches!(f.value, Value::Date(_)) {
+                    continue;
+                }
+                if stats.distribution(f.column).is_none_or(|d| d.rows == 0) {
+                    continue;
+                }
+                by_column
+                    .entry(f.column)
+                    .or_default()
+                    .push((cmp_kind(f.op), f.value.clone()));
+            }
+            by_column.into_iter().collect()
+        };
+    let span = |stats: &TableStats, column: usize| -> Option<(i64, i64)> {
+        let d = stats.distribution(column)?;
+        match (d.min(), d.max()) {
+            (Some(Value::Date(lo)), Some(Value::Date(hi))) => Some((*lo as i64, *hi as i64)),
+            _ => None,
+        }
+    };
+
+    let mut clamp = 1.0f64;
+    for (lcol, lpreds) in date_preds(left_filters, left) {
+        let Some((llo, lhi)) = span(left, lcol) else {
+            continue;
+        };
+        for (rcol, rpreds) in date_preds(right_filters, right) {
+            let Some((rlo, rhi)) = span(right, rcol) else {
+                continue;
+            };
+            // The two columns must describe the same axis: their observed
+            // domains overlap over at least half of each span.
+            let inter = (lhi.min(rhi) - llo.max(rlo)) as f64;
+            if inter <= 0.0 || inter < 0.5 * (lhi - llo) as f64 || inter < 0.5 * (rhi - rlo) as f64
+            {
+                continue;
+            }
+            let ldist = left.distribution(lcol).expect("checked above");
+            let rdist = right.distribution(rcol).expect("checked above");
+            fn as_refs(preds: &[(CmpKind, Value)]) -> Vec<(CmpKind, &Value)> {
+                preds.iter().map(|(k, v)| (*k, v)).collect()
+            }
+            let s_l = ldist.conjunction_fraction(&as_refs(&lpreds));
+            let s_r = rdist.conjunction_fraction(&as_refs(&rpreds));
+            let independent = s_l * s_r;
+            if independent <= 0.0 || independent >= 1.0 {
+                continue;
+            }
+            // Both windows applied to one shared axis: the intersection of
+            // the predicate-filtered domains, evaluated on *both* sides'
+            // distributions and averaged so the clamp is independent of
+            // which side the greedy search treats as the current
+            // intermediate (the same edge is costed from both directions).
+            let mut joint_preds = as_refs(&lpreds);
+            joint_preds.extend(as_refs(&rpreds));
+            let intersected = 0.5
+                * (ldist.conjunction_fraction(&joint_preds)
+                    + rdist.conjunction_fraction(&joint_preds));
+            let corrected = intersected.max(independent * independent.sqrt());
+            clamp = clamp.min((corrected / independent).min(1.0));
+        }
+    }
+    clamp
 }
 
 /// The q-error of a cardinality estimate: `max(est/actual, actual/est)`
@@ -419,23 +539,91 @@ mod tests {
         let r = keys(0..1000);
         // Full overlap behaves like the classic formula.
         assert_eq!(
-            estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r), 0),
+            estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r), 0, 1.0),
             1000
         );
         // Half overlap: only the shared half of each domain can match.
         let r_half = keys(500..1500);
-        let est = estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r_half), 0);
+        let est = estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r_half), 0, 1.0);
         assert!((400..=600).contains(&est), "{est}");
         // Disjoint domains cannot match at all.
         let r_far = keys(5000..6000);
         assert_eq!(
-            estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r_far), 0),
+            estimate_join_rows_dist(1000, Some(&l), 0, 1000, Some(&r_far), 0, 1.0),
             0
         );
         // Missing distributions degrade to the hint-based formula.
         assert_eq!(
-            estimate_join_rows_dist(1000, None, 100, 500, None, 100),
+            estimate_join_rows_dist(1000, None, 100, 500, None, 100, 1.0),
             5000
+        );
+    }
+
+    #[test]
+    fn correlated_date_windows_clamp_join_estimates() {
+        let dates =
+            |lo: i32, hi: i32| ColumnDistribution::build((lo..hi).map(Value::Date).collect());
+        let f = |op, v| ColumnFilter {
+            table: 0,
+            column: 0,
+            op,
+            value: Value::Date(v),
+        };
+        let left = TableStats::from_columns(2000, vec![dates(0, 2000)]);
+        let right = TableStats::from_columns(2000, vec![dates(0, 2000)]);
+
+        // Q3 shape: `left < D` against `right > D` — the predicate windows
+        // are disjoint on the shared axis, so the clamp falls to the
+        // square-root damping floor sqrt(s_l * s_r).
+        let lf = [f(CmpOp::Lt, 1000)];
+        let rf = [f(CmpOp::Gt, 1000)];
+        let clamp = correlated_range_clamp(&lf, &left, &rf, &right);
+        assert!((clamp - 0.5).abs() < 0.05, "{clamp}");
+        // Direction-independent: the greedy search costs the same edge from
+        // both sides, so swapped roles must produce the same clamp.
+        let swapped = correlated_range_clamp(&rf, &right, &lf, &left);
+        assert!((clamp - swapped).abs() < 1e-9, "{clamp} vs {swapped}");
+
+        // Aligned windows (`> D` on both sides): the intersection equals
+        // each window, so positively correlated predicates are not clamped.
+        let rf_same = [f(CmpOp::Gt, 1000)];
+        let clamp = correlated_range_clamp(&rf_same, &left, &rf_same, &right);
+        assert_eq!(clamp, 1.0);
+
+        // A predicate on only one side, a non-date predicate pair, or
+        // disjoint observed domains: no correction.
+        assert_eq!(correlated_range_clamp(&lf, &left, &[], &right), 1.0);
+        let ints = TableStats::from_columns(
+            2000,
+            vec![ColumnDistribution::build(
+                (0..2000).map(Value::Int32).collect(),
+            )],
+        );
+        let int_f = [ColumnFilter {
+            table: 0,
+            column: 0,
+            op: CmpOp::Gt,
+            value: Value::Int32(1000),
+        }];
+        assert_eq!(correlated_range_clamp(&int_f, &ints, &int_f, &ints), 1.0);
+        let far = TableStats::from_columns(2000, vec![dates(10_000, 12_000)]);
+        let far_f = [f(CmpOp::Lt, 11_000)];
+        assert_eq!(correlated_range_clamp(&lf, &left, &far_f, &far), 1.0);
+
+        // The clamp scales the join estimate itself.
+        let keys = ColumnDistribution::build((0..1000).map(Value::Int32).collect());
+        let unclamped = estimate_join_rows_dist(1000, Some(&keys), 0, 1000, Some(&keys), 0, 1.0);
+        let clamped = estimate_join_rows_dist(1000, Some(&keys), 0, 1000, Some(&keys), 0, 0.5);
+        assert_eq!(clamped, unclamped / 2);
+        // Out-of-range multipliers are ignored rather than amplifying.
+        assert_eq!(
+            estimate_join_rows_dist(1000, Some(&keys), 0, 1000, Some(&keys), 0, 7.0),
+            unclamped
+        );
+        // Empty inputs still estimate zero whatever the clamp.
+        assert_eq!(
+            estimate_join_rows_dist(0, Some(&keys), 0, 1000, Some(&keys), 0, 0.5),
+            0
         );
     }
 

@@ -2,18 +2,47 @@
 //!
 //! "A buffer manager is responsible for buffering disk pages ...; it uses the
 //! LRU replacement policy." (paper, §IV).  The pool caches a bounded number
-//! of pages of one [`DiskManager`] file, evicting the least-recently-used
-//! unpinned frame when full, and writes dirty frames back on eviction and on
-//! flush.
+//! of pages across any number of registered [`DiskManager`] files — base
+//! tables and the shared temporary-spill file all compete for the same
+//! `capacity` frames, which is what makes `memory_budget_pages` a single
+//! global knob.  The least-recently-used unpinned frame is evicted when the
+//! pool is full; dirty frames are written back on eviction and on flush.
+//!
+//! Pin/unpin is safe under the `crates/par` scoped pool: all state
+//! transitions (including the disk read that fills a missing frame) happen
+//! under one mutex, so two workers fetching the same non-resident page can
+//! never double-insert a frame and lose a pin count.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hique_types::{HiqueError, Result};
+use hique_types::{HiqueError, IoStats, Result};
 use parking_lot::Mutex;
 
 use crate::disk::DiskManager;
 use crate::page::Page;
+
+/// Identifier of a file registered with a [`BufferPool`].
+pub type FileId = u32;
+
+/// Address of one page: which registered file, and which page within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId {
+    /// File handle returned by [`BufferPool::register_file`].
+    pub file: FileId,
+    /// Page number within the file.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Convenience constructor.
+    pub fn new(file: FileId, page: usize) -> Self {
+        PageId {
+            file,
+            page: page as u32,
+        }
+    }
+}
 
 struct Frame {
     page: Page,
@@ -24,51 +53,88 @@ struct Frame {
 }
 
 struct PoolState {
-    frames: HashMap<usize, Frame>,
+    frames: HashMap<PageId, Frame>,
+    files: HashMap<FileId, Arc<DiskManager>>,
+    next_file: FileId,
     clock: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    stats: BufferPoolStats,
 }
 
 /// A fixed-capacity LRU cache of disk pages.
 pub struct BufferPool {
-    disk: Arc<DiskManager>,
     capacity: usize,
     state: Mutex<PoolState>,
 }
 
-/// Counters describing buffer pool behaviour (exposed for tests and the
-/// experiment harness).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Counters describing buffer pool behaviour (exposed through
+/// [`hique_types::ExecStats::io`], `EXPLAIN`, and the experiment harness).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BufferPoolStats {
     /// Page requests served from memory.
     pub hits: u64,
-    /// Page requests that had to read from disk.
+    /// Page requests that had to read from disk (including pool-bypass
+    /// reads taken when every frame was pinned).
     pub misses: u64,
     /// Frames evicted to make room.
     pub evictions: u64,
+    /// Whole pages read from disk.
+    pub pages_read: u64,
+    /// Whole pages written to disk (eviction write-back and flush).
+    pub pages_written: u64,
+}
+
+impl BufferPoolStats {
+    /// The I/O performed since `base` was snapshotted, as the engine-level
+    /// counter struct.
+    pub fn since(&self, base: &BufferPoolStats) -> IoStats {
+        IoStats {
+            pool_hits: self.hits - base.hits,
+            pool_misses: self.misses - base.misses,
+            pool_evictions: self.evictions - base.evictions,
+            pages_read: self.pages_read - base.pages_read,
+            pages_written: self.pages_written - base.pages_written,
+        }
+    }
+}
+
+/// Outcome of a [`BufferPool::fetch_or_bypass`] request.
+pub enum Fetched {
+    /// The page is resident and pinned; the caller must
+    /// [`BufferPool::unpin`] it.
+    Pinned(Page),
+    /// Every frame was pinned at capacity, so the page was read directly
+    /// from disk without entering the pool.  Nothing to unpin.
+    Bypassed(Page),
 }
 
 impl BufferPool {
-    /// Create a pool of at most `capacity` frames over `disk`.
-    pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Result<Self> {
+    /// Create a pool of at most `capacity` frames.
+    pub fn new(capacity: usize) -> Result<Self> {
         if capacity == 0 {
             return Err(HiqueError::Storage(
                 "buffer pool capacity must be > 0".into(),
             ));
         }
         Ok(BufferPool {
-            disk,
             capacity,
             state: Mutex::new(PoolState {
                 frames: HashMap::new(),
+                files: HashMap::new(),
+                next_file: 0,
                 clock: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
+                stats: BufferPoolStats::default(),
             }),
         })
+    }
+
+    /// Register a disk file with the pool, returning the handle used in
+    /// [`PageId`]s.
+    pub fn register_file(&self, disk: Arc<DiskManager>) -> FileId {
+        let mut s = self.state.lock();
+        let id = s.next_file;
+        s.next_file += 1;
+        s.files.insert(id, disk);
+        id
     }
 
     /// Maximum number of resident frames.
@@ -76,14 +142,9 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Hit/miss/eviction counters.
+    /// Hit/miss/eviction and page I/O counters.
     pub fn stats(&self) -> BufferPoolStats {
-        let s = self.state.lock();
-        BufferPoolStats {
-            hits: s.hits,
-            misses: s.misses,
-            evictions: s.evictions,
-        }
+        self.state.lock().stats
     }
 
     /// Number of pages currently resident.
@@ -95,30 +156,73 @@ impl BufferPool {
     /// and return a copy of its contents.
     ///
     /// The pool hands out copies rather than references so callers never
-    /// hold locks across query execution; `unpin` releases the frame for
-    /// eviction and `write_page` installs modified contents.
-    pub fn fetch_page(&self, page_no: usize) -> Result<Page> {
+    /// hold the pool lock across query execution; `unpin` releases the frame
+    /// for eviction and `write` installs modified contents.  Errors with a
+    /// typed [`HiqueError::Storage`] when every frame is pinned at capacity
+    /// (see [`BufferPool::fetch_or_bypass`] for the non-failing scan path).
+    pub fn fetch(&self, id: PageId) -> Result<Page> {
         let mut s = self.state.lock();
+        match Self::fetch_locked(&mut s, self.capacity, id, false)? {
+            Fetched::Pinned(page) => Ok(page),
+            Fetched::Bypassed(_) => unreachable!("strict fetch errors instead of bypassing"),
+        }
+    }
+
+    /// Like [`BufferPool::fetch`], but when every frame is pinned at
+    /// capacity the page is read directly from disk (uncached, unpinned)
+    /// instead of failing — scans always make progress, even with a
+    /// capacity-1 pool shared by several workers.
+    pub fn fetch_or_bypass(&self, id: PageId) -> Result<Fetched> {
+        let mut s = self.state.lock();
+        Self::fetch_locked(&mut s, self.capacity, id, true)
+    }
+
+    fn fetch_locked(
+        s: &mut PoolState,
+        capacity: usize,
+        id: PageId,
+        allow_bypass: bool,
+    ) -> Result<Fetched> {
         s.clock += 1;
         let clock = s.clock;
-        if let Some(frame) = s.frames.get_mut(&page_no) {
+        if let Some(frame) = s.frames.get_mut(&id) {
             frame.pin_count += 1;
             frame.last_used = clock;
             let page = frame.page.clone();
-            s.hits += 1;
-            return Ok(page);
+            s.stats.hits += 1;
+            return Ok(Fetched::Pinned(page));
         }
-        s.misses += 1;
-        // Need to bring the page in; make room first.
-        if s.frames.len() >= self.capacity {
-            Self::evict_one(&mut s, &self.disk)?;
+        // Resolve the file before evicting anything: a request for an
+        // unregistered file must fail without churning a victim out of the
+        // pool or skewing the miss counters as a side effect.
+        let disk = s
+            .files
+            .get(&id.file)
+            .cloned()
+            .ok_or_else(|| HiqueError::Storage(format!("unregistered file {}", id.file)))?;
+        // Need to bring the page in; make room first.  A full pool with
+        // every frame pinned either errors (strict fetch, before touching
+        // the disk or the miss counters) or degrades to a bypass read.
+        let mut bypass = false;
+        if s.frames.len() >= capacity && !Self::evict_one(s)? {
+            if !allow_bypass {
+                return Err(HiqueError::Storage(
+                    "buffer pool exhausted: every frame is pinned".into(),
+                ));
+            }
+            bypass = true;
         }
-        drop(s);
-        let page = self.disk.read_page(page_no)?;
-        let mut s = self.state.lock();
-        let clock = s.clock;
+        s.stats.misses += 1;
+        // The read happens under the pool lock on purpose: it serializes
+        // fills of the same page, so concurrent workers can never insert two
+        // frames for one PageId (which would silently drop a pin count).
+        let page = disk.read_page(id.page as usize)?;
+        s.stats.pages_read += 1;
+        if bypass {
+            return Ok(Fetched::Bypassed(page));
+        }
         s.frames.insert(
-            page_no,
+            id,
             Frame {
                 page: page.clone(),
                 pin_count: 1,
@@ -126,25 +230,38 @@ impl BufferPool {
                 last_used: clock,
             },
         );
-        Ok(page)
+        Ok(Fetched::Pinned(page))
     }
 
-    /// Install new contents for `page_no`, marking the frame dirty.
-    pub fn write_page(&self, page_no: usize, page: Page) -> Result<()> {
+    /// Install new contents for `id`, marking the frame dirty.  A frame that
+    /// is currently pinned keeps its pin count.  When the pool is full of
+    /// pinned frames the page is written straight to disk instead.
+    pub fn write(&self, id: PageId, page: Page) -> Result<()> {
         let mut s = self.state.lock();
+        // Validate the file before touching any state: installing a dirty
+        // frame for an unregistered file would create an unevictable orphan
+        // that wedges every later eviction.
+        let disk = s
+            .files
+            .get(&id.file)
+            .cloned()
+            .ok_or_else(|| HiqueError::Storage(format!("unregistered file {}", id.file)))?;
         s.clock += 1;
         let clock = s.clock;
-        if let Some(frame) = s.frames.get_mut(&page_no) {
+        if let Some(frame) = s.frames.get_mut(&id) {
             frame.page = page;
             frame.dirty = true;
             frame.last_used = clock;
             return Ok(());
         }
-        if s.frames.len() >= self.capacity {
-            Self::evict_one(&mut s, &self.disk)?;
+        if s.frames.len() >= self.capacity && !Self::evict_one(&mut s)? {
+            // Fully pinned pool: write through to disk, bypassing the pool.
+            disk.write_page(id.page as usize, &page)?;
+            s.stats.pages_written += 1;
+            return Ok(());
         }
         s.frames.insert(
-            page_no,
+            id,
             Frame {
                 page,
                 pin_count: 0,
@@ -156,15 +273,22 @@ impl BufferPool {
     }
 
     /// Decrement the pin count of a previously fetched page.
-    pub fn unpin(&self, page_no: usize) -> Result<()> {
+    ///
+    /// Unpinning a page that is not resident, or whose pin count is already
+    /// zero, is an accounting bug and returns a typed error rather than
+    /// panicking or wrapping around.
+    pub fn unpin(&self, id: PageId) -> Result<()> {
         let mut s = self.state.lock();
-        let frame = s
-            .frames
-            .get_mut(&page_no)
-            .ok_or_else(|| HiqueError::Storage(format!("unpin of non-resident page {page_no}")))?;
+        let frame = s.frames.get_mut(&id).ok_or_else(|| {
+            HiqueError::Storage(format!(
+                "unpin of non-resident page {}:{}",
+                id.file, id.page
+            ))
+        })?;
         if frame.pin_count == 0 {
             return Err(HiqueError::Storage(format!(
-                "unpin of unpinned page {page_no}"
+                "unpin of unpinned page {}:{}",
+                id.file, id.page
             )));
         }
         frame.pin_count -= 1;
@@ -174,36 +298,70 @@ impl BufferPool {
     /// Write every dirty frame back to disk.
     pub fn flush_all(&self) -> Result<()> {
         let mut s = self.state.lock();
-        let dirty: Vec<usize> = s
+        let dirty: Vec<PageId> = s
             .frames
             .iter()
             .filter(|(_, f)| f.dirty)
-            .map(|(&no, _)| no)
+            .map(|(&id, _)| id)
             .collect();
-        for no in dirty {
-            let page = s.frames[&no].page.clone();
-            self.disk.write_page(no, &page)?;
-            s.frames.get_mut(&no).expect("frame exists").dirty = false;
+        for id in dirty {
+            let disk = s
+                .files
+                .get(&id.file)
+                .cloned()
+                .ok_or_else(|| HiqueError::Storage(format!("unregistered file {}", id.file)))?;
+            let page = s.frames[&id].page.clone();
+            disk.write_page(id.page as usize, &page)?;
+            s.stats.pages_written += 1;
+            s.frames.get_mut(&id).expect("frame exists").dirty = false;
         }
         Ok(())
     }
 
-    fn evict_one(s: &mut PoolState, disk: &DiskManager) -> Result<()> {
-        let victim = s
+    /// Evict the least-recently-used unpinned frame, writing it back if
+    /// dirty.  Returns `Ok(false)` when every frame is pinned (the caller
+    /// decides whether that is an error or a bypass); a failed dirty
+    /// write-back re-inserts the frame and surfaces the typed error — a
+    /// dirty page is never silently dropped.
+    fn evict_one(s: &mut PoolState) -> Result<bool> {
+        let Some(victim) = s
             .frames
             .iter()
             .filter(|(_, f)| f.pin_count == 0)
             .min_by_key(|(_, f)| f.last_used)
-            .map(|(&no, _)| no)
-            .ok_or_else(|| {
-                HiqueError::Storage("buffer pool exhausted: every frame is pinned".into())
-            })?;
+            .map(|(&id, _)| id)
+        else {
+            return Ok(false);
+        };
         let frame = s.frames.remove(&victim).expect("victim exists");
         if frame.dirty {
-            disk.write_page(victim, &frame.page)?;
+            let Some(disk) = s.files.get(&victim.file).cloned() else {
+                s.frames.insert(victim, frame);
+                return Err(HiqueError::Storage(format!(
+                    "dirty frame {}:{} has no registered file to write back to",
+                    victim.file, victim.page
+                )));
+            };
+            if let Err(e) = disk.write_page(victim.page as usize, &frame.page) {
+                s.frames.insert(victim, frame);
+                return Err(e);
+            }
+            s.stats.pages_written += 1;
         }
-        s.evictions += 1;
-        Ok(())
+        s.stats.evictions += 1;
+        Ok(true)
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &s.frames.len())
+            .field("files", &s.files.len())
+            .field("stats", &s.stats)
+            .finish()
     }
 }
 
@@ -227,92 +385,236 @@ mod tests {
         p
     }
 
-    fn setup(name: &str, pages: usize) -> (Arc<DiskManager>, PathBuf) {
+    /// A pool over one freshly written file of `pages` pages.
+    fn setup(name: &str, pages: usize, capacity: usize) -> (BufferPool, FileId, PathBuf) {
         let path = temp_path(name);
+        std::fs::remove_file(&path).ok();
         let dm = Arc::new(DiskManager::open(&path).unwrap());
         for i in 0..pages {
             dm.write_page(i, &page_with(i as u64)).unwrap();
         }
-        (dm, path)
+        let pool = BufferPool::new(capacity).unwrap();
+        let file = pool.register_file(dm);
+        (pool, file, path)
     }
 
     #[test]
-    fn fetch_hits_after_first_miss() {
-        let (dm, path) = setup("hits", 3);
-        let pool = BufferPool::new(dm, 2).unwrap();
-        pool.fetch_page(0).unwrap();
-        pool.unpin(0).unwrap();
-        pool.fetch_page(0).unwrap();
-        pool.unpin(0).unwrap();
+    fn fetch_hits_after_first_miss_with_exact_counters() {
+        let (pool, f, path) = setup("hits", 3, 2);
+        pool.fetch(PageId::new(f, 0)).unwrap();
+        pool.unpin(PageId::new(f, 0)).unwrap();
+        pool.fetch(PageId::new(f, 0)).unwrap();
+        pool.unpin(PageId::new(f, 0)).unwrap();
         let stats = pool.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
+        assert_eq!(stats.pages_read, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.pages_written, 0);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let (dm, path) = setup("lru", 3);
-        let pool = BufferPool::new(dm, 2).unwrap();
-        pool.fetch_page(0).unwrap();
-        pool.unpin(0).unwrap();
-        pool.fetch_page(1).unwrap();
-        pool.unpin(1).unwrap();
+        let (pool, f, path) = setup("lru", 3, 2);
+        let id = |p: usize| PageId::new(f, p);
+        pool.fetch(id(0)).unwrap();
+        pool.unpin(id(0)).unwrap();
+        pool.fetch(id(1)).unwrap();
+        pool.unpin(id(1)).unwrap();
         // Touch page 0 so page 1 becomes the LRU victim.
-        pool.fetch_page(0).unwrap();
-        pool.unpin(0).unwrap();
-        pool.fetch_page(2).unwrap();
-        pool.unpin(2).unwrap();
+        pool.fetch(id(0)).unwrap();
+        pool.unpin(id(0)).unwrap();
+        pool.fetch(id(2)).unwrap();
+        pool.unpin(id(2)).unwrap();
         assert_eq!(pool.resident(), 2);
         assert_eq!(pool.stats().evictions, 1);
         // Page 0 should still be a hit, page 1 a miss.
         let before = pool.stats().misses;
-        pool.fetch_page(0).unwrap();
-        pool.unpin(0).unwrap();
+        pool.fetch(id(0)).unwrap();
+        pool.unpin(id(0)).unwrap();
         assert_eq!(pool.stats().misses, before);
-        pool.fetch_page(1).unwrap();
-        pool.unpin(1).unwrap();
+        pool.fetch(id(1)).unwrap();
+        pool.unpin(id(1)).unwrap();
         assert_eq!(pool.stats().misses, before + 1);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn pinned_pages_are_not_evicted() {
-        let (dm, path) = setup("pinned", 3);
-        let pool = BufferPool::new(dm, 1).unwrap();
-        pool.fetch_page(0).unwrap(); // stays pinned
-        assert!(pool.fetch_page(1).is_err());
-        pool.unpin(0).unwrap();
-        assert!(pool.fetch_page(1).is_ok());
+    fn capacity_one_pool_cycles_through_pages() {
+        // The smallest legal pool must still serve any number of pages.
+        let (pool, f, path) = setup("cap1", 4, 1);
+        for round in 0..2 {
+            for p in 0..4usize {
+                let page = pool.fetch(PageId::new(f, p)).unwrap();
+                assert_eq!(page.record(0), &(p as u64).to_le_bytes(), "round {round}");
+                pool.unpin(PageId::new(f, p)).unwrap();
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 8); // nothing can ever be re-used
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 7); // every fill after the first evicts
+        assert_eq!(pool.resident(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted_and_strict_fetch_errors() {
+        let (pool, f, path) = setup("pinned", 3, 1);
+        pool.fetch(PageId::new(f, 0)).unwrap(); // stays pinned
+        let err = pool.fetch(PageId::new(f, 1)).unwrap_err();
+        assert!(err.to_string().contains("every frame is pinned"), "{err}");
+        // The bypass path still reads the right page without touching the
+        // pinned frame.
+        match pool.fetch_or_bypass(PageId::new(f, 1)).unwrap() {
+            Fetched::Bypassed(page) => assert_eq!(page.record(0), &1u64.to_le_bytes()),
+            Fetched::Pinned(_) => panic!("expected a bypass read"),
+        }
+        assert_eq!(pool.resident(), 1);
+        pool.unpin(PageId::new(f, 0)).unwrap();
+        assert!(pool.fetch(PageId::new(f, 1)).is_ok());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn dirty_pages_written_back_on_eviction_and_flush() {
-        let (dm, path) = setup("dirty", 2);
+        let path = temp_path("dirty");
+        std::fs::remove_file(&path).ok();
+        let dm = Arc::new(DiskManager::open(&path).unwrap());
+        dm.write_page(0, &page_with(0)).unwrap();
+        dm.write_page(1, &page_with(1)).unwrap();
         {
-            let pool = BufferPool::new(Arc::clone(&dm), 1).unwrap();
-            pool.write_page(0, page_with(100)).unwrap();
+            let pool = BufferPool::new(1).unwrap();
+            let f = pool.register_file(Arc::clone(&dm));
+            pool.write(PageId::new(f, 0), page_with(100)).unwrap();
             // Evict page 0 by fetching page 1.
-            pool.fetch_page(1).unwrap();
-            pool.unpin(1).unwrap();
+            pool.fetch(PageId::new(f, 1)).unwrap();
+            pool.unpin(PageId::new(f, 1)).unwrap();
             assert_eq!(dm.read_page(0).unwrap().record(0), &100u64.to_le_bytes());
-            pool.write_page(1, page_with(200)).unwrap();
+            assert_eq!(pool.stats().pages_written, 1);
+            pool.write(PageId::new(f, 1), page_with(200)).unwrap();
             pool.flush_all().unwrap();
+            assert_eq!(pool.stats().pages_written, 2);
         }
         assert_eq!(dm.read_page(1).unwrap().record(0), &200u64.to_le_bytes());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn unpin_errors() {
-        let (dm, path) = setup("unpin", 1);
-        let pool = BufferPool::new(dm, 2).unwrap();
-        assert!(pool.unpin(0).is_err());
-        pool.fetch_page(0).unwrap();
-        pool.unpin(0).unwrap();
-        assert!(pool.unpin(0).is_err());
-        assert!(BufferPool::new(Arc::new(DiskManager::open(&path).unwrap()), 0).is_err());
+    fn reread_after_eviction_returns_latest_contents() {
+        let (pool, f, path) = setup("reread", 2, 1);
+        pool.write(PageId::new(f, 0), page_with(77)).unwrap();
+        pool.fetch(PageId::new(f, 1)).unwrap(); // evicts dirty page 0
+        pool.unpin(PageId::new(f, 1)).unwrap();
+        let page = pool.fetch(PageId::new(f, 0)).unwrap();
+        assert_eq!(page.record(0), &77u64.to_le_bytes());
+        pool.unpin(PageId::new(f, 0)).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.pages_read, 2); // page 1, then page 0 again
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unpin_accounting_errors_are_typed() {
+        let (pool, f, path) = setup("unpin", 1, 2);
+        // Non-resident page.
+        assert!(matches!(
+            pool.unpin(PageId::new(f, 0)),
+            Err(HiqueError::Storage(_))
+        ));
+        pool.fetch(PageId::new(f, 0)).unwrap();
+        pool.unpin(PageId::new(f, 0)).unwrap();
+        // Underflow: the second unpin must not wrap or panic.
+        assert!(matches!(
+            pool.unpin(PageId::new(f, 0)),
+            Err(HiqueError::Storage(_))
+        ));
+        // A zero-capacity pool is rejected at construction.
+        assert!(matches!(BufferPool::new(0), Err(HiqueError::Storage(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn two_files_share_one_pool() {
+        let pa = temp_path("multi_a");
+        let pb = temp_path("multi_b");
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+        let da = Arc::new(DiskManager::open(&pa).unwrap());
+        let db = Arc::new(DiskManager::open(&pb).unwrap());
+        da.write_page(0, &page_with(10)).unwrap();
+        db.write_page(0, &page_with(20)).unwrap();
+        let pool = BufferPool::new(2).unwrap();
+        let fa = pool.register_file(da);
+        let fb = pool.register_file(db);
+        assert_ne!(fa, fb);
+        let a = pool.fetch(PageId::new(fa, 0)).unwrap();
+        let b = pool.fetch(PageId::new(fb, 0)).unwrap();
+        assert_eq!(a.record(0), &10u64.to_le_bytes());
+        assert_eq!(b.record(0), &20u64.to_le_bytes());
+        pool.unpin(PageId::new(fa, 0)).unwrap();
+        pool.unpin(PageId::new(fb, 0)).unwrap();
+        assert!(pool.fetch(PageId::new(99, 0)).is_err());
+        // A write to an unregistered file must not install an orphan dirty
+        // frame (which would become an unevictable poison victim).
+        assert!(pool.write(PageId::new(99, 0), page_with(1)).is_err());
+        assert_eq!(pool.resident(), 2);
+        // The pool still functions: both real pages remain fetchable.
+        pool.fetch(PageId::new(fa, 0)).unwrap();
+        pool.unpin(PageId::new(fa, 0)).unwrap();
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+
+    #[test]
+    fn concurrent_fetch_unpin_keeps_pin_accounting_consistent() {
+        // Regression for the double-insert race: workers hammering the same
+        // small page set through a tiny pool must never hit an unpin
+        // underflow, and every pin must be released at the end.
+        let (pool, f, path) = setup("race", 4, 2);
+        std::thread::scope(|scope| {
+            for w in 0..4usize {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..200usize {
+                        let id = PageId::new(f, (i + w) % 4);
+                        match pool.fetch_or_bypass(id).unwrap() {
+                            Fetched::Pinned(page) => {
+                                assert_eq!(page.record(0), &(id.page as u64).to_le_bytes());
+                                pool.unpin(id).unwrap();
+                            }
+                            Fetched::Bypassed(page) => {
+                                assert_eq!(page.record(0), &(id.page as u64).to_le_bytes());
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // All pins released: every remaining frame must be evictable.
+        for p in 0..4usize {
+            pool.fetch(PageId::new(f, p)).unwrap();
+            pool.unpin(PageId::new(f, p)).unwrap();
+        }
+        assert_eq!(pool.resident(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_delta_maps_to_io_stats() {
+        let (pool, f, path) = setup("delta", 2, 1);
+        let base = pool.stats();
+        pool.fetch(PageId::new(f, 0)).unwrap();
+        pool.unpin(PageId::new(f, 0)).unwrap();
+        pool.fetch(PageId::new(f, 1)).unwrap();
+        pool.unpin(PageId::new(f, 1)).unwrap();
+        let io = pool.stats().since(&base);
+        assert_eq!(io.pool_misses, 2);
+        assert_eq!(io.pool_evictions, 1);
+        assert_eq!(io.pages_read, 2);
+        assert_eq!(io.pool_hits, 0);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -7,12 +7,18 @@
 //! `ANALYZE`-style statistics collection lives here.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hique_types::tuple::read_value;
 use hique_types::{ColumnDistribution, HiqueError, Result, Schema, Value};
 
 use crate::btree::BPlusTree;
+use crate::buffer::{BufferPool, BufferPoolStats};
+use crate::disk::DiskManager;
 use crate::heap::TableHeap;
+use crate::temp::TempSpace;
 
 /// Per-column statistics gathered by [`Catalog::analyze_table`]: the
 /// collected value distribution (MCV list + equi-depth histogram), from
@@ -63,6 +69,43 @@ impl TableInfo {
     }
 }
 
+/// The paged-execution runtime of a catalog: the shared LRU pool, the
+/// temporary-spill space, and the on-disk directory holding both.  Created
+/// by [`Catalog::spill_to_disk`]; dropping it removes the spill directory.
+#[derive(Debug)]
+pub struct StorageRuntime {
+    pool: Arc<BufferPool>,
+    temp: Arc<TempSpace>,
+    dir: PathBuf,
+    owns_dir: bool,
+}
+
+impl StorageRuntime {
+    /// The shared buffer pool serving every paged heap of the catalog.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The spill space for staged intermediates.
+    pub fn temp(&self) -> &Arc<TempSpace> {
+        &self.temp
+    }
+
+    /// Directory holding the table files and the spill file.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for StorageRuntime {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            // Best effort: the files are per-process temporaries.
+            std::fs::remove_dir_all(&self.dir).ok();
+        }
+    }
+}
+
 /// The system catalog.
 ///
 /// Tables are owned by the catalog; engines borrow heaps for the duration of
@@ -72,6 +115,7 @@ impl TableInfo {
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, TableInfo>,
+    storage: Option<StorageRuntime>,
 }
 
 impl Catalog {
@@ -156,6 +200,111 @@ impl Catalog {
         self.tables.keys().map(|s| s.as_str()).collect()
     }
 
+    /// Move every table's pages into per-table disk files served through a
+    /// shared LRU [`BufferPool`] of `memory_budget_pages` frames, created in
+    /// a fresh per-process temporary directory (removed when the catalog is
+    /// dropped).  After this call, scans in every engine pin pool frames,
+    /// pages evict and reload under budget pressure, and the executor can
+    /// spill staged intermediates into the shared [`TempSpace`].
+    pub fn spill_to_disk(&mut self, memory_budget_pages: usize) -> Result<()> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "hique_spill_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        self.spill_to_disk_in(&dir, memory_budget_pages, true)
+    }
+
+    /// [`Catalog::spill_to_disk`] into an explicit directory.  When
+    /// `owns_dir` is true the directory is removed on drop.
+    pub fn spill_to_disk_in(
+        &mut self,
+        dir: impl AsRef<Path>,
+        memory_budget_pages: usize,
+        owns_dir: bool,
+    ) -> Result<()> {
+        if self.storage.is_some() {
+            return Err(HiqueError::Storage(
+                "catalog is already backed by a buffer pool".into(),
+            ));
+        }
+        let pool = Arc::new(BufferPool::new(memory_budget_pages)?);
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| HiqueError::Storage(format!("create spill dir {}: {e}", dir.display())))?;
+        // Best-effort cleanup of a directory we created, so a failed spill
+        // leaves neither stray files nor a half-paged catalog behind.
+        let cleanup = |dir: &Path| {
+            if owns_dir {
+                std::fs::remove_dir_all(dir).ok();
+            }
+        };
+
+        // Phase one (fallible, catalog untouched): write every table's pages
+        // into its file and create the spill space.  An I/O failure here —
+        // disk full, permissions — aborts with the catalog still fully
+        // memory-resident instead of stranded half-paged.
+        let mut disks: Vec<(String, Arc<DiskManager>)> = Vec::with_capacity(self.tables.len());
+        for (name, info) in self.tables.iter() {
+            let staged = DiskManager::open(dir.join(format!("{name}.tbl")))
+                .map(Arc::new)
+                .and_then(|disk| {
+                    info.heap.write_pages_to(&disk)?;
+                    Ok(disk)
+                });
+            match staged {
+                Ok(disk) => disks.push((name.clone(), disk)),
+                Err(e) => {
+                    cleanup(&dir);
+                    return Err(e);
+                }
+            }
+        }
+        let temp = match TempSpace::create(Arc::clone(&pool), dir.join("temp.spill")) {
+            Ok(temp) => Arc::new(temp),
+            Err(e) => {
+                cleanup(&dir);
+                return Err(e);
+            }
+        };
+
+        // Phase two (infallible swaps): adopt the files written above.
+        for (name, disk) in disks {
+            self.tables
+                .get_mut(&name)
+                .expect("table existed in phase one")
+                .heap
+                .adopt_paged(&pool, disk)?;
+        }
+        self.storage = Some(StorageRuntime {
+            pool,
+            temp,
+            dir,
+            owns_dir,
+        });
+        Ok(())
+    }
+
+    /// The paged-execution runtime, when [`Catalog::spill_to_disk`] ran.
+    pub fn storage(&self) -> Option<&StorageRuntime> {
+        self.storage.as_ref()
+    }
+
+    /// The shared buffer pool, when the catalog runs in paged mode.
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.storage.as_ref().map(|s| &s.pool)
+    }
+
+    /// Snapshot of the pool counters (zeros for a memory-resident catalog).
+    pub fn pool_stats(&self) -> BufferPoolStats {
+        self.storage
+            .as_ref()
+            .map(|s| s.pool.stats())
+            .unwrap_or_default()
+    }
+
     /// Gather per-column statistics — distinct counts, min/max bounds, a
     /// most-common-values list and an equi-depth histogram — replacing any
     /// previous statistics.  A table analyzed while empty still gets one
@@ -170,11 +319,9 @@ impl Catalog {
         let schema = info.schema.clone();
         let mut stats = Vec::with_capacity(schema.len());
         for c in 0..schema.len() {
-            let mut values: Vec<Value> = info
-                .heap
-                .records()
-                .map(|record| read_value(record, &schema, c))
-                .collect();
+            let mut values: Vec<Value> = Vec::with_capacity(info.heap.num_tuples());
+            info.heap
+                .for_each_record(|record| values.push(read_value(record, &schema, c)))?;
             values.sort_unstable_by(|a, b| a.total_cmp(b));
             stats.push(ColumnStats {
                 distribution: ColumnDistribution::from_sorted(&values),
@@ -190,7 +337,8 @@ impl Catalog {
         let col = info.schema.index_of(column)?;
         let schema = info.schema.clone();
         let mut tree = BPlusTree::new();
-        for (page_no, page) in info.heap.pages().enumerate() {
+        for page_no in 0..info.heap.num_pages() {
+            let page = info.heap.page_guard(page_no)?;
             for slot in 0..page.num_tuples() {
                 let v = read_value(page.record(slot), &schema, col);
                 let key = v.as_i64().map_err(|_| {
@@ -347,6 +495,49 @@ mod tests {
         assert_eq!(cs.distinct(), 2000);
         assert_eq!(cs.max(), Some(&Value::Int32(1999)));
         assert!(!cs.distribution.buckets.is_empty());
+    }
+
+    #[test]
+    fn spill_to_disk_pages_every_table_and_keeps_apis_working() {
+        let mut cat = Catalog::new();
+        populate(&mut cat, 300);
+        cat.analyze_table("t").unwrap();
+        assert!(cat.storage().is_none());
+        assert_eq!(cat.pool_stats(), BufferPoolStats::default());
+
+        cat.spill_to_disk(1).unwrap();
+        let runtime_dir = cat.storage().unwrap().dir().to_path_buf();
+        assert!(runtime_dir.join("t.tbl").exists());
+        assert!(cat.table("t").unwrap().heap.is_paged());
+        // Double spill is a typed error.
+        assert!(matches!(cat.spill_to_disk(1), Err(HiqueError::Storage(_))));
+
+        // Re-analyze and index through the pool: identical statistics, and
+        // the tiny budget forces evictions.
+        cat.analyze_table("t").unwrap();
+        assert_eq!(cat.table("t").unwrap().column_stats[0].distinct(), 300);
+        cat.create_index("t", "id").unwrap();
+        assert_eq!(cat.table("t").unwrap().indexes[&0].len(), 300);
+        let stats = cat.pool_stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(stats.misses > 0, "{stats:?}");
+
+        // Growth after spilling still works and is visible to scans.
+        let info = cat.table_mut("t").unwrap();
+        info.heap
+            .append_row(&Row::new(vec![
+                Value::Int32(300),
+                Value::Int32(0),
+                Value::Str("n0".into()),
+            ]))
+            .unwrap();
+        let mut count = 0usize;
+        info.heap.for_each_record(|_| count += 1).unwrap();
+        assert_eq!(count, 301);
+
+        // Dropping the catalog removes the spill directory.
+        drop(cat);
+        assert!(!runtime_dir.exists());
     }
 
     #[test]

@@ -21,9 +21,11 @@ pub mod catalog;
 pub mod disk;
 pub mod heap;
 pub mod page;
+pub mod temp;
 
-pub use buffer::BufferPool;
-pub use catalog::{Catalog, TableInfo};
+pub use buffer::{BufferPool, BufferPoolStats, FileId, PageId};
+pub use catalog::{Catalog, StorageRuntime, TableInfo};
 pub use disk::DiskManager;
-pub use heap::TableHeap;
-pub use page::{Page, PAGE_SIZE};
+pub use heap::{PageRef, TableHeap};
+pub use page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use temp::{SpillHandle, TempSpace};

@@ -13,6 +13,14 @@ pub const PAGE_SIZE: usize = 4096;
 /// Bytes reserved for the page header (`num_tuples: u32`, `tuple_size: u32`).
 pub const PAGE_HEADER_SIZE: usize = 8;
 
+/// Records of `tuple_size` bytes that fit on one page — the single source
+/// of the page-capacity formula for [`Page`], the paged heap's append path
+/// and the temporary-spill writer.
+#[inline]
+pub fn records_per_page(tuple_size: usize) -> usize {
+    (PAGE_SIZE - PAGE_HEADER_SIZE) / tuple_size.max(1)
+}
+
 /// A fixed-size page of fixed-length records.
 ///
 /// The backing buffer is always exactly [`PAGE_SIZE`] bytes so pages can be
@@ -86,7 +94,7 @@ impl Page {
     /// Maximum number of records a page of this record width can hold.
     #[inline]
     pub fn capacity(&self) -> usize {
-        (PAGE_SIZE - PAGE_HEADER_SIZE) / self.tuple_size()
+        records_per_page(self.tuple_size())
     }
 
     /// True when no further record fits.

@@ -1,0 +1,257 @@
+//! Temporary-table spill space: the paper's "temporary tables inside the
+//! buffer pool".
+//!
+//! Staged inputs and join intermediates are packed arrays of fixed-length
+//! records.  Under a memory budget the holistic executor writes them into
+//! this shared spill file *through the buffer pool* — the spilled pages are
+//! ordinary dirty frames that the LRU policy writes back to disk under
+//! pressure and reloads on demand, so temporaries compete with base-table
+//! pages for the same `memory_budget_pages` frames.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hique_types::{HiqueError, Result};
+use parking_lot::Mutex;
+
+use crate::buffer::{BufferPool, Fetched, FileId, PageId};
+use crate::disk::DiskManager;
+use crate::page::{records_per_page, Page, PAGE_HEADER_SIZE, PAGE_SIZE};
+
+/// A page range in the spill file holding one packed record buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillHandle {
+    /// First page of the range.
+    pub start: usize,
+    /// Number of pages.
+    pub pages: usize,
+    /// Number of records stored.
+    pub records: usize,
+    /// Record width in bytes.
+    pub tuple_size: usize,
+}
+
+/// The shared spill file of one paged catalog, page-addressed through its
+/// buffer pool.
+pub struct TempSpace {
+    pool: Arc<BufferPool>,
+    file: FileId,
+    path: PathBuf,
+    next_page: Mutex<usize>,
+    /// Exclusive-use flag: spill allocations are only valid for one
+    /// execution at a time (a reset invalidates every outstanding handle),
+    /// so executors must hold the acquisition for their whole run.
+    in_use: AtomicBool,
+}
+
+impl TempSpace {
+    /// Create (truncating) the spill file at `path` and register it with
+    /// `pool`.
+    pub fn create(pool: Arc<BufferPool>, path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        std::fs::remove_file(&path).ok();
+        let disk = Arc::new(DiskManager::open(&path)?);
+        let file = pool.register_file(disk);
+        Ok(TempSpace {
+            pool,
+            file,
+            path,
+            next_page: Mutex::new(0),
+            in_use: AtomicBool::new(false),
+        })
+    }
+
+    /// Claim exclusive use of the spill space for one execution.  Returns
+    /// `false` when another execution currently holds it — the caller then
+    /// runs without spilling (spilling is an optimization; results are
+    /// identical either way) instead of corrupting the holder's pages.
+    pub fn try_acquire(&self) -> bool {
+        self.in_use
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Release a successful [`TempSpace::try_acquire`].
+    pub fn release(&self) {
+        self.in_use.store(false, Ordering::Release);
+    }
+
+    /// Path of the spill file (for cleanup).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of spill pages allocated so far.
+    pub fn allocated_pages(&self) -> usize {
+        *self.next_page.lock()
+    }
+
+    /// Release every spill allocation, restarting from page zero.
+    ///
+    /// Outstanding [`SpillHandle`]s are invalidated, so this is only valid
+    /// between queries — which is exactly the paper's single-query-at-a-time
+    /// execution model.  The holistic executor resets at the start of every
+    /// budgeted execution, bounding the spill file by one query's
+    /// temporaries instead of letting it grow for the catalog's lifetime.
+    pub fn reset(&self) {
+        *self.next_page.lock() = 0;
+    }
+
+    /// Write a packed record buffer into freshly allocated spill pages via
+    /// the pool, returning the handle needed to reload it.
+    ///
+    /// Records never span pages (the NSM invariant every scan loop relies
+    /// on); a record wider than a page's data area is a typed error.
+    pub fn spill_records(&self, buf: &[u8], tuple_size: usize) -> Result<SpillHandle> {
+        if tuple_size == 0 || tuple_size > PAGE_SIZE - PAGE_HEADER_SIZE {
+            return Err(HiqueError::Storage(format!(
+                "cannot spill records of width {tuple_size} into {PAGE_SIZE}-byte pages"
+            )));
+        }
+        if !buf.len().is_multiple_of(tuple_size) {
+            return Err(HiqueError::Storage(format!(
+                "spill buffer of {} bytes is not a whole number of {tuple_size}-byte records",
+                buf.len()
+            )));
+        }
+        let records = buf.len() / tuple_size;
+        let per_page = records_per_page(tuple_size);
+        let pages = records.div_ceil(per_page);
+        let start = {
+            let mut next = self.next_page.lock();
+            let start = *next;
+            *next += pages;
+            start
+        };
+        for (i, chunk) in buf.chunks(per_page * tuple_size).enumerate() {
+            let mut page = Page::new(tuple_size)?;
+            for record in chunk.chunks_exact(tuple_size) {
+                let pushed = page.push_record(record)?;
+                debug_assert!(pushed, "spill page sized to its record count");
+            }
+            self.pool.write(PageId::new(self.file, start + i), page)?;
+        }
+        Ok(SpillHandle {
+            start,
+            pages,
+            records,
+            tuple_size,
+        })
+    }
+
+    /// Read a spilled buffer back into one packed byte vector, pinning each
+    /// page just long enough to copy it out.
+    pub fn reload(&self, handle: &SpillHandle) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(handle.records * handle.tuple_size);
+        for i in 0..handle.pages {
+            let id = PageId::new(self.file, handle.start + i);
+            match self.pool.fetch_or_bypass(id)? {
+                Fetched::Pinned(page) => {
+                    out.extend_from_slice(page.data());
+                    self.pool.unpin(id)?;
+                }
+                Fetched::Bypassed(page) => out.extend_from_slice(page.data()),
+            }
+        }
+        if out.len() != handle.records * handle.tuple_size {
+            return Err(HiqueError::Storage(format!(
+                "spilled relation reloaded {} bytes, expected {}",
+                out.len(),
+                handle.records * handle.tuple_size
+            )));
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for TempSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TempSpace")
+            .field("path", &self.path)
+            .field("allocated_pages", &self.allocated_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hique_temp_test_{}_{name}.spill",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn setup(name: &str, budget: usize) -> (TempSpace, Arc<BufferPool>, PathBuf) {
+        let path = temp_file(name);
+        let pool = Arc::new(BufferPool::new(budget).unwrap());
+        let space = TempSpace::create(Arc::clone(&pool), &path).unwrap();
+        (space, pool, path)
+    }
+
+    fn packed(records: usize, width: usize) -> Vec<u8> {
+        (0..records)
+            .flat_map(|r| (0..width).map(move |b| ((r * 31 + b) % 251) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn spill_and_reload_round_trips() {
+        let (space, _pool, path) = setup("roundtrip", 64);
+        let buf = packed(1000, 24);
+        let handle = space.spill_records(&buf, 24).unwrap();
+        assert_eq!(handle.records, 1000);
+        assert_eq!(handle.pages, 1000usize.div_ceil((PAGE_SIZE - 8) / 24));
+        assert_eq!(space.reload(&handle).unwrap(), buf);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tight_budget_forces_evictions_yet_reloads_identically() {
+        let (space, pool, path) = setup("tight", 2);
+        let a = packed(500, 40);
+        let b = packed(300, 16);
+        let ha = space.spill_records(&a, 40).unwrap();
+        let hb = space.spill_records(&b, 16).unwrap();
+        assert!(ha.pages + hb.pages > 2, "buffers must exceed the budget");
+        assert_eq!(space.reload(&ha).unwrap(), a);
+        assert_eq!(space.reload(&hb).unwrap(), b);
+        let stats = pool.stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(stats.pages_written > 0, "{stats:?}");
+        assert!(stats.pages_read > 0, "{stats:?}");
+        // Ranges do not overlap.
+        assert!(hb.start >= ha.start + ha.pages);
+        assert_eq!(space.allocated_pages(), ha.pages + hb.pages);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_invalid_spills() {
+        let (space, _pool, path) = setup("invalid", 4);
+        // Empty buffer: a zero-page handle reloads to an empty buffer.
+        let h = space.spill_records(&[], 8).unwrap();
+        assert_eq!(h.pages, 0);
+        assert_eq!(space.reload(&h).unwrap(), Vec::<u8>::new());
+        // Oversized and zero-width records are typed errors.
+        assert!(matches!(
+            space.spill_records(&[0u8; PAGE_SIZE], PAGE_SIZE),
+            Err(HiqueError::Storage(_))
+        ));
+        assert!(matches!(
+            space.spill_records(&[], 0),
+            Err(HiqueError::Storage(_))
+        ));
+        // A ragged buffer is rejected.
+        assert!(matches!(
+            space.spill_records(&[0u8; 10], 8),
+            Err(HiqueError::Storage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -29,5 +29,5 @@ pub use histogram::{Bucket, CmpKind, ColumnDistribution};
 pub use result::{PhaseTimings, QueryResult};
 pub use row::Row;
 pub use schema::{Column, Schema};
-pub use stats::ExecStats;
+pub use stats::{ExecStats, IoStats};
 pub use value::Value;

@@ -20,6 +20,59 @@
 use std::fmt;
 use std::ops::AddAssign;
 
+/// Buffer-pool and disk I/O counters of one query execution.
+///
+/// Filled from the buffer-pool counter delta when the catalog runs in paged
+/// mode ([`crate::ExecStats::io`]); all-zero for memory-resident heaps.
+/// Unlike the work counters, these depend on cross-worker interleaving when
+/// `threads > 1` shares one LRU pool, so equality assertions between serial
+/// and parallel runs hold only on memory-resident catalogs (where they are
+/// zero on both sides).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests served from a resident buffer-pool frame.
+    pub pool_hits: u64,
+    /// Page requests that had to go to disk.
+    pub pool_misses: u64,
+    /// Frames evicted from the pool to make room.
+    pub pool_evictions: u64,
+    /// Whole pages read from disk (misses plus pool-bypass reads).
+    pub pages_read: u64,
+    /// Whole pages written to disk (eviction write-back, flush, spill).
+    pub pages_written: u64,
+}
+
+impl IoStats {
+    /// True when no buffer-pool or disk traffic was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == IoStats::default()
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.pool_hits += rhs.pool_hits;
+        self.pool_misses += rhs.pool_misses;
+        self.pool_evictions += rhs.pool_evictions;
+        self.pages_read += rhs.pages_read;
+        self.pages_written += rhs.pages_written;
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pool_hits={} pool_misses={} pool_evictions={} pages_read={} pages_written={}",
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_evictions,
+            self.pages_read,
+            self.pages_written
+        )
+    }
+}
+
 /// Counters accumulated while executing one query (or one operator).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ExecStats {
@@ -44,6 +97,10 @@ pub struct ExecStats {
     pub sort_passes: u64,
     /// Result rows produced.
     pub rows_out: u64,
+    /// Buffer-pool and disk I/O of the execution (zero for memory-resident
+    /// catalogs; see [`IoStats`] for the interleaving caveat under
+    /// `threads > 1`).
+    pub io: IoStats,
 }
 
 impl ExecStats {
@@ -117,6 +174,7 @@ impl AddAssign for ExecStats {
         self.partition_passes += rhs.partition_passes;
         self.sort_passes += rhs.sort_passes;
         self.rows_out += rhs.rows_out;
+        self.io += rhs.io;
     }
 }
 
@@ -124,7 +182,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={}",
+            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} {}",
             self.function_calls,
             self.tuples_processed,
             self.bytes_touched,
@@ -133,7 +191,8 @@ impl fmt::Display for ExecStats {
             self.bytes_materialized,
             self.partition_passes,
             self.sort_passes,
-            self.rows_out
+            self.rows_out,
+            self.io
         )
     }
 }
@@ -205,8 +264,33 @@ mod tests {
             "part_passes=",
             "sort_passes=",
             "rows_out=",
+            "pool_hits=",
+            "pool_misses=",
+            "pool_evictions=",
+            "pages_read=",
+            "pages_written=",
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
+    }
+
+    #[test]
+    fn io_counters_merge_and_compare() {
+        let mut a = ExecStats::new();
+        a.io.pool_hits = 3;
+        a.io.pages_written = 1;
+        let mut b = ExecStats::new();
+        b.io.pool_hits = 2;
+        b.io.pool_misses = 5;
+        b.io.pool_evictions = 4;
+        b.io.pages_read = 5;
+        a.merge(&b);
+        assert_eq!(a.io.pool_hits, 5);
+        assert_eq!(a.io.pool_misses, 5);
+        assert_eq!(a.io.pool_evictions, 4);
+        assert_eq!(a.io.pages_read, 5);
+        assert_eq!(a.io.pages_written, 1);
+        assert!(!a.io.is_zero());
+        assert!(ExecStats::new().io.is_zero());
     }
 }

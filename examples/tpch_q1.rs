@@ -37,7 +37,7 @@ fn main() -> hique::types::Result<()> {
     );
 
     // DSM column engine (MonetDB-class baseline).
-    let db = DsmDatabase::from_catalog(&catalog);
+    let db = DsmDatabase::from_catalog(&catalog).unwrap();
     let t = Instant::now();
     let dsm_result = hique::dsm::execute_plan(&plan, &db)?;
     println!(

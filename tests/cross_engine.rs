@@ -49,7 +49,7 @@ fn run_all_engines(sql: &str, catalog: &Catalog, config: &PlannerConfig) -> Vec<
     let parsed = hique::sql::parse_query(sql).unwrap();
     let bound = hique::sql::analyze(&parsed, &CatalogProvider::new(catalog)).unwrap();
     let plan = plan_query(&bound, catalog, config).unwrap();
-    let db = DsmDatabase::from_catalog(catalog);
+    let db = DsmDatabase::from_catalog(catalog).unwrap();
     vec![
         hique::iter::execute_plan(&plan, catalog, ExecMode::Generic).unwrap(),
         hique::iter::execute_plan(&plan, catalog, ExecMode::Optimized).unwrap(),

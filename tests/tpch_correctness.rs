@@ -40,7 +40,7 @@ fn assert_same_results(a: &QueryResult, b: &QueryResult, context: &str) {
 #[test]
 fn all_engines_agree_on_q1_q3_q10() {
     let catalog = tpch::generate_into_catalog(SF).unwrap();
-    let db = DsmDatabase::from_catalog(&catalog);
+    let db = DsmDatabase::from_catalog(&catalog).unwrap();
     for (name, sql) in tpch::queries::all_queries() {
         let plan = plan_for(sql, &catalog);
         let iter = hique::iter::execute_plan(&plan, &catalog, ExecMode::Optimized).unwrap();
