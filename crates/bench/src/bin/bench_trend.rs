@@ -161,6 +161,22 @@ fn main() {
             args.repeats,
         ),
     );
+    // Streaming partition pipeline: Q3 with spilled temporaries consumed
+    // page-at-a-time AND partition-parallel workers sharing the 64-page
+    // pool — tracks the fig_stream_scaling path.
+    let mut stream_paged = hique_tpch::generate_into_catalog(args.sf).expect("catalog");
+    stream_paged.spill_to_disk(64).expect("spill");
+    record(
+        "q3_stream_b64_t4_ms",
+        measure_ms(
+            hique_tpch::queries::Q3_SQL,
+            &stream_paged,
+            &PlannerConfig::default()
+                .with_memory_budget_pages(64)
+                .with_threads(4),
+            args.repeats,
+        ),
+    );
 
     let json = render_snapshot(&args.sha, &results);
     if let Some(out) = &args.out {

@@ -11,7 +11,7 @@
 use hique_conformance::genquery::{replay_seed, scan_query_for_seed};
 use hique_conformance::planquality::{measure_actuals, QualityReport};
 use hique_conformance::runner::plan_sql;
-use hique_conformance::{run_suite, Fixture};
+use hique_conformance::{run_suite_with_budget, Fixture};
 use hique_plan::{explain_with_actuals, explain_with_stats, PlanActuals, PlannerConfig};
 
 struct Args {
@@ -21,6 +21,11 @@ struct Args {
     replay: Option<u64>,
     plan_quality: Option<usize>,
     budget_pages: Option<usize>,
+    /// Force every generated query's planner config to carry the
+    /// `--budget-pages` budget (instead of the generator's own randomized
+    /// budgets), so the suite combines tight-memory spilling with the
+    /// generator's randomized `threads ∈ {1, 2, 4}` on every query.
+    force_plan_budget: bool,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         plan_quality: None,
         budget_pages: None,
+        force_plan_budget: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,10 +80,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--budget-pages: {e}"))?,
                 )
             }
+            "--force-plan-budget" => args.force_plan_budget = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: conformance [--queries N] [--seed S] [--sf F] [--replay SEED] \
-                     [--plan-quality N] [--budget-pages P]"
+                     [--plan-quality N] [--budget-pages P] [--force-plan-budget]"
                         .to_string(),
                 )
             }
@@ -189,7 +196,16 @@ fn main() {
     // about the *suite's queries*, not about the DSM decomposition that
     // builds the fixture (which would trivially evict on its own).
     let suite_base = fixture.catalog.pool_stats();
-    let report = run_suite(&fixture, args.seed, args.queries);
+    let force_budget = if args.force_plan_budget {
+        if args.budget_pages.is_none() {
+            eprintln!("--force-plan-budget requires --budget-pages");
+            std::process::exit(2);
+        }
+        args.budget_pages
+    } else {
+        None
+    };
+    let report = run_suite_with_budget(&fixture, args.seed, args.queries, force_budget);
     print!("{report}");
     if args.budget_pages.is_some() {
         // A tight-memory run must actually have exercised the pool: every

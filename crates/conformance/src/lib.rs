@@ -36,4 +36,6 @@ pub mod runner;
 pub use canon::{canonicalize, compare, CanonicalResult, Mismatch};
 pub use genquery::{query_for_seed, replay_seed, scan_query_for_seed, QueryGenerator, RandomQuery};
 pub use planquality::{measure_actuals, q_error, CardSample, QualityReport};
-pub use runner::{run_suite, CheckOutcome, Divergence, EngineId, Fixture, SuiteReport};
+pub use runner::{
+    run_suite, run_suite_with_budget, CheckOutcome, Divergence, EngineId, Fixture, SuiteReport,
+};

@@ -269,10 +269,27 @@ impl fmt::Display for SuiteReport {
 
 /// Run `count` seeded random queries from `base_seed` against the fixture.
 pub fn run_suite(fixture: &Fixture, base_seed: u64, count: usize) -> SuiteReport {
+    run_suite_with_budget(fixture, base_seed, count, None)
+}
+
+/// Like [`run_suite`], but when `force_budget_pages` is set every generated
+/// query's planner config carries exactly that memory budget (the generator
+/// otherwise randomizes budgets independently of threads).  This is the
+/// spill-stream lane: randomized `threads ∈ {1, 2, 4}` from the generator
+/// *combined* with a forced tight budget on every single query.
+pub fn run_suite_with_budget(
+    fixture: &Fixture,
+    base_seed: u64,
+    count: usize,
+    force_budget_pages: Option<usize>,
+) -> SuiteReport {
     let mut generator = QueryGenerator::new(base_seed, fixture.sf);
     let mut report = SuiteReport::default();
     for _ in 0..count {
-        let query = generator.next_query();
+        let mut query = generator.next_query();
+        if let Some(pages) = force_budget_pages {
+            query.config = query.config.clone().with_memory_budget_pages(pages);
+        }
         let outcome = fixture.check(&query);
         report.queries += 1;
         report.total_rows += outcome.baseline.num_rows();

@@ -3,15 +3,19 @@
 //!
 //! A paged fixture puts every base table behind an LRU buffer pool whose
 //! frame budget is far below the SF 0.01 working set, and every query runs
-//! with `memory_budget_pages` set so the holistic engine also round-trips
-//! staged inputs and join temporaries through the pool.  All four engine
-//! modes, at `threads ∈ {1, 4}`, must return canonicalized results
-//! bit-identical to the unbounded memory-resident fixture — and the pool
-//! must show real evictions, or the budget was not actually below the
-//! working set and the suite proved nothing.
+//! across the full matrix the pipeline substrate promises: all four engine
+//! modes × `threads ∈ {1, 4}` × budget ∈ {64 pages, unbounded}.  Every cell
+//! must return canonicalized results bit-identical to the unbounded
+//! memory-resident fixture — and the pool must show real evictions, or the
+//! budget was not actually below the working set and the suite proved
+//! nothing.  Budgeted runs additionally prove the page-at-a-time contract:
+//! the pool's peak residency never exceeds the budget, and the engines
+//! report spilled temporaries (whole-partition reload would have blown the
+//! pool's frame budget long before these queries finished).
 
 use hique_conformance::{canonicalize, compare, EngineId, Fixture};
 use hique_conformance::{runner::plan_sql, runner::run_engine, QueryGenerator};
+use hique_plan::PlannerConfig;
 
 const SF: f64 = 0.01;
 /// Frames in the pool — the SF 0.01 working set is thousands of pages.
@@ -43,6 +47,7 @@ fn tight_budget_matches_unbounded_results_on_every_engine_mode() {
 
     let mut generator = QueryGenerator::new(SUITE_SEED, SF);
     let mut nonempty = 0usize;
+    let mut spilled_runs = 0usize;
     for _ in 0..SUITE_QUERIES {
         let query = generator.next_query();
         // The unbounded baseline is thread-independent: plan and run it once
@@ -65,51 +70,67 @@ fn tight_budget_matches_unbounded_results_on_every_engine_mode() {
         nonempty += usize::from(canonical_baseline.num_rows() > 0);
 
         for threads in [1usize, 4] {
-            let config = query
-                .config
-                .clone()
-                .with_threads(threads)
-                .with_memory_budget_pages(BUDGET_PAGES);
-            // Statistics were collected before the spill, so both catalogs
-            // produce the same plan; assert that premise instead of assuming
-            // it.
-            let paged_plan = plan_sql(&query.sql, &paged.catalog, &config)
-                .unwrap_or_else(|e| panic!("planning failed (seed {:#x}): {e}", query.seed));
-            assert_eq!(
-                mem_plan.join_order, paged_plan.join_order,
-                "plans diverged between fixtures (seed {:#x})",
-                query.seed
-            );
-            assert_eq!(paged_plan.memory_budget_pages, BUDGET_PAGES);
+            for budget in [BUDGET_PAGES, 0] {
+                let config = query
+                    .config
+                    .clone()
+                    .with_threads(threads)
+                    .with_memory_budget_pages(budget);
+                // Statistics were collected before the spill, so both
+                // catalogs produce the same plan; assert that premise
+                // instead of assuming it.
+                let paged_plan = plan_sql(&query.sql, &paged.catalog, &config)
+                    .unwrap_or_else(|e| panic!("planning failed (seed {:#x}): {e}", query.seed));
+                assert_eq!(
+                    mem_plan.join_order, paged_plan.join_order,
+                    "plans diverged between fixtures (seed {:#x})",
+                    query.seed
+                );
+                assert_eq!(paged_plan.memory_budget_pages, budget);
 
-            for engine in EngineId::ALL {
-                let result = run_engine(engine, &paged_plan, &paged.catalog, &paged.dsm)
-                    .unwrap_or_else(|e| {
+                for engine in EngineId::ALL {
+                    let result = run_engine(engine, &paged_plan, &paged.catalog, &paged.dsm)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{} failed (seed {:#x}, threads {threads}, budget {budget}): {e}\n  sql: {}",
+                                engine.label(),
+                                query.seed,
+                                query.sql
+                            )
+                        });
+                    if let Err(mismatch) = compare(&canonicalize(&result), &canonical_baseline) {
                         panic!(
-                            "{} failed under budget (seed {:#x}, threads {threads}): {e}\n  sql: {}",
+                            "{}: budget {budget} pages diverged from unbounded: {mismatch}\n  \
+                             seed: {:#x}\n  threads: {threads}\n  sql: {}",
                             engine.label(),
                             query.seed,
                             query.sql
-                        )
-                    });
-                if let Err(mismatch) = compare(&canonicalize(&result), &canonical_baseline) {
-                    panic!(
-                        "{}: budget {BUDGET_PAGES} pages diverged from unbounded: {mismatch}\n  \
-                         seed: {:#x}\n  threads: {threads}\n  sql: {}",
-                        engine.label(),
-                        query.seed,
-                        query.sql
-                    );
-                }
-                // Paged executions report their pool traffic; the holistic
-                // engine always scans base pages through the pool.
-                if engine == EngineId::Holistic {
-                    let io = result.stats.io;
-                    assert!(
-                        io.pool_hits + io.pool_misses > 0,
-                        "holistic run reported no pool traffic (seed {:#x})",
-                        query.seed
-                    );
+                        );
+                    }
+                    // Paged executions report their pool traffic; the
+                    // holistic engine always scans base pages through the
+                    // pool.
+                    if engine == EngineId::Holistic {
+                        let io = result.stats.io;
+                        assert!(
+                            io.pool_hits + io.pool_misses > 0,
+                            "holistic run reported no pool traffic (seed {:#x})",
+                            query.seed
+                        );
+                    }
+                    if budget > 0 {
+                        // The page-at-a-time contract: the pool's peak
+                        // residency never exceeds the budget, whatever the
+                        // engine spilled and reloaded.
+                        assert!(
+                            result.stats.peak_resident_pages <= BUDGET_PAGES as u64,
+                            "{}: peak {} pages > budget {BUDGET_PAGES} (seed {:#x})",
+                            engine.label(),
+                            result.stats.peak_resident_pages,
+                            query.seed
+                        );
+                        spilled_runs += usize::from(result.stats.spilled_temporaries > 0);
+                    }
                 }
             }
         }
@@ -117,6 +138,11 @@ fn tight_budget_matches_unbounded_results_on_every_engine_mode() {
     assert!(
         nonempty >= SUITE_QUERIES / 2,
         "only {nonempty}/{SUITE_QUERIES} baselines had rows; suite is too vacuous"
+    );
+    assert!(
+        spilled_runs > 0,
+        "no engine spilled a single temporary under the {BUDGET_PAGES}-page budget; \
+         the spill paths were not exercised"
     );
 
     // The query suite itself must have actually spilled: evictions at the
@@ -127,4 +153,54 @@ fn tight_budget_matches_unbounded_results_on_every_engine_mode() {
     assert!(io.pages_read > 0, "{io:?}");
     // Unbounded fixture never touched a pool.
     assert_eq!(unbounded.catalog.pool_stats().evictions, 0);
+}
+
+/// The spill allocator must reset between queries: three budgeted
+/// executions back-to-back on one catalog reuse the same spill pages
+/// instead of growing the temp file per query, and every execution releases
+/// its exclusive claim on the space.
+#[test]
+fn temp_space_allocations_reset_between_sequential_queries() {
+    let paged = Fixture::generate_paged(SF, BUDGET_PAGES).unwrap();
+    let runtime = paged.catalog.storage().expect("paged fixture has storage");
+    // A join + aggregation whose staged inputs comfortably exceed the
+    // 64-page spill threshold at SF 0.01.
+    let sql = "select o_orderpriority, count(*) as n from orders, lineitem \
+               where o_orderkey = l_orderkey group by o_orderpriority \
+               order by o_orderpriority";
+    let config = PlannerConfig::default().with_memory_budget_pages(BUDGET_PAGES);
+    let plan = plan_sql(sql, &paged.catalog, &config).unwrap();
+
+    let mut allocations: Vec<usize> = Vec::new();
+    let mut results = Vec::new();
+    let mut file_sizes: Vec<u64> = Vec::new();
+    for _ in 0..3 {
+        let result = run_engine(EngineId::Holistic, &plan, &paged.catalog, &paged.dsm).unwrap();
+        assert!(
+            result.stats.spilled_temporaries > 0,
+            "the probe query must actually spill for this test to mean anything"
+        );
+        allocations.push(runtime.temp().allocated_pages());
+        file_sizes.push(
+            std::fs::metadata(runtime.temp().path())
+                .map(|m| m.len())
+                .unwrap_or(0),
+        );
+        results.push(canonicalize(&result));
+        // The exclusive claim was released: the next execution (or this
+        // probe) can re-acquire the space.
+        assert!(runtime.temp().try_acquire(), "spill-space claim leaked");
+        runtime.temp().release();
+    }
+    // Same query, same spill decisions: the allocator restarts from zero
+    // each time and lands on the same high-water mark — no leaked segments,
+    // no monotonic growth.
+    assert_eq!(allocations[0], allocations[1], "{allocations:?}");
+    assert_eq!(allocations[1], allocations[2], "{allocations:?}");
+    assert!(
+        file_sizes[2] <= file_sizes[0].max(file_sizes[1]),
+        "spill file grew across queries: {file_sizes:?}"
+    );
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
 }

@@ -8,6 +8,7 @@
 //! result groups is converted to output rows).
 
 use hique_par::{chunk_ranges, ScopedPool};
+use hique_pipeline::PartitionSet;
 use hique_plan::AggregateSpec;
 use hique_sql::ast::AggFunc;
 use hique_types::{DataType, ExecStats, HiqueError, Result, Row, Schema, Value};
@@ -330,6 +331,178 @@ impl CompiledAgg {
         stats.sort_passes += staged.num_partitions() as u64;
         staged.par_sort_all(&self.group_keys, pool);
         self.sort_aggregate_pooled(&staged, pool, stats)
+    }
+
+    // ---- Page-at-a-time stream kernels -----------------------------------
+    //
+    // The stream entry points consume a spilled (or memory) relation through
+    // the pipeline substrate's `PartitionSet`: records arrive one pinned
+    // pool page at a time and are never re-materialized as a whole
+    // partition.  They run the *serial* accumulation order, so a budgeted
+    // execution is identical for every thread count (and agrees with the
+    // unbudgeted kernels up to the documented SUM/AVG re-association of the
+    // parallel map path).
+
+    /// [`CompiledAgg::sort_aggregate`] over a partition-sorted stream: the
+    /// linear group-boundary scan, keeping only the previous record (not
+    /// the partition) resident.
+    pub fn sort_aggregate_stream(
+        &self,
+        set: &PartitionSet<'_>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Row>> {
+        stats.add_calls(1);
+        if self.group_keys.is_empty() {
+            return self.global_aggregate_stream(set, stats);
+        }
+        let mut out = Vec::new();
+        for stream in set.streams() {
+            let ts = stream.tuple_size();
+            let mut prev: Vec<u8> = Vec::new();
+            let mut accums = vec![Accum::new(); self.funcs.len()];
+            let mut in_group = false;
+            stream.for_each_record(|rec| {
+                stats.tuples_processed += 1;
+                stats.bytes_touched += ts as u64;
+                if in_group {
+                    stats.comparisons += self.group_keys.len() as u64;
+                    if compare_keys(&self.group_keys, &prev, rec) != std::cmp::Ordering::Equal {
+                        out.push(self.finish_row(self.group_values(&prev), &accums));
+                        accums = vec![Accum::new(); self.funcs.len()];
+                    }
+                }
+                self.update_all(&mut accums, rec);
+                prev.clear();
+                prev.extend_from_slice(rec);
+                in_group = true;
+            })?;
+            if in_group {
+                out.push(self.finish_row(self.group_values(&prev), &accums));
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`CompiledAgg::map_aggregate`] over a stream: the directory pre-pass
+    /// and the offset-arithmetic main pass each walk the pages once; only
+    /// the directories, the dense aggregate arrays and one representative
+    /// record per occupied group stay resident.
+    pub fn map_aggregate_stream(
+        &self,
+        set: &PartitionSet<'_>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Row>> {
+        stats.add_calls(1);
+        if self.group_keys.is_empty() {
+            return self.global_aggregate_stream(set, stats);
+        }
+        // Pre-pass: sorted value directory per grouping attribute.
+        let mut directories: Vec<Vec<i64>> = vec![Vec::new(); self.group_keys.len()];
+        set.for_each_record(|rec| {
+            for (d, k) in directories.iter_mut().zip(&self.group_keys) {
+                let v = k.as_i64(rec);
+                if let Err(pos) = d.binary_search(&v) {
+                    d.insert(pos, v);
+                }
+            }
+        })?;
+        let mut multipliers = vec![1usize; self.group_keys.len()];
+        for i in (0..self.group_keys.len().saturating_sub(1)).rev() {
+            multipliers[i] = multipliers[i + 1] * directories[i + 1].len().max(1);
+        }
+        let total: usize = directories.iter().map(|d| d.len().max(1)).product();
+
+        // Main pass: dense aggregate arrays plus an owned representative
+        // record per occupied group (a stream cannot hand out borrows).
+        let mut accums = vec![vec![Accum::new(); self.funcs.len()]; total];
+        let mut representative: Vec<Option<Vec<u8>>> = vec![None; total];
+        let ts = set
+            .streams()
+            .first()
+            .map(|s| s.tuple_size())
+            .unwrap_or_default();
+        set.for_each_record(|rec| {
+            stats.tuples_processed += 1;
+            stats.bytes_touched += ts as u64;
+            let mut offset = 0usize;
+            for ((d, k), m) in directories.iter().zip(&self.group_keys).zip(&multipliers) {
+                stats.comparisons += (d.len().max(2) as f64).log2().ceil() as u64;
+                let id = d
+                    .binary_search(&k.as_i64(rec))
+                    .expect("value present in directory");
+                offset += id * m;
+            }
+            self.update_all(&mut accums[offset], rec);
+            if representative[offset].is_none() {
+                representative[offset] = Some(rec.to_vec());
+            }
+        })?;
+
+        let mut out = Vec::new();
+        for (offset, rep) in representative.iter().enumerate() {
+            if let Some(rec) = rep {
+                out.push(self.finish_row(self.group_values(rec), &accums[offset]));
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`CompiledAgg::hybrid_aggregate`] over a stream: one streaming
+    /// scatter pass hash-partitions the records on the first grouping
+    /// column, then the partitions sort and scan through the existing
+    /// pooled kernels (deterministic for any pool width).
+    pub fn hybrid_aggregate_stream(
+        &self,
+        set: &PartitionSet<'_>,
+        schema: &Schema,
+        partitions: usize,
+        pool: &ScopedPool,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Row>> {
+        stats.add_calls(1);
+        if self.group_keys.is_empty() {
+            return self.global_aggregate_stream(set, stats);
+        }
+        let first = self.group_keys[0];
+        let m = partitions.max(1);
+        stats.partition_passes += 1;
+        let mut parts: Vec<Vec<u8>> = vec![Vec::new(); m];
+        set.for_each_record(|rec| {
+            stats.hash_ops += 1;
+            parts[(first.hash(rec) as usize) % m].extend_from_slice(rec);
+        })?;
+        stats.add_materialized(parts.iter().map(|p| p.len()).sum());
+        let mut staged = StagedRelation::from_partitions(schema.clone(), parts);
+        stats.sort_passes += staged.num_partitions() as u64;
+        staged.par_sort_all(&self.group_keys, pool);
+        Ok(self.sort_aggregate_pooled(&staged, pool, stats))
+    }
+
+    /// Global aggregate (no grouping columns) over a stream: one pass, one
+    /// accumulator set; empty input yields no group, the cross-engine
+    /// convention.
+    fn global_aggregate_stream(
+        &self,
+        set: &PartitionSet<'_>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Row>> {
+        let mut accums = vec![Accum::new(); self.funcs.len()];
+        let mut any = false;
+        let ts = set
+            .streams()
+            .first()
+            .map(|s| s.tuple_size())
+            .unwrap_or_default();
+        set.for_each_record(|rec| {
+            stats.tuples_processed += 1;
+            stats.bytes_touched += ts as u64;
+            self.update_all(&mut accums, rec);
+            any = true;
+        })?;
+        if any {
+            return Ok(vec![self.finish_row(Vec::new(), &accums)]);
+        }
+        Ok(Vec::new())
     }
 
     /// Map aggregation: one value directory per grouping attribute maps each

@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use hique_par::{chunk_ranges, ScopedPool};
+use hique_pipeline::SpillContext;
 use hique_plan::{AggAlgorithm, JoinAlgorithm, StagingStrategy};
 use hique_storage::Catalog;
 use hique_types::{
@@ -21,7 +22,7 @@ use crate::join::{
 };
 use crate::kernel::CompiledKey;
 use crate::relation::StagedRelation;
-use crate::spill::{SpillContext, StagedSlot};
+use crate::spill::StagedSlot;
 use crate::staging::{stage_table_pooled, StagedInput};
 
 /// Execution options.
@@ -126,12 +127,17 @@ pub fn execute(
     } else {
         options.memory_budget_pages
     };
-    let spill_ctx: Option<SpillContext<'_>> = match (budget_pages, catalog.storage()) {
+    let spill_ctx: Option<SpillContext> = match (budget_pages, catalog.storage()) {
         (pages, Some(runtime)) if pages > 0 => SpillContext::acquire(runtime.temp(), pages),
         _ => None,
     };
     let spill = spill_ctx.as_ref();
     let io_base = catalog.pool_stats();
+    // Per-execution residency window: peak_resident_pages reports this
+    // run's high-water, not the pool's lifetime maximum.
+    if let Some(pool) = catalog.buffer_pool() {
+        pool.rebase_peak_resident();
+    }
 
     // ---- Staging -----------------------------------------------------------
     let t0 = Instant::now();
@@ -155,21 +161,25 @@ pub fn execute(
         OutputSink::Count(0)
     };
 
-    // The relation feeding aggregation / output when not streaming.
-    let mut final_relation: Option<StagedInput> = None;
+    // The staged slot feeding aggregation / output when not streaming.  It
+    // stays a slot (possibly spilled) until its consumer runs: streaming
+    // consumers read it page-at-a-time, never re-materializing a spilled
+    // partition.
+    let mut final_slot: Option<StagedSlot> = None;
 
     if plan.staged.len() == 1 {
-        final_relation = Some(
+        final_slot = Some(
             staged[plan.join_order[0]]
                 .take()
-                .expect("single input staged")
-                .reload(spill)?,
+                .expect("single input staged"),
         );
     } else if let Some(team) = &plan.join_team {
+        // The team join's deeply nested loops cursor over every input at
+        // once (random access within key groups), so members materialize.
         let members: Vec<StagedInput> = team
             .members
             .iter()
-            .map(|&m| staged[m].take().expect("staged").reload(spill))
+            .map(|&m| staged[m].take().expect("staged").into_input(spill))
             .collect::<Result<_>>()?;
         let inputs: Vec<&StagedRelation> = members.iter().map(|i| &i.relation).collect();
         let keys: Vec<CompiledKey> = team
@@ -192,14 +202,17 @@ pub fn execute(
                 out.push(&buf);
             });
             stats.add_materialized(out.data_bytes());
-            final_relation = Some(StagedInput::unpartitioned(out));
+            final_slot = Some(StagedSlot::stage(StagedInput::unpartitioned(out), spill)?);
         }
     } else {
-        // Binary cascade.
-        let mut current = staged[plan.join_order[0]]
+        // Binary cascade.  The running intermediate is a StagedSlot: each
+        // join step materializes it (the merge cursors need random access),
+        // joins, and re-stages the output — which spills through the pool
+        // under a budget and is consumed page-at-a-time by whatever comes
+        // next.
+        let mut current_slot = staged[plan.join_order[0]]
             .take()
-            .expect("first input staged")
-            .reload(spill)?;
+            .expect("first input staged");
         let mut current_schema = plan.staged[plan.join_order[0]].schema.clone();
         // Which column (if any) the current intermediate is sorted on.
         let mut sorted_on: Option<usize> = match &plan.staged[plan.join_order[0]].strategy {
@@ -208,11 +221,12 @@ pub fn execute(
         };
 
         for (i, step) in plan.joins.iter().enumerate() {
+            let current = current_slot.into_input(spill)?;
             let right_desc = &plan.staged[step.right];
             let right = staged[step.right]
                 .take()
                 .expect("right input staged")
-                .reload(spill)?;
+                .into_input(spill)?;
             let out_schema = current_schema.join(&right_desc.schema);
             let left_key = CompiledKey::compile(&current_schema, step.left_key);
             let right_key = CompiledKey::compile(&right_desc.schema, step.right_key);
@@ -309,21 +323,22 @@ pub fn execute(
                     JoinAlgorithm::Merge => Some(step.left_key),
                     _ => None,
                 };
-                // Under a memory budget, a large join temporary takes a
-                // round trip through the buffer pool before the next
-                // operator consumes it — the paper's temporary table in the
-                // buffer pool, subject to the same LRU pressure as base
-                // pages.
-                current =
-                    StagedSlot::stage(StagedInput::unpartitioned(out), spill)?.reload(spill)?;
+                // Under a memory budget, a large join temporary goes out as
+                // pool pages — the paper's temporary table in the buffer
+                // pool, subject to the same LRU pressure as base pages —
+                // and stays there until its consumer pulls it back one
+                // pinned page (or one partition) at a time.
+                current_slot = StagedSlot::stage(StagedInput::unpartitioned(out), spill)?;
                 current_schema = out_schema;
             } else {
-                current = StagedInput::unpartitioned(StagedRelation::new(out_schema.clone()));
+                current_slot = StagedSlot::Mem(StagedInput::unpartitioned(StagedRelation::new(
+                    out_schema.clone(),
+                )));
                 current_schema = out_schema;
             }
         }
         if !streams_to_sink {
-            final_relation = Some(current);
+            final_slot = Some(current_slot);
         }
     }
     timings.record("join", t1.elapsed());
@@ -336,7 +351,7 @@ pub fn execute(
             .aggregation
             .as_ref()
             .expect("aggregation kernels generated");
-        let input = final_relation
+        let slot = final_slot
             .take()
             .ok_or_else(|| HiqueError::Execution("aggregation input missing".into()))?;
         let group_keys: Vec<CompiledKey> = spec
@@ -344,31 +359,59 @@ pub fn execute(
             .iter()
             .map(|&c| CompiledKey::compile(&plan.joined_schema, c))
             .collect();
-        let group_rows = match spec.algorithm {
-            AggAlgorithm::Map => compiled.map_aggregate_pooled(&input.relation, &pool, &mut stats),
-            AggAlgorithm::HybridHashSort => {
-                let partitions = input
-                    .relation
-                    .num_partitions()
-                    .max((input.relation.data_bytes() / (1 << 20)).next_power_of_two());
-                compiled.hybrid_aggregate_pooled(&input.relation, partitions, &pool, &mut stats)
+        // Did staging already produce exactly the interesting order sort
+        // aggregation needs?
+        let already_sorted = plan.staged.len() == 1
+            && matches!(
+                &plan.staged[plan.join_order[0]].strategy,
+                StagingStrategy::Sort { key_columns } if *key_columns == spec.group_columns
+            );
+        // A spilled aggregation input is consumed page-at-a-time through
+        // the pipeline substrate — except when sort aggregation must first
+        // sort it, which requires random access and therefore an explicit
+        // gather.
+        let stream_agg = slot.is_spilled()
+            && match spec.algorithm {
+                AggAlgorithm::Sort => already_sorted,
+                _ => true,
+            };
+        let group_rows = if stream_agg {
+            let set = slot.partitions(spill)?;
+            match spec.algorithm {
+                AggAlgorithm::Map => compiled.map_aggregate_stream(&set, &mut stats)?,
+                AggAlgorithm::HybridHashSort => {
+                    let partitions = slot
+                        .num_partitions()
+                        .max((slot.data_bytes() / (1 << 20)).next_power_of_two());
+                    let schema = slot.schema().clone();
+                    compiled
+                        .hybrid_aggregate_stream(&set, &schema, partitions, &pool, &mut stats)?
+                }
+                AggAlgorithm::Sort => compiled.sort_aggregate_stream(&set, &mut stats)?,
             }
-            AggAlgorithm::Sort => {
-                // Sort the input on the grouping columns unless staging
-                // already produced exactly that interesting order.
-                let already_sorted = plan.staged.len() == 1
-                    && matches!(
-                        &plan.staged[plan.join_order[0]].strategy,
-                        StagingStrategy::Sort { key_columns } if *key_columns == spec.group_columns
-                    );
-                if already_sorted {
-                    compiled.sort_aggregate_pooled(&input.relation, &pool, &mut stats)
-                } else {
-                    let mut rel = input.relation;
-                    rel.flatten();
-                    stats.sort_passes += 1;
-                    rel.par_sort_all(&group_keys, &pool);
-                    compiled.sort_aggregate_pooled(&rel, &pool, &mut stats)
+        } else {
+            let input = slot.into_input(spill)?;
+            match spec.algorithm {
+                AggAlgorithm::Map => {
+                    compiled.map_aggregate_pooled(&input.relation, &pool, &mut stats)
+                }
+                AggAlgorithm::HybridHashSort => {
+                    let partitions = input
+                        .relation
+                        .num_partitions()
+                        .max((input.relation.data_bytes() / (1 << 20)).next_power_of_two());
+                    compiled.hybrid_aggregate_pooled(&input.relation, partitions, &pool, &mut stats)
+                }
+                AggAlgorithm::Sort => {
+                    if already_sorted {
+                        compiled.sort_aggregate_pooled(&input.relation, &pool, &mut stats)
+                    } else {
+                        let mut rel = input.relation;
+                        rel.flatten();
+                        stats.sort_passes += 1;
+                        rel.par_sort_all(&group_keys, &pool);
+                        compiled.sort_aggregate_pooled(&rel, &pool, &mut stats)
+                    }
                 }
             }
         };
@@ -387,28 +430,37 @@ pub fn execute(
             rows.push(Row::new(values));
         }
         timings.record("aggregation", t2.elapsed());
-    } else if let Some(input) = final_relation.take() {
+    } else if let Some(slot) = final_slot.take() {
         // Non-aggregate single-table (or materialized) result: run the
         // output kernels over every record.
         let t3 = Instant::now();
-        match &mut sink {
-            OutputSink::Collect { kernels, rows } if !pool.is_serial() => {
-                // Decode record chunks in parallel, appended in chunk order
-                // (= serial record order).
-                let records: Vec<&[u8]> = input.relation.records().collect();
-                let ranges = chunk_ranges(records.len(), pool.threads());
-                for chunk in pool.map_items(&ranges, |_, range| {
-                    records[range.clone()]
-                        .iter()
-                        .map(|rec| decode_output_row(kernels, rec))
-                        .collect::<Vec<Row>>()
-                }) {
-                    rows.extend(chunk);
+        if slot.is_spilled() {
+            // Page-at-a-time: decode straight off pinned pool pages, one
+            // page resident at a time — the spilled relation is never
+            // re-materialized on its way to the sink.
+            let set = slot.partitions(spill)?;
+            set.for_each_record(|rec| sink.consume(rec))?;
+        } else {
+            let input = slot.into_input(spill)?;
+            match &mut sink {
+                OutputSink::Collect { kernels, rows } if !pool.is_serial() => {
+                    // Decode record chunks in parallel, appended in chunk
+                    // order (= serial record order).
+                    let records: Vec<&[u8]> = input.relation.records().collect();
+                    let ranges = chunk_ranges(records.len(), pool.threads());
+                    for chunk in pool.map_items(&ranges, |_, range| {
+                        records[range.clone()]
+                            .iter()
+                            .map(|rec| decode_output_row(kernels, rec))
+                            .collect::<Vec<Row>>()
+                    }) {
+                        rows.extend(chunk);
+                    }
                 }
-            }
-            _ => {
-                for rec in input.relation.records() {
-                    sink.consume(rec);
+                _ => {
+                    for rec in input.relation.records() {
+                        sink.consume(rec);
+                    }
                 }
             }
         }
@@ -437,6 +489,14 @@ pub fn execute(
     // Buffer-pool traffic of this execution (zero on memory-resident
     // catalogs): base-page fetches plus temporary-table spills/reloads.
     stats.io = catalog.pool_stats().since(&io_base);
+    if let Some(ctx) = &spill_ctx {
+        stats.spilled_temporaries = ctx.spill_count();
+        stats.spill_consumer_peak_pages = ctx.meter().peak() as u64;
+    }
+    stats.peak_resident_pages = catalog
+        .buffer_pool()
+        .map(|p| p.peak_resident() as u64)
+        .unwrap_or(0);
 
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
@@ -688,6 +748,121 @@ mod tests {
             .unwrap();
         assert_eq!(inherited.rows, overridden.rows);
         assert_eq!(inherited.stats, overridden.stats);
+    }
+
+    #[test]
+    fn budgeted_execution_streams_spilled_temporaries_and_matches_unbounded() {
+        // A paged catalog under a tiny budget: staged inputs and join
+        // temporaries spill, their consumers stream them back
+        // page-at-a-time, and results match the unbudgeted execution for
+        // every thread count.
+        const BUDGET: usize = 4;
+        let queries = [
+            // Single staged input feeding the output kernels (streamed).
+            "select v, tag from r where v < 1500 order by v",
+            // Join temporary feeding grouped aggregation (all algorithms).
+            "select r.k, sum(r.v) as sv, count(*) as n from r, s \
+             where r.k = s.k group by r.k order by r.k",
+            // Global aggregate over a spilled input.
+            "select count(*) as n, max(v) as mx from r",
+        ];
+        // A working set well past the 8-page budget (the shared test
+        // catalog's 200-row tables never cross the spill threshold).
+        let big_catalog = || {
+            let mut cat = Catalog::new();
+            cat.create_table(
+                "r",
+                Schema::new(vec![
+                    Column::new("k", DataType::Int32),
+                    Column::new("v", DataType::Float64),
+                    Column::new("tag", DataType::Char(4)),
+                ]),
+            )
+            .unwrap();
+            cat.create_table(
+                "s",
+                Schema::new(vec![
+                    Column::new("k", DataType::Int32),
+                    Column::new("w", DataType::Int32),
+                ]),
+            )
+            .unwrap();
+            for i in 0..2000 {
+                cat.table_mut("r")
+                    .unwrap()
+                    .heap
+                    .append_row(&Row::new(vec![
+                        Value::Int32(i % 20),
+                        Value::Float64(i as f64),
+                        Value::Str(if i % 2 == 0 { "ev" } else { "od" }.into()),
+                    ]))
+                    .unwrap();
+            }
+            for i in 0..200 {
+                cat.table_mut("s")
+                    .unwrap()
+                    .heap
+                    .append_row(&Row::new(vec![Value::Int32(i % 20), Value::Int32(i)]))
+                    .unwrap();
+            }
+            for t in ["r", "s"] {
+                cat.analyze_table(t).unwrap();
+            }
+            cat
+        };
+        let plain = big_catalog();
+        let mut paged = big_catalog();
+        paged.spill_to_disk(BUDGET).unwrap();
+        for sql in queries {
+            for algo in [
+                AggAlgorithm::Sort,
+                AggAlgorithm::HybridHashSort,
+                AggAlgorithm::Map,
+            ] {
+                let config = PlannerConfig::default().with_agg_algorithm(algo);
+                let unbounded = run(sql, &plain, &config);
+                for threads in [1usize, 4] {
+                    let budgeted = run(
+                        sql,
+                        &paged,
+                        &config
+                            .clone()
+                            .with_threads(threads)
+                            .with_memory_budget_pages(BUDGET),
+                    );
+                    assert_eq!(budgeted.rows, unbounded.rows, "{sql} {algo:?} x{threads}");
+                    assert!(
+                        budgeted.stats.spilled_temporaries > 0,
+                        "{sql} {algo:?} x{threads}: nothing spilled under an {BUDGET}-page budget"
+                    );
+                    // The pool's high-water mark proves page-at-a-time
+                    // consumption never outgrew the budget.
+                    assert!(
+                        budgeted.stats.peak_resident_pages <= BUDGET as u64,
+                        "{sql}: peak {} > budget {BUDGET}",
+                        budgeted.stats.peak_resident_pages
+                    );
+                    assert!(budgeted.stats.io.pool_misses > 0, "{sql}: no pool traffic");
+                    if sql == queries[0] {
+                        // The non-aggregate output path streams the spilled
+                        // staged input: the consumer holds ONE page of the
+                        // spilled relation at a time, where whole-partition
+                        // reload would have held the full range — which does
+                        // not even fit the budget.
+                        let spilled_pages =
+                            1500_usize.div_ceil(hique_storage::records_per_page(12)) as u64;
+                        assert!(
+                            spilled_pages > BUDGET as u64,
+                            "premise: the spilled input must outsize the budget"
+                        );
+                        assert_eq!(
+                            budgeted.stats.spill_consumer_peak_pages, 1,
+                            "{sql} x{threads}: output streaming re-materialized the partition"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub use generator::{generate, GeneratedQuery, PreparationCost};
 pub use relation::StagedRelation;
 pub use source::GeneratedSource;
 
+/// The shared partition-pipeline substrate (re-exported so downstream users
+/// of the holistic engine reach the streaming spill machinery without a
+/// separate dependency).
+pub use hique_pipeline as pipeline;
+pub use hique_pipeline::{PartitionSet, PartitionStream, ResidencyMeter, SpillContext};
+
 use hique_plan::PhysicalPlan;
 use hique_storage::Catalog;
 use hique_types::{QueryResult, Result};

@@ -3,72 +3,36 @@
 //! The paper stages every input (and materializes join intermediates) as
 //! "temporary tables inside the buffer pool" (§IV).  When the plan carries a
 //! `memory_budget_pages` and the catalog runs in paged mode, the executor
-//! routes exactly those temporaries through the catalog's [`TempSpace`]:
-//! a staged relation larger than a fraction of the budget is written out as
-//! pool pages (dirty frames that the LRU policy evicts to disk under
-//! pressure) and reloaded when its consumer runs.  The reload materializes
-//! the whole relation again (DESIGN.md §9 known limits): spilling relieves
-//! memory between staging and consumption, not at consumption itself.
-//! The spill decision depends only on the relation's byte size, so
-//! `threads = N` spills exactly what `threads = 1` spills and results stay
-//! bit-identical for every budget.
+//! routes exactly those temporaries through the catalog's `TempSpace` via
+//! the shared [`SpillContext`] policy: a staged relation larger than a
+//! fraction of the budget is written out as pool pages (dirty frames that
+//! the LRU policy evicts to disk under pressure).
+//!
+//! Consumption goes through the pipeline substrate instead of a
+//! whole-relation reload: a [`StagedSlot`] hands out
+//! [`PartitionStream`]s that yield records **page-at-a-time through pool
+//! pin guards**, so streaming consumers (aggregation scans, output
+//! decoding, scatter passes) never re-materialize a spilled partition.
+//! Consumers that genuinely need random access (the join kernels' merge
+//! cursors and sorts) materialize explicitly with
+//! [`StagedSlot::into_input`], which gathers one partition at a time
+//! through the same guards.  The spill decision depends only on the
+//! relation's byte size, so `threads = N` spills exactly what `threads = 1`
+//! spills and results stay bit-identical for every budget.
 
 use std::collections::BTreeMap;
 
-use hique_storage::{SpillHandle, TempSpace};
-use hique_types::{Result, Schema};
+use hique_pipeline::{PartitionSet, PartitionStream, SpillContext};
+use hique_storage::SpillHandle;
+use hique_types::{HiqueError, Result, Schema};
 
 use crate::relation::StagedRelation;
 use crate::staging::StagedInput;
-
-/// Spill policy of one execution: where to spill and from what size.
-pub struct SpillContext<'a> {
-    temp: &'a TempSpace,
-    threshold_bytes: usize,
-}
-
-impl<'a> SpillContext<'a> {
-    /// Claim the catalog's spill space for one budgeted execution, spilling
-    /// temporaries larger than a quarter of the page budget's data capacity
-    /// — big enough that small queries stay memory-resident, small enough
-    /// that anything actually pressuring the budget goes to the pool.
-    ///
-    /// A context restarts the spill allocator (the previous execution's
-    /// temporaries are dead, their pages get reused), which is only sound
-    /// under exclusive use: when another execution already holds the space,
-    /// `None` is returned and the caller simply runs without spilling —
-    /// results are identical either way, so concurrent budgeted queries on
-    /// one catalog degrade gracefully instead of corrupting each other's
-    /// pages.  The claim is released when the context drops.
-    pub fn acquire(temp: &'a TempSpace, budget_pages: usize) -> Option<Self> {
-        if !temp.try_acquire() {
-            return None;
-        }
-        temp.reset();
-        let page_data = hique_storage::PAGE_SIZE - hique_storage::PAGE_HEADER_SIZE;
-        Some(SpillContext {
-            temp,
-            threshold_bytes: budget_pages.saturating_mul(page_data) / 4,
-        })
-    }
-
-    /// Byte size above which a staged relation is spilled.
-    pub fn threshold_bytes(&self) -> usize {
-        self.threshold_bytes
-    }
-}
-
-impl Drop for SpillContext<'_> {
-    fn drop(&mut self) {
-        self.temp.release();
-    }
-}
 
 /// A staged relation written out as pool pages, partition structure and
 /// fine directory preserved.
 pub struct SpilledInput {
     schema: Schema,
-    tuple_size: usize,
     parts: Vec<SpillHandle>,
     fine_directory: Option<BTreeMap<i64, usize>>,
 }
@@ -84,50 +48,50 @@ pub enum StagedSlot {
 impl StagedSlot {
     /// Wrap a freshly staged input, spilling it when a context is active
     /// and the relation exceeds the threshold.
-    pub fn stage(input: StagedInput, ctx: Option<&SpillContext<'_>>) -> Result<StagedSlot> {
+    pub fn stage(input: StagedInput, ctx: Option<&SpillContext>) -> Result<StagedSlot> {
         let Some(ctx) = ctx else {
             return Ok(StagedSlot::Mem(input));
         };
-        if input.relation.data_bytes() < ctx.threshold_bytes.max(1) {
+        if !ctx.should_spill(input.relation.data_bytes()) {
             return Ok(StagedSlot::Mem(input));
         }
         let rel = &input.relation;
         let ts = rel.tuple_size();
         let parts: Vec<SpillHandle> = (0..rel.num_partitions())
-            .map(|p| ctx.temp.spill_records(rel.partition(p), ts))
+            .map(|p| ctx.spill(rel.partition(p), ts))
             .collect::<Result<_>>()?;
         Ok(StagedSlot::Spilled(SpilledInput {
             schema: rel.schema().clone(),
-            tuple_size: ts,
             parts,
             fine_directory: input.fine_directory,
         }))
     }
 
-    /// Materialize the input for its consumer, reloading spilled partitions
-    /// through the pool.
-    pub fn reload(self, ctx: Option<&SpillContext<'_>>) -> Result<StagedInput> {
+    /// The record layout of the staged relation.
+    pub fn schema(&self) -> &Schema {
         match self {
-            StagedSlot::Mem(input) => Ok(input),
-            StagedSlot::Spilled(spilled) => {
-                let ctx = ctx.ok_or_else(|| {
-                    hique_types::HiqueError::Execution(
-                        "spilled input reloaded without an active spill context".into(),
-                    )
-                })?;
-                let parts: Vec<Vec<u8>> = spilled
-                    .parts
-                    .iter()
-                    .map(|h| ctx.temp.reload(h))
-                    .collect::<Result<_>>()?;
-                debug_assert!(parts
-                    .iter()
-                    .all(|p| p.len() % spilled.tuple_size.max(1) == 0));
-                Ok(StagedInput {
-                    relation: StagedRelation::from_partitions(spilled.schema, parts),
-                    fine_directory: spilled.fine_directory,
-                })
-            }
+            StagedSlot::Mem(input) => input.relation.schema(),
+            StagedSlot::Spilled(s) => &s.schema,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        match self {
+            StagedSlot::Mem(input) => input.relation.num_partitions(),
+            StagedSlot::Spilled(s) => s.parts.len(),
+        }
+    }
+
+    /// Total bytes of record data across partitions.
+    pub fn data_bytes(&self) -> usize {
+        match self {
+            StagedSlot::Mem(input) => input.relation.data_bytes(),
+            StagedSlot::Spilled(s) => s
+                .parts
+                .iter()
+                .map(|h| h.records * h.tuple_size)
+                .sum::<usize>(),
         }
     }
 
@@ -135,12 +99,76 @@ impl StagedSlot {
     pub fn is_spilled(&self) -> bool {
         matches!(self, StagedSlot::Spilled(_))
     }
+
+    /// Page-at-a-time read views of every partition, in partition order.
+    ///
+    /// This is the page-pipeline consumption path: spilled partitions are
+    /// pinned one pool page at a time, memory partitions are sliced into
+    /// the same page-shaped chunks, and a consumer written against the set
+    /// behaves identically for both — no whole-partition reload anywhere.
+    pub fn partitions<'a>(&'a self, ctx: Option<&'a SpillContext>) -> Result<PartitionSet<'a>> {
+        match self {
+            StagedSlot::Mem(input) => {
+                let ts = input.relation.tuple_size();
+                Ok(PartitionSet::new(
+                    (0..input.relation.num_partitions())
+                        .map(|p| PartitionStream::mem(input.relation.partition(p), ts))
+                        .collect(),
+                ))
+            }
+            StagedSlot::Spilled(s) => {
+                let ctx = ctx.ok_or_else(|| {
+                    HiqueError::Execution(
+                        "spilled input consumed without an active spill context".into(),
+                    )
+                })?;
+                Ok(PartitionSet::new(
+                    s.parts
+                        .iter()
+                        .map(|&h| PartitionStream::spilled(ctx, h))
+                        .collect(),
+                ))
+            }
+        }
+    }
+
+    /// Materialize the input for a consumer that needs random access (the
+    /// join kernels' merge cursors and sorts).  Spilled partitions are
+    /// gathered one at a time through pool pin guards; streaming consumers
+    /// should use [`StagedSlot::partitions`] instead and never pay this.
+    pub fn into_input(self, ctx: Option<&SpillContext>) -> Result<StagedInput> {
+        match self {
+            StagedSlot::Mem(input) => Ok(input),
+            StagedSlot::Spilled(spilled) => {
+                let ctx = ctx.ok_or_else(|| {
+                    HiqueError::Execution(
+                        "spilled input consumed without an active spill context".into(),
+                    )
+                })?;
+                // Hold every partition's residency registration until the
+                // whole relation is assembled, so the meter's high-water
+                // reflects the cumulative materialization — the honest
+                // footprint of a random-access consumer.
+                let mut guards = Vec::with_capacity(spilled.parts.len());
+                let mut parts: Vec<Vec<u8>> = Vec::with_capacity(spilled.parts.len());
+                for &h in &spilled.parts {
+                    let (buf, guard) = PartitionStream::spilled(ctx, h).gather_tracked()?;
+                    guards.extend(guard);
+                    parts.push(buf);
+                }
+                Ok(StagedInput {
+                    relation: StagedRelation::from_partitions(spilled.schema, parts),
+                    fine_directory: spilled.fine_directory,
+                })
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hique_storage::BufferPool;
+    use hique_storage::{BufferPool, TempSpace};
     use hique_types::{Column, DataType, Row, Schema, Value};
     use std::sync::Arc;
 
@@ -165,18 +193,18 @@ mod tests {
         }
     }
 
-    fn temp_space(name: &str, budget: usize) -> (TempSpace, std::path::PathBuf) {
+    fn temp_space(name: &str, budget: usize) -> (Arc<TempSpace>, std::path::PathBuf) {
         let mut path = std::env::temp_dir();
         path.push(format!(
             "hique_spill_ctx_{}_{name}.spill",
             std::process::id()
         ));
         let pool = Arc::new(BufferPool::new(budget).unwrap());
-        (TempSpace::create(pool, &path).unwrap(), path)
+        (Arc::new(TempSpace::create(pool, &path).unwrap()), path)
     }
 
     #[test]
-    fn spill_and_reload_preserve_partitions_and_directory() {
+    fn spill_and_materialize_preserve_partitions_and_directory() {
         let (temp, path) = temp_space("roundtrip", 2);
         // Tiny budget: everything spills.
         let ctx = SpillContext::acquire(&temp, 1).expect("space is free");
@@ -184,7 +212,10 @@ mod tests {
         let original = input.relation.clone();
         let slot = StagedSlot::stage(input, Some(&ctx)).unwrap();
         assert!(slot.is_spilled());
-        let reloaded = slot.reload(Some(&ctx)).unwrap();
+        assert_eq!(slot.num_partitions(), 3);
+        assert_eq!(slot.data_bytes(), original.data_bytes());
+        assert_eq!(ctx.spill_count(), 3);
+        let reloaded = slot.into_input(Some(&ctx)).unwrap();
         assert_eq!(reloaded.relation.num_partitions(), 3);
         for p in 0..3 {
             assert_eq!(reloaded.relation.partition(p), original.partition(p));
@@ -193,6 +224,35 @@ mod tests {
             reloaded.fine_directory.as_ref().map(|d| d.len()),
             Some(3usize)
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spilled_slot_streams_page_at_a_time_under_budget() {
+        let (temp, path) = temp_space("stream", 2);
+        let ctx = SpillContext::acquire(&temp, 1).expect("space is free");
+        let input = staged(2, 2000);
+        let original = input.relation.clone();
+        let slot = StagedSlot::stage(input, Some(&ctx)).unwrap();
+        assert!(slot.is_spilled());
+
+        // Stream every record back in partition order; contents match the
+        // original relation byte for byte.
+        let set = slot.partitions(Some(&ctx)).unwrap();
+        let mut streamed = Vec::new();
+        set.for_each_record(|rec| streamed.extend_from_slice(rec))
+            .unwrap();
+        let mut expect = Vec::new();
+        for p in 0..original.num_partitions() {
+            expect.extend_from_slice(original.partition(p));
+        }
+        assert_eq!(streamed, expect);
+
+        // The streaming consumer held exactly one page materialized at a
+        // time — the contract whole-partition reload could never offer.
+        assert_eq!(ctx.meter().peak(), 1);
+        // Consuming without a context is a typed error.
+        assert!(slot.partitions(None).is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -206,20 +266,7 @@ mod tests {
         assert!(!slot.is_spilled());
         let slot = StagedSlot::stage(staged(1, 500), None).unwrap();
         assert!(!slot.is_spilled());
-        assert_eq!(slot.reload(None).unwrap().relation.num_records(), 500);
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn spill_space_is_exclusive_per_execution() {
-        let (temp, path) = temp_space("exclusive", 4);
-        let first = SpillContext::acquire(&temp, 1).expect("space is free");
-        // A concurrent execution cannot claim the space (it would reset the
-        // allocator under the first holder's handles) and runs unspilled.
-        assert!(SpillContext::acquire(&temp, 1).is_none());
-        drop(first);
-        // Released on drop: the next execution claims it again.
-        assert!(SpillContext::acquire(&temp, 1).is_some());
+        assert_eq!(slot.into_input(None).unwrap().relation.num_records(), 500);
         std::fs::remove_file(&path).ok();
     }
 }

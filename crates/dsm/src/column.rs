@@ -1,8 +1,9 @@
 //! Vertical decomposition: typed column arrays and the column store.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use hique_storage::{Catalog, TableHeap};
+use hique_storage::{BufferPool, BufferPoolStats, Catalog, TableHeap, TempSpace};
 use hique_types::tuple::{read_f64_at, read_i32_at, read_i64_at, read_str_at};
 use hique_types::{DataType, HiqueError, Result, Schema, Value};
 
@@ -160,21 +161,32 @@ impl ColumnStore {
     }
 }
 
-/// All tables of the database, vertically decomposed.
+/// All tables of the database, vertically decomposed, plus (for a paged
+/// source catalog) handles to its buffer pool and spill space so the DSM
+/// executor can route its own intermediates — alignment and gather vectors
+/// — through the same `memory_budget_pages` frames.
 #[derive(Debug, Default)]
 pub struct DsmDatabase {
     tables: HashMap<String, ColumnStore>,
+    pool: Option<Arc<BufferPool>>,
+    temp: Option<Arc<TempSpace>>,
 }
 
 impl DsmDatabase {
-    /// Decompose every table of the catalog.
+    /// Decompose every table of the catalog.  A paged catalog's storage
+    /// runtime (pool + spill space) is captured so budgeted DSM executions
+    /// can spill their intermediates.
     pub fn from_catalog(catalog: &Catalog) -> Result<DsmDatabase> {
         let mut tables = HashMap::new();
         for name in catalog.table_names() {
             let info = catalog.table(name).expect("listed table exists");
             tables.insert(name.to_string(), ColumnStore::from_heap(&info.heap)?);
         }
-        Ok(DsmDatabase { tables })
+        Ok(DsmDatabase {
+            tables,
+            pool: catalog.storage().map(|s| Arc::clone(s.pool())),
+            temp: catalog.storage().map(|s| Arc::clone(s.temp())),
+        })
     }
 
     /// Look up a decomposed table.
@@ -182,6 +194,21 @@ impl DsmDatabase {
         self.tables
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| HiqueError::Catalog(format!("unknown DSM table '{name}'")))
+    }
+
+    /// The source catalog's buffer pool, when it runs in paged mode.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The source catalog's spill space, when it runs in paged mode.
+    pub fn temp(&self) -> Option<&Arc<TempSpace>> {
+        self.temp.as_ref()
+    }
+
+    /// Snapshot of the pool counters (zeros without a paged source).
+    pub fn pool_stats(&self) -> BufferPoolStats {
+        self.pool.as_ref().map(|p| p.stats()).unwrap_or_default()
     }
 }
 

@@ -189,6 +189,19 @@ impl<'a> AggregateIterator<'a> {
             .collect()
     }
 
+    /// Pull one child row, charging the iterator-interface calls and tuple
+    /// counters exactly as the materializing drain used to.
+    fn pull(&mut self, width: usize) -> Result<Option<Row>> {
+        match self.child.next()? {
+            Some(row) => {
+                self.ctx.add_calls(2);
+                self.ctx.add_tuple(width);
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Scan a run of rows sorted by group key, emitting one row per group.
     fn aggregate_sorted_run(&mut self, rows: &[Row]) -> Result<()> {
         let mut current_key: Option<Vec<Value>> = None;
@@ -218,52 +231,85 @@ impl<'a> AggregateIterator<'a> {
         Ok(())
     }
 
-    fn run_sort(&mut self, mut rows: Vec<Row>, already_sorted: bool) -> Result<()> {
-        if !already_sorted {
-            self.ctx.add_sort_pass();
-            let keys: Vec<(usize, bool)> =
-                self.spec.group_columns.iter().map(|&c| (c, true)).collect();
-            sort_rows(&mut rows, &keys);
+    /// Sort aggregation over an already-sorted child, streamed: one pulled
+    /// row at a time through the group-boundary scan, so a spilled sort run
+    /// below flows page-by-page straight into the accumulators without ever
+    /// re-materializing as a row vector.
+    fn stream_sorted(&mut self, width: usize) -> Result<()> {
+        let mut current_key: Option<Vec<Value>> = None;
+        let mut accums: Vec<AggAccum> = Vec::new();
+        while let Some(row) = self.pull(width)? {
+            let key = self.key_of(&row);
+            let same = current_key.as_ref() == Some(&key);
+            if !same {
+                if let Some(k) = current_key.take() {
+                    self.groups.push(group_row(&k, &accums, &self.spec));
+                }
+                current_key = Some(key);
+                accums = self
+                    .spec
+                    .aggregates
+                    .iter()
+                    .map(|a| AggAccum::new(a.func))
+                    .collect();
+            }
+            self.ctx
+                .add_comparisons(self.spec.group_columns.len() as u64);
+            update_group(&mut accums, &self.spec, &row, &self.ctx)?;
         }
-        self.aggregate_sorted_run(&rows)
+        if let Some(k) = current_key.take() {
+            self.groups.push(group_row(&k, &accums, &self.spec));
+        }
+        Ok(())
     }
 
-    fn run_hybrid(&mut self, rows: Vec<Row>) -> Result<()> {
+    /// Hybrid hash-sort aggregation, streamed: rows scatter into hash
+    /// partitions as they are pulled; the per-partition sorts then run
+    /// across the context's pool (deterministic chunk order) and each
+    /// sorted partition is scanned in partition order.
+    fn stream_hybrid(&mut self, width: usize) -> Result<()> {
         if self.spec.group_columns.is_empty() {
-            return self.run_sort(rows, true);
+            return self.stream_sorted(width);
         }
         let partitions = 64usize;
         self.ctx.add_partition_pass();
         let first = self.spec.group_columns[0];
         let mut parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
-        for row in rows {
+        while let Some(row) = self.pull(width)? {
             let mut h = DefaultHasher::new();
             row.get(first).hash(&mut h);
             self.ctx.add_hashes(1);
             parts[(h.finish() as usize) % partitions].push(row);
         }
         let keys: Vec<(usize, bool)> = self.spec.group_columns.iter().map(|&c| (c, true)).collect();
-        for mut part in parts {
+        let pool = *self.ctx.pool();
+        // One owned task per partition, results in partition order — the
+        // same rows the serial loop would sort, never clones of them.
+        let sorted: Vec<Vec<Row>> = pool.map_owned(parts, |_, mut p| {
+            sort_rows(&mut p, &keys);
+            p
+        });
+        for part in &sorted {
             if part.is_empty() {
                 continue;
             }
             self.ctx.add_sort_pass();
-            sort_rows(&mut part, &keys);
-            self.aggregate_sorted_run(&part)?;
+            self.aggregate_sorted_run(part)?;
         }
         Ok(())
     }
 
-    fn run_map(&mut self, rows: Vec<Row>) -> Result<()> {
-        // Per-attribute value directories assigning dense identifiers, plus
-        // a map from the composed group identifier to accumulators.  The
-        // iterator flavour keeps the directories as ordered maps of boxed
-        // values — the holistic engine replaces all of this with offset
-        // arithmetic over primitive directories.
+    /// Map aggregation, streamed: per-attribute value directories assigning
+    /// dense identifiers, plus a map from the composed group identifier to
+    /// accumulators, fed one pulled row at a time.  The iterator flavour
+    /// keeps the directories as ordered maps of boxed values — the holistic
+    /// engine replaces all of this with offset arithmetic over primitive
+    /// directories.
+    fn stream_map(&mut self, width: usize) -> Result<()> {
         let mut directories: Vec<BTreeMap<Value, usize>> =
             vec![BTreeMap::new(); self.spec.group_columns.len()];
         let mut groups: BTreeMap<Vec<usize>, (Vec<Value>, Vec<AggAccum>)> = BTreeMap::new();
-        for row in rows {
+        while let Some(row) = self.pull(width)? {
             let key = self.key_of(&row);
             let mut ids = Vec::with_capacity(key.len());
             for (d, v) in directories.iter_mut().zip(key.iter()) {
@@ -299,22 +345,21 @@ impl QueryIterator for AggregateIterator<'_> {
         self.ctx.add_calls(1);
         self.child.open()?;
         self.ctx.add_calls(1);
-        let mut rows = Vec::new();
         let width = self.child.schema().tuple_size();
-        while let Some(row) = self.child.next()? {
-            self.ctx.add_calls(2);
-            self.ctx.add_tuple(width);
-            rows.push(row);
+
+        // Streaming consumption: every strategy folds pulled rows straight
+        // into its own state (accumulators, hash partitions, directories)
+        // instead of materializing the child first — the child's rows,
+        // possibly decoded page-at-a-time off a spilled sort run, are never
+        // collected into an input vector here.
+        self.groups.clear();
+        match self.strategy {
+            AggStrategy::Sort => self.stream_sorted(width)?,
+            AggStrategy::HybridHashSort => self.stream_hybrid(width)?,
+            AggStrategy::Map => self.stream_map(width)?,
         }
         self.child.close();
         self.ctx.add_calls(1);
-
-        self.groups.clear();
-        match self.strategy {
-            AggStrategy::Sort => self.run_sort(rows, true)?,
-            AggStrategy::HybridHashSort => self.run_hybrid(rows)?,
-            AggStrategy::Map => self.run_map(rows)?,
-        }
         // Deterministic output order across strategies: sort by group key.
         let group_keys: Vec<(usize, bool)> = (0..self.spec.group_columns.len())
             .map(|i| (i, true))

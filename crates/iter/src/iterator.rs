@@ -3,6 +3,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use hique_par::ScopedPool;
+use hique_pipeline::SpillContext;
 use hique_types::{ExecStats, Result, Row, Schema};
 
 /// How "generic" the iterator implementations behave.
@@ -22,25 +24,69 @@ pub enum ExecMode {
     Optimized,
 }
 
-/// Shared per-query execution context: mode + counters.
-#[derive(Debug, Clone)]
+/// Shared per-query execution context: mode + counters + the partition
+/// pipeline runtime (worker pool for the blocking operators' sorts and
+/// scatters, spill policy for pool-backed intermediates).
+#[derive(Clone)]
 pub struct ExecContext {
     mode: ExecMode,
     stats: Rc<RefCell<ExecStats>>,
+    /// Worker pool for the blocking operators (sort runs, partition sorts,
+    /// scatter passes).  Serial by default; every width produces identical
+    /// results (deterministic chunking + stable merges).
+    pool: ScopedPool,
+    /// Spill policy when the plan carries a memory budget and the catalog
+    /// runs in paged mode: sort runs and hash-partitioned join inputs above
+    /// the size threshold go through the buffer pool.
+    spill: Option<Rc<SpillContext>>,
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("mode", &self.mode)
+            .field("threads", &self.pool.threads())
+            .field("spill", &self.spill.is_some())
+            .finish()
+    }
 }
 
 impl ExecContext {
-    /// New context for the given mode.
+    /// New context for the given mode (serial, no spilling).
     pub fn new(mode: ExecMode) -> Self {
         ExecContext {
             mode,
             stats: Rc::new(RefCell::new(ExecStats::new())),
+            pool: ScopedPool::serial(),
+            spill: None,
         }
+    }
+
+    /// Use `pool` for the blocking operators' parallel phases.
+    pub fn with_pool(mut self, pool: ScopedPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Route oversized intermediates through `spill`.
+    pub fn with_spill(mut self, spill: Option<Rc<SpillContext>>) -> Self {
+        self.spill = spill;
+        self
     }
 
     /// The execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The worker pool for blocking operators.
+    pub fn pool(&self) -> &ScopedPool {
+        &self.pool
+    }
+
+    /// The active spill policy, if any.
+    pub fn spill(&self) -> Option<&Rc<SpillContext>> {
+        self.spill.as_ref()
     }
 
     /// Snapshot of the counters accumulated so far.

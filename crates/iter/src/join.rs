@@ -15,6 +15,7 @@ use std::hash::{Hash, Hasher};
 use hique_types::{result::sort_rows, Result, Row, Schema};
 
 use crate::iterator::{ExecContext, QueryIterator};
+use crate::spill::SpilledRows;
 use crate::BoxedIterator;
 
 /// Shared merge cursor: walks two key-sorted row vectors and yields joined
@@ -167,9 +168,47 @@ impl QueryIterator for MergeJoinIterator<'_> {
     }
 }
 
+/// One side's hash partitions: resident row vectors, or runs spilled
+/// through the buffer pool and reloaded one partition pair at a time.
+enum PartStore {
+    Rows(Vec<Vec<Row>>),
+    Spilled(Vec<SpilledRows>),
+}
+
+impl PartStore {
+    fn is_partition_empty(&self, p: usize) -> bool {
+        match self {
+            PartStore::Rows(parts) => parts[p].is_empty(),
+            PartStore::Spilled(runs) => runs[p].num_rows() == 0,
+        }
+    }
+
+    /// Take partition `p` out for its merge (spilled runs decode through
+    /// pin guards here — one partition pair resident at a time).
+    fn take_partition(&mut self, p: usize, ctx: &ExecContext) -> Result<Vec<Row>> {
+        match self {
+            PartStore::Rows(parts) => Ok(std::mem::take(&mut parts[p])),
+            PartStore::Spilled(runs) => {
+                let spill = ctx
+                    .spill()
+                    .expect("spilled partitions require an active spill context");
+                runs[p].load(spill)
+            }
+        }
+    }
+}
+
 /// Hybrid hash-sort-merge join: both inputs are hash-partitioned on the join
 /// key, each pair of corresponding partitions is sorted just before being
 /// merge-joined (paper §V-B).
+///
+/// The scatter pass runs chunk-parallel across the context's pool with the
+/// deterministic chunk-order merge, so every pool width produces the serial
+/// partition contents.  Under a memory budget a side larger than the spill
+/// threshold writes its partitions through the buffer pool after the
+/// scatter; `advance_partition` then reloads exactly one partition pair at
+/// a time — the join's peak resident set shrinks from both inputs to one
+/// cache-sized pair.
 pub struct HybridJoinIterator<'a> {
     left: BoxedIterator<'a>,
     right: BoxedIterator<'a>,
@@ -177,8 +216,8 @@ pub struct HybridJoinIterator<'a> {
     right_key: usize,
     partitions: usize,
     ctx: ExecContext,
-    left_parts: Vec<Vec<Row>>,
-    right_parts: Vec<Vec<Row>>,
+    left_parts: PartStore,
+    right_parts: PartStore,
     current: usize,
     cursor: Option<MergeCursor>,
     schema: Schema,
@@ -202,14 +241,18 @@ impl<'a> HybridJoinIterator<'a> {
             right_key,
             partitions: partitions.max(1),
             ctx,
-            left_parts: Vec::new(),
-            right_parts: Vec::new(),
+            left_parts: PartStore::Rows(Vec::new()),
+            right_parts: PartStore::Rows(Vec::new()),
             current: 0,
             cursor: None,
             schema,
         }
     }
 
+    /// Hash-scatter `rows` into `partitions` buckets, chunk-parallel across
+    /// the context's pool: each worker scatters a contiguous chunk and the
+    /// per-chunk buckets concatenate in chunk order, reproducing the serial
+    /// scatter order for any pool width.
     fn partition(
         rows: Vec<Row>,
         key: usize,
@@ -217,26 +260,69 @@ impl<'a> HybridJoinIterator<'a> {
         ctx: &ExecContext,
     ) -> Vec<Vec<Row>> {
         ctx.add_partition_pass();
-        let mut parts = vec![Vec::new(); partitions];
-        for row in rows {
+        ctx.add_hashes(rows.len() as u64);
+        let hash_of = |row: &Row| {
             let mut h = DefaultHasher::new();
             row.get(key).hash(&mut h);
-            ctx.add_hashes(1);
-            let p = (h.finish() as usize) % partitions;
-            parts[p].push(row);
+            (h.finish() as usize) % partitions
+        };
+        let pool = ctx.pool();
+        if pool.is_serial() || rows.len() <= 1 {
+            let mut parts = vec![Vec::new(); partitions];
+            for row in rows {
+                let p = hash_of(&row);
+                parts[p].push(row);
+            }
+            return parts;
+        }
+        let ranges = hique_par::chunk_ranges(rows.len(), pool.threads());
+        let mut chunks: Vec<Vec<Row>> = Vec::with_capacity(ranges.len());
+        let mut it = rows.into_iter();
+        for r in &ranges {
+            chunks.push(it.by_ref().take(r.len()).collect());
+        }
+        let locals: Vec<Vec<Vec<Row>>> = pool.map_owned(chunks, |_, chunk| {
+            let mut parts = vec![Vec::new(); partitions];
+            for row in chunk {
+                let p = hash_of(&row);
+                parts[p].push(row);
+            }
+            parts
+        });
+        let mut parts: Vec<Vec<Row>> = vec![Vec::new(); partitions];
+        for local in locals {
+            for (bucket, mut rows) in parts.iter_mut().zip(local) {
+                bucket.append(&mut rows);
+            }
         }
         parts
     }
 
-    fn advance_partition(&mut self) -> bool {
+    /// Wrap one side's partitions, spilling them through the pool when the
+    /// side exceeds the spill threshold (size-only decision).
+    fn store_side(parts: Vec<Vec<Row>>, schema: &Schema, ctx: &ExecContext) -> Result<PartStore> {
+        let bytes: usize = parts.iter().map(|p| p.len()).sum::<usize>() * schema.tuple_size();
+        match ctx.spill() {
+            Some(spill) if spill.should_spill(bytes) => {
+                let runs: Vec<SpilledRows> = parts
+                    .iter()
+                    .map(|p| SpilledRows::spill(p, schema, spill))
+                    .collect::<Result<_>>()?;
+                Ok(PartStore::Spilled(runs))
+            }
+            _ => Ok(PartStore::Rows(parts)),
+        }
+    }
+
+    fn advance_partition(&mut self) -> Result<bool> {
         while self.current < self.partitions {
             let k = self.current;
             self.current += 1;
-            if self.left_parts[k].is_empty() || self.right_parts[k].is_empty() {
+            if self.left_parts.is_partition_empty(k) || self.right_parts.is_partition_empty(k) {
                 continue;
             }
-            let mut l = std::mem::take(&mut self.left_parts[k]);
-            let mut r = std::mem::take(&mut self.right_parts[k]);
+            let mut l = self.left_parts.take_partition(k, &self.ctx)?;
+            let mut r = self.right_parts.take_partition(k, &self.ctx)?;
             // Sort the pair of corresponding partitions just before joining
             // them so both are cache-resident during the merge.
             self.ctx.add_sort_pass();
@@ -246,21 +332,23 @@ impl<'a> HybridJoinIterator<'a> {
             sort_rows(&mut l, &[(lk, true)]);
             sort_rows(&mut r, &[(rk, true)]);
             self.cursor = Some(MergeCursor::new(l, r, lk, rk));
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 }
 
 impl QueryIterator for HybridJoinIterator<'_> {
     fn open(&mut self) -> Result<()> {
         self.ctx.add_calls(1);
-        let lw = self.left.schema().tuple_size();
-        let rw = self.right.schema().tuple_size();
-        let left = drain_child(&mut self.left, &self.ctx, lw)?;
-        let right = drain_child(&mut self.right, &self.ctx, rw)?;
-        self.left_parts = Self::partition(left, self.left_key, self.partitions, &self.ctx);
-        self.right_parts = Self::partition(right, self.right_key, self.partitions, &self.ctx);
+        let lschema = self.left.schema().clone();
+        let rschema = self.right.schema().clone();
+        let left = drain_child(&mut self.left, &self.ctx, lschema.tuple_size())?;
+        let right = drain_child(&mut self.right, &self.ctx, rschema.tuple_size())?;
+        let left_parts = Self::partition(left, self.left_key, self.partitions, &self.ctx);
+        let right_parts = Self::partition(right, self.right_key, self.partitions, &self.ctx);
+        self.left_parts = Self::store_side(left_parts, &lschema, &self.ctx)?;
+        self.right_parts = Self::store_side(right_parts, &rschema, &self.ctx)?;
         self.current = 0;
         self.cursor = None;
         Ok(())
@@ -275,7 +363,7 @@ impl QueryIterator for HybridJoinIterator<'_> {
                 }
                 self.cursor = None;
             }
-            if !self.advance_partition() {
+            if !self.advance_partition()? {
                 return Ok(None);
             }
         }
@@ -283,8 +371,8 @@ impl QueryIterator for HybridJoinIterator<'_> {
 
     fn close(&mut self) {
         self.ctx.add_calls(1);
-        self.left_parts.clear();
-        self.right_parts.clear();
+        self.left_parts = PartStore::Rows(Vec::new());
+        self.right_parts = PartStore::Rows(Vec::new());
         self.cursor = None;
     }
 

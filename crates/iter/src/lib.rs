@@ -27,6 +27,7 @@ pub mod join;
 pub mod project;
 pub mod scan;
 pub mod sort;
+pub mod spill;
 
 pub use exec::{execute_plan, execute_plan_with};
 pub use iterator::{ExecContext, ExecMode, QueryIterator};

@@ -122,6 +122,35 @@ impl ScopedPool {
     {
         self.map(items.len(), |i| f(i, &items[i]))
     }
+
+    /// Like [`ScopedPool::map_items`], but each task receives its item *by
+    /// value* — the fan-out for work that consumes its input (chunk sorts,
+    /// scatters) without cloning it per task.  Each slot is taken exactly
+    /// once (tasks claim disjoint indexes), so the per-item mutex never
+    /// contends; results come back in item order as always.
+    pub fn map_owned<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.map(slots.len(), |i| {
+            let item = slots[i]
+                .lock()
+                .expect("slot mutex poisoned")
+                .take()
+                .expect("each task index is claimed exactly once");
+            f(i, item)
+        })
+    }
 }
 
 /// The machine's available parallelism (1 when it cannot be determined).
@@ -204,6 +233,25 @@ mod tests {
         let items = ["a", "b", "c", "d"];
         let out = pool.map_items(&items, |i, s| format!("{i}{s}"));
         assert_eq!(out, ["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn map_owned_moves_items_and_keeps_order() {
+        // Non-Clone items prove the by-value contract; order must match
+        // item order for any width.
+        struct NoClone(usize);
+        for threads in [1, 2, 4, 9] {
+            let pool = ScopedPool::new(threads);
+            let items: Vec<NoClone> = (0..23).map(NoClone).collect();
+            let out = pool.map_owned(items, |i, item| {
+                assert_eq!(i, item.0);
+                item.0 * 2
+            });
+            assert_eq!(out, (0..23).map(|i| i * 2).collect::<Vec<_>>());
+        }
+        assert!(ScopedPool::new(4)
+            .map_owned(Vec::<u8>::new(), |_, b| b)
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! # hique-pipeline
+//!
+//! The partition-pipeline substrate shared by all four engine modes.
+//!
+//! The paper stages every input into cache-resident partitions and evaluates
+//! each partition with a tight kernel; under a memory budget those staged
+//! partitions live in the catalog's [`TempSpace`] as buffer-pool pages.
+//! This crate is the one place that knows how to get them back out:
+//!
+//! * [`SpillContext`] — the per-execution claim on the spill space plus the
+//!   size-only spill policy (`memory_budget_pages / 4` of page data), shared
+//!   by the holistic, iterator and DSM engines so every engine spills the
+//!   same temporaries for the same budget regardless of thread count;
+//! * [`PartitionStream`] — a read view of one partition that yields records
+//!   **page-at-a-time through pool pin guards** whether the partition is a
+//!   memory-resident packed buffer or a spilled page range.  Consumers that
+//!   can stream (aggregation scans, output decoding, scatter passes) never
+//!   re-materialize a spilled partition; consumers that genuinely need
+//!   random access (sorts, merge cursors) call [`PartitionStream::gather`]
+//!   explicitly, and the [`ResidencyMeter`] records how many pages each
+//!   style held resident so tests can prove the streaming paths stay under
+//!   the budget where whole-partition reload could not;
+//! * [`PartitionSet`] — the deterministic fan-out: partitions map across a
+//!   [`ScopedPool`] in partition order (same chunking/merge rules as the
+//!   PR-2 holistic kernels), so `threads = 1 ≡ threads = N` holds for every
+//!   engine that drives its per-partition work through it.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hique_par::ScopedPool;
+use hique_storage::{records_per_page, SpillHandle, TempSpace, PAGE_HEADER_SIZE, PAGE_SIZE};
+use hique_types::{HiqueError, Result};
+
+/// Bytes of record data one spill page holds.
+pub fn page_data_bytes() -> usize {
+    PAGE_SIZE - PAGE_HEADER_SIZE
+}
+
+// ---------------------------------------------------------------------------
+// Residency accounting
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// Tracks how many pages' worth of spilled data a consumer holds
+/// materialized outside the buffer pool at any moment, with a high-water
+/// mark.  Page-at-a-time streams register one page per pin; explicit
+/// gathers register the whole range — which is exactly the difference the
+/// `peak ≤ budget` tests assert on.
+#[derive(Debug, Clone, Default)]
+pub struct ResidencyMeter {
+    inner: Arc<MeterInner>,
+}
+
+/// RAII registration of `pages` resident pages on a [`ResidencyMeter`].
+pub struct ResidencyGuard {
+    inner: Arc<MeterInner>,
+    pages: usize,
+}
+
+impl ResidencyMeter {
+    /// A fresh meter (current = peak = 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `pages` materialized pages until the guard drops.
+    pub fn track(&self, pages: usize) -> ResidencyGuard {
+        let now = self.inner.current.fetch_add(pages, Ordering::Relaxed) + pages;
+        self.inner.peak.fetch_max(now, Ordering::Relaxed);
+        ResidencyGuard {
+            inner: Arc::clone(&self.inner),
+            pages,
+        }
+    }
+
+    /// Pages currently registered.
+    pub fn current(&self) -> usize {
+        self.inner.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently registered pages.
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ResidencyGuard {
+    fn drop(&mut self) {
+        self.inner.current.fetch_sub(self.pages, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spill context
+// ---------------------------------------------------------------------------
+
+/// Spill policy of one execution: where to spill and from what size.
+///
+/// Claims the catalog's spill space exclusively (a context restarts the
+/// spill allocator, so outstanding handles of another execution would be
+/// invalidated); when the space is already held, [`SpillContext::acquire`]
+/// returns `None` and the caller runs without spilling — results are
+/// identical either way, so concurrent budgeted queries on one catalog
+/// degrade gracefully.  The claim is released when the context drops.
+pub struct SpillContext {
+    temp: Arc<TempSpace>,
+    threshold_bytes: usize,
+    spilled: AtomicU64,
+    meter: ResidencyMeter,
+}
+
+impl SpillContext {
+    /// Claim the spill space for one budgeted execution, spilling
+    /// temporaries larger than a quarter of the page budget's data capacity
+    /// — big enough that small queries stay memory-resident, small enough
+    /// that anything actually pressuring the budget goes to the pool.
+    pub fn acquire(temp: &Arc<TempSpace>, budget_pages: usize) -> Option<Self> {
+        if !temp.try_acquire() {
+            return None;
+        }
+        temp.reset();
+        Some(SpillContext {
+            temp: Arc::clone(temp),
+            threshold_bytes: budget_pages.saturating_mul(page_data_bytes()) / 4,
+            spilled: AtomicU64::new(0),
+            meter: ResidencyMeter::new(),
+        })
+    }
+
+    /// Byte size above which a temporary is spilled.
+    pub fn threshold_bytes(&self) -> usize {
+        self.threshold_bytes
+    }
+
+    /// The size-only spill decision: `true` when a temporary of `bytes`
+    /// bytes goes to the pool.  Depends on nothing but the byte size and
+    /// the budget, so `threads = N` spills exactly what `threads = 1`
+    /// spills and results stay bit-identical for every budget.
+    pub fn should_spill(&self, bytes: usize) -> bool {
+        bytes >= self.threshold_bytes.max(1)
+    }
+
+    /// The spill space this context writes to.
+    pub fn temp(&self) -> &TempSpace {
+        &self.temp
+    }
+
+    /// Write a packed record buffer into the spill space, counting it as one
+    /// spilled temporary.
+    pub fn spill(&self, buf: &[u8], tuple_size: usize) -> Result<SpillHandle> {
+        let handle = self.temp.spill_records(buf, tuple_size)?;
+        self.spilled.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Number of temporaries spilled through this context so far.
+    pub fn spill_count(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
+    }
+
+    /// The consumer-residency meter of this execution.
+    pub fn meter(&self) -> &ResidencyMeter {
+        &self.meter
+    }
+}
+
+impl Drop for SpillContext {
+    fn drop(&mut self) {
+        self.temp.release();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition streams
+// ---------------------------------------------------------------------------
+
+/// Where one partition's records live.
+enum Source<'a> {
+    /// A memory-resident packed buffer.
+    Mem(&'a [u8]),
+    /// A spilled page range, read back through pool pin guards.
+    Spilled {
+        ctx: &'a SpillContext,
+        handle: SpillHandle,
+    },
+}
+
+/// A read view of one partition that yields packed records page-at-a-time,
+/// independent of whether the partition is memory-resident or spilled.
+///
+/// Memory partitions are chunked into page-shaped slices (the same
+/// `records_per_page` grouping a spill would have produced), so a consumer
+/// written against `for_each_page` behaves identically — byte-for-byte, in
+/// the same order — for both sources and therefore for every memory budget.
+pub struct PartitionStream<'a> {
+    source: Source<'a>,
+    tuple_size: usize,
+}
+
+impl<'a> PartitionStream<'a> {
+    /// Stream over a memory-resident packed buffer.
+    pub fn mem(buf: &'a [u8], tuple_size: usize) -> Self {
+        debug_assert!(tuple_size > 0 && buf.len().is_multiple_of(tuple_size));
+        PartitionStream {
+            source: Source::Mem(buf),
+            tuple_size,
+        }
+    }
+
+    /// Stream over a spilled page range of `ctx`'s spill space.
+    pub fn spilled(ctx: &'a SpillContext, handle: SpillHandle) -> Self {
+        PartitionStream {
+            source: Source::Spilled { ctx, handle },
+            tuple_size: handle.tuple_size,
+        }
+    }
+
+    /// Record width in bytes.
+    pub fn tuple_size(&self) -> usize {
+        self.tuple_size
+    }
+
+    /// Number of records in the partition.
+    pub fn num_records(&self) -> usize {
+        match &self.source {
+            Source::Mem(buf) => buf.len() / self.tuple_size.max(1),
+            Source::Spilled { handle, .. } => handle.records,
+        }
+    }
+
+    /// Total bytes of record data.
+    pub fn data_bytes(&self) -> usize {
+        self.num_records() * self.tuple_size
+    }
+
+    /// True when the partition lives in the spill space.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.source, Source::Spilled { .. })
+    }
+
+    /// Visit the partition's records as page-shaped packed slices, in
+    /// record order.  Spilled pages are pinned one at a time (and counted on
+    /// the context's [`ResidencyMeter`]); memory buffers are sliced into the
+    /// same page-shaped chunks.
+    pub fn for_each_page(&self, mut f: impl FnMut(&[u8])) -> Result<()> {
+        let ts = self.tuple_size.max(1);
+        match &self.source {
+            Source::Mem(buf) => {
+                let per_page = records_per_page(ts).max(1);
+                for chunk in buf.chunks(per_page * ts) {
+                    f(chunk);
+                }
+                Ok(())
+            }
+            Source::Spilled { ctx, handle } => {
+                for i in 0..handle.pages {
+                    let guard = ctx.temp.page_guard(handle, i)?;
+                    let _resident = ctx.meter.track(1);
+                    f(guard.data());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Visit every record of the partition in order.
+    pub fn for_each_record(&self, mut f: impl FnMut(&[u8])) -> Result<()> {
+        let ts = self.tuple_size.max(1);
+        self.for_each_page(|page| {
+            for rec in page.chunks_exact(ts) {
+                f(rec);
+            }
+        })
+    }
+
+    /// Materialize the whole partition as one packed buffer — the explicit
+    /// escape hatch for consumers that need random access (sorts, merge
+    /// cursors).  Built page-at-a-time through pin guards; the range is
+    /// registered on the residency meter for the span of the gather so the
+    /// gap between streaming and gathering consumers stays observable.
+    pub fn gather(&self) -> Result<Vec<u8>> {
+        self.gather_tracked().map(|(buf, _guard)| buf)
+    }
+
+    /// [`PartitionStream::gather`], returning the residency registration to
+    /// the caller.  A consumer that holds several gathered partitions alive
+    /// at once (e.g. materializing a whole spilled relation) keeps the
+    /// guards until it is done, so the meter's high-water reflects the
+    /// *cumulative* footprint instead of one partition at a time.
+    pub fn gather_tracked(&self) -> Result<(Vec<u8>, Option<ResidencyGuard>)> {
+        match &self.source {
+            Source::Mem(buf) => Ok((buf.to_vec(), None)),
+            Source::Spilled { ctx, handle } => {
+                let expect = handle.records * handle.tuple_size;
+                let mut out = Vec::with_capacity(expect);
+                for i in 0..handle.pages {
+                    let guard = ctx.temp.page_guard(handle, i)?;
+                    out.extend_from_slice(guard.data());
+                }
+                if out.len() != expect {
+                    return Err(HiqueError::Storage(format!(
+                        "spilled partition gathered {} bytes, expected {expect}",
+                        out.len()
+                    )));
+                }
+                Ok((out, Some(ctx.meter.track(handle.pages))))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition-set fan-out
+// ---------------------------------------------------------------------------
+
+/// A set of partition streams plus the deterministic fan-out rule every
+/// engine shares: per-partition work maps across the pool and the results
+/// are merged in partition order, reproducing the serial processing order
+/// for any pool width.
+pub struct PartitionSet<'a> {
+    streams: Vec<PartitionStream<'a>>,
+}
+
+impl<'a> PartitionSet<'a> {
+    /// A set over the given streams (partition order preserved).
+    pub fn new(streams: Vec<PartitionStream<'a>>) -> Self {
+        PartitionSet { streams }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when the set holds no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The streams in partition order.
+    pub fn streams(&self) -> &[PartitionStream<'a>] {
+        &self.streams
+    }
+
+    /// Total records across partitions.
+    pub fn num_records(&self) -> usize {
+        self.streams.iter().map(|s| s.num_records()).sum()
+    }
+
+    /// Total bytes of record data across partitions.
+    pub fn data_bytes(&self) -> usize {
+        self.streams.iter().map(|s| s.data_bytes()).sum()
+    }
+
+    /// Visit every record across partitions, in partition order.
+    pub fn for_each_record(&self, mut f: impl FnMut(&[u8])) -> Result<()> {
+        for s in &self.streams {
+            s.for_each_record(&mut f)?;
+        }
+        Ok(())
+    }
+
+    /// Apply `f` to every partition across `pool`, returning the results in
+    /// partition order regardless of scheduling (the merge rule all pooled
+    /// kernels rely on).
+    pub fn map_pooled<R, F>(&self, pool: &ScopedPool, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &PartitionStream<'a>) -> R + Sync,
+    {
+        pool.map_items(&self.streams, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_storage::BufferPool;
+    use std::path::PathBuf;
+
+    fn temp_space(name: &str, budget: usize) -> (Arc<TempSpace>, Arc<BufferPool>, PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "hique_pipeline_test_{}_{name}.spill",
+            std::process::id()
+        ));
+        let pool = Arc::new(BufferPool::new(budget).unwrap());
+        let space = Arc::new(TempSpace::create(Arc::clone(&pool), &path).unwrap());
+        (space, pool, path)
+    }
+
+    fn packed(records: usize, width: usize) -> Vec<u8> {
+        (0..records)
+            .flat_map(|r| (0..width).map(move |b| ((r * 37 + b) % 251) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn mem_and_spilled_streams_yield_identical_pages_and_records() {
+        let (temp, _pool, path) = temp_space("equiv", 4);
+        let ctx = SpillContext::acquire(&temp, 1).expect("space free");
+        let buf = packed(700, 24);
+        let handle = ctx.spill(&buf, 24).unwrap();
+        assert_eq!(ctx.spill_count(), 1);
+
+        let mem = PartitionStream::mem(&buf, 24);
+        let spilled = PartitionStream::spilled(&ctx, handle);
+        assert_eq!(mem.num_records(), spilled.num_records());
+        assert_eq!(mem.data_bytes(), spilled.data_bytes());
+        assert!(!mem.is_spilled() && spilled.is_spilled());
+
+        let mut mem_pages: Vec<Vec<u8>> = Vec::new();
+        mem.for_each_page(|p| mem_pages.push(p.to_vec())).unwrap();
+        let mut sp_pages: Vec<Vec<u8>> = Vec::new();
+        spilled
+            .for_each_page(|p| sp_pages.push(p.to_vec()))
+            .unwrap();
+        // Identical page chunking, identical contents: a consumer written
+        // against the stream cannot tell the sources apart.
+        assert_eq!(mem_pages, sp_pages);
+
+        let mut mem_recs: Vec<Vec<u8>> = Vec::new();
+        mem.for_each_record(|r| mem_recs.push(r.to_vec())).unwrap();
+        let mut sp_recs: Vec<Vec<u8>> = Vec::new();
+        spilled
+            .for_each_record(|r| sp_recs.push(r.to_vec()))
+            .unwrap();
+        assert_eq!(mem_recs, sp_recs);
+        assert_eq!(mem_recs.len(), 700);
+
+        assert_eq!(spilled.gather().unwrap(), buf);
+        assert_eq!(mem.gather().unwrap(), buf);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_keeps_one_page_resident_where_gather_holds_the_range() {
+        // A 2-frame pool under a multi-page spilled partition: the streaming
+        // consumer's materialized footprint stays at one page, the gathering
+        // consumer's equals the whole range — the observable difference the
+        // page-at-a-time substrate exists to create.
+        let (temp, pool, path) = temp_space("meter", 2);
+        let ctx = SpillContext::acquire(&temp, 2).expect("space free");
+        let buf = packed(2000, 16);
+        let handle = ctx.spill(&buf, 16).unwrap();
+        assert!(handle.pages > 4, "partition must dwarf the pool budget");
+
+        let stream = PartitionStream::spilled(&ctx, handle);
+        stream.for_each_record(|_| {}).unwrap();
+        assert_eq!(ctx.meter().peak(), 1, "streaming holds one page at a time");
+        assert!(pool.peak_resident() <= pool.capacity());
+
+        let gathered = stream.gather().unwrap();
+        assert_eq!(gathered, buf);
+        assert_eq!(
+            ctx.meter().peak(),
+            handle.pages,
+            "gather registers the whole range"
+        );
+        assert_eq!(ctx.meter().current(), 0, "all guards released");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spill_decision_is_size_only_and_space_is_exclusive() {
+        let (temp, _pool, path) = temp_space("policy", 4);
+        let ctx = SpillContext::acquire(&temp, 64).expect("space free");
+        let threshold = ctx.threshold_bytes();
+        assert_eq!(threshold, 64 * page_data_bytes() / 4);
+        assert!(!ctx.should_spill(threshold - 1));
+        assert!(ctx.should_spill(threshold));
+        // Exclusive: a second acquisition fails until the first drops.
+        assert!(SpillContext::acquire(&temp, 64).is_none());
+        drop(ctx);
+        let again = SpillContext::acquire(&temp, 0).expect("released");
+        // Zero budget: everything spills (threshold clamps to 1 byte).
+        assert!(again.should_spill(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partition_set_fans_out_in_partition_order() {
+        let bufs: Vec<Vec<u8>> = (0..5).map(|p| packed(50 + p * 13, 8)).collect();
+        let set = PartitionSet::new(bufs.iter().map(|b| PartitionStream::mem(b, 8)).collect());
+        assert_eq!(set.len(), 5);
+        assert!(!set.is_empty());
+        assert_eq!(
+            set.num_records(),
+            bufs.iter().map(|b| b.len() / 8).sum::<usize>()
+        );
+        let mut all = Vec::new();
+        set.for_each_record(|r| all.extend_from_slice(r)).unwrap();
+        let concat: Vec<u8> = bufs.iter().flatten().copied().collect();
+        assert_eq!(all, concat);
+        let serial = set.map_pooled(&ScopedPool::serial(), |i, s| (i, s.num_records()));
+        for threads in [2, 4, 8] {
+            let par = set.map_pooled(&ScopedPool::new(threads), |i, s| (i, s.num_records()));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_partitions_stream_nothing() {
+        let (temp, _pool, path) = temp_space("empty", 2);
+        let ctx = SpillContext::acquire(&temp, 1).expect("space free");
+        let handle = ctx.spill(&[], 8).unwrap();
+        let stream = PartitionStream::spilled(&ctx, handle);
+        assert_eq!(stream.num_records(), 0);
+        let mut n = 0usize;
+        stream.for_each_record(|_| n += 1).unwrap();
+        assert_eq!(n, 0);
+        assert!(stream.gather().unwrap().is_empty());
+        let mem = PartitionStream::mem(&[], 8);
+        mem.for_each_page(|_| n += 1).unwrap();
+        assert_eq!(n, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

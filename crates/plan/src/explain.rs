@@ -52,10 +52,35 @@ pub fn explain(plan: &PhysicalPlan) -> String {
     explain_with_actuals(plan, &PlanActuals::default())
 }
 
+/// The executor's size-only spill threshold for a plan's memory budget: a
+/// quarter of the budget's page-data capacity (see the pipeline substrate's
+/// `SpillContext`).  `None` when the plan carries no budget.
+fn spill_threshold_bytes(plan: &PhysicalPlan) -> Option<usize> {
+    if plan.memory_budget_pages == 0 {
+        return None;
+    }
+    let page_data = hique_storage::PAGE_SIZE - hique_storage::PAGE_HEADER_SIZE;
+    // Same formula as the pipeline substrate's SpillContext: a quarter of
+    // the budget's data capacity, clamped to at least one byte.
+    Some((plan.memory_budget_pages.saturating_mul(page_data) / 4).max(1))
+}
+
+/// ` [spill]` when a temporary of `estimated_bytes` would go to the pool
+/// under the plan's budget, empty otherwise.  Mirrors the executor's
+/// size-only decision applied to the *estimated* size, so EXPLAIN shows the
+/// per-operator spill plan before anything runs.
+fn spill_clause(threshold: Option<usize>, estimated_bytes: usize) -> &'static str {
+    match threshold {
+        Some(t) if estimated_bytes >= t => " [spill]",
+        _ => "",
+    }
+}
+
 /// Render the plan with measured per-operator cardinalities alongside the
 /// optimizer's estimates.
 pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> String {
     let mut out = String::new();
+    let threshold = spill_threshold_bytes(plan);
     let _ = writeln!(out, "Physical plan");
     let _ = writeln!(out, "=============");
     for (i, &t) in plan.join_order.iter().enumerate() {
@@ -84,13 +109,17 @@ pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> Strin
         };
         let _ = writeln!(
             out,
-            "stage[{i}] {} ({} filters, keep {} cols, {}): {strategy}",
+            "stage[{i}] {} ({} filters, keep {} cols, {}): {strategy}{}",
             st.table_name,
             st.filters.len(),
             st.keep.len(),
             rows_clause(
                 st.estimated_rows,
                 actuals.stage_rows.get(t).copied().flatten()
+            ),
+            spill_clause(
+                threshold,
+                st.estimated_rows.saturating_mul(st.schema.tuple_size())
             )
         );
     }
@@ -103,10 +132,19 @@ pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> Strin
             team.key_columns
         );
     }
+    // Width of the materialized intermediate after each join step, for the
+    // spill marker: the joined record is the concatenation of every staged
+    // record joined so far.
+    let mut joined_width = plan
+        .join_order
+        .first()
+        .map(|&t| plan.staged[t].schema.tuple_size())
+        .unwrap_or(0);
     for (i, j) in plan.joins.iter().enumerate() {
+        joined_width += plan.staged[j.right].schema.tuple_size();
         let _ = writeln!(
             out,
-            "join[{i}] + {} using {} (left key #{}, right key #{}, {})",
+            "join[{i}] + {} using {} (left key #{}, right key #{}, {}){}",
             plan.staged[j.right].table_name,
             j.algorithm.name(),
             j.left_key,
@@ -114,7 +152,8 @@ pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> Strin
             rows_clause(
                 j.estimated_rows,
                 actuals.join_rows.get(i).copied().flatten()
-            )
+            ),
+            spill_clause(threshold, j.estimated_rows.saturating_mul(joined_width))
         );
     }
     if let Some(agg) = &plan.aggregate {
@@ -144,7 +183,12 @@ pub fn explain_with_actuals(plan: &PhysicalPlan, actuals: &PlanActuals) -> Strin
         let _ = writeln!(out, "limit: {l}");
     }
     if plan.memory_budget_pages > 0 {
-        let _ = writeln!(out, "memory budget: {} pages", plan.memory_budget_pages);
+        let _ = writeln!(
+            out,
+            "memory budget: {} pages (temporaries >= {} bytes spill to the pool)",
+            plan.memory_budget_pages,
+            threshold.unwrap_or(0)
+        );
     }
     let outputs: Vec<String> = plan
         .output
@@ -168,8 +212,15 @@ pub fn explain_with_stats(plan: &PhysicalPlan, actuals: &PlanActuals, stats: &Ex
     let io = &stats.io;
     let _ = writeln!(
         out,
-        "buffer pool: hits={} misses={} evictions={} pages_read={} pages_written={}",
-        io.pool_hits, io.pool_misses, io.pool_evictions, io.pages_read, io.pages_written
+        "buffer pool: hits={} misses={} evictions={} pages_read={} pages_written={} \
+         peak_resident={} spilled_temporaries={}",
+        io.pool_hits,
+        io.pool_misses,
+        io.pool_evictions,
+        io.pages_read,
+        io.pages_written,
+        stats.peak_resident_pages,
+        stats.spilled_temporaries
     );
     let _ = writeln!(out, "execution: {stats}");
     out
@@ -278,15 +329,56 @@ mod tests {
         stats.io.pool_evictions = 2;
         stats.io.pages_read = 3;
         stats.io.pages_written = 2;
+        stats.peak_resident_pages = 30;
+        stats.spilled_temporaries = 4;
         let text = explain_with_stats(&plan, &PlanActuals::unknown(&plan), &stats);
         assert!(text.contains("memory budget: 32 pages"), "{text}");
         assert!(
-            text.contains("buffer pool: hits=7 misses=3 evictions=2 pages_read=3 pages_written=2"),
+            text.contains(
+                "buffer pool: hits=7 misses=3 evictions=2 pages_read=3 pages_written=2 \
+                 peak_resident=30 spilled_temporaries=4"
+            ),
             "{text}"
         );
         assert!(text.contains("execution:"), "{text}");
         // An unbudgeted plan renders no budget line.
         let unbounded = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
         assert!(!explain(&unbounded).contains("memory budget"));
+    }
+
+    #[test]
+    fn explain_marks_per_operator_spill_decisions_under_a_budget() {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "big",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("pad", DataType::Char(60)),
+            ]),
+        )
+        .unwrap();
+        for i in 0..5000 {
+            cat.table_mut("big")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i), Value::Str("x".into())]))
+                .unwrap();
+        }
+        cat.analyze_table("big").unwrap();
+        let q = parse_query("select k, pad from big").unwrap();
+        let bound = analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        // Tiny budget: the ~320 KB staged input dwarfs the threshold.
+        let plan = plan_query(
+            &bound,
+            &cat,
+            &PlannerConfig::default().with_memory_budget_pages(4),
+        )
+        .unwrap();
+        let text = explain(&plan);
+        assert!(text.contains("[spill]"), "{text}");
+        assert!(text.contains("spill to the pool"), "{text}");
+        // The same plan with no budget renders no spill markers.
+        let unbounded = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
+        assert!(!explain(&unbounded).contains("[spill]"));
     }
 }

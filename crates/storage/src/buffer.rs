@@ -58,6 +58,10 @@ struct PoolState {
     next_file: FileId,
     clock: u64,
     stats: BufferPoolStats,
+    /// High-water mark of resident frames since the last rebase; always
+    /// ≤ the pool capacity, which is what makes it the proof obligation of
+    /// the `memory_budget_pages` knob.
+    peak_resident: usize,
 }
 
 /// A fixed-capacity LRU cache of disk pages.
@@ -123,6 +127,7 @@ impl BufferPool {
                 next_file: 0,
                 clock: 0,
                 stats: BufferPoolStats::default(),
+                peak_resident: 0,
             }),
         })
     }
@@ -150,6 +155,28 @@ impl BufferPool {
     /// Number of pages currently resident.
     pub fn resident(&self) -> usize {
         self.state.lock().frames.len()
+    }
+
+    /// High-water mark of resident frames since the last
+    /// [`BufferPool::rebase_peak_resident`] (or pool creation).  Never
+    /// exceeds [`BufferPool::capacity`]; exposed so executions can report
+    /// how much of the memory budget was actually used
+    /// (`ExecStats::peak_resident_pages`).
+    pub fn peak_resident(&self) -> usize {
+        self.state.lock().peak_resident
+    }
+
+    /// Restart the residency watermark from the current resident count.
+    ///
+    /// Executors call this when an execution begins so
+    /// [`BufferPool::peak_resident`] reports *that execution's* peak
+    /// instead of the pool's lifetime maximum.  Sound under the
+    /// single-query-at-a-time execution model; concurrent executions
+    /// sharing one pool would rebase each other's windows — the same
+    /// interleaving caveat the I/O counters already carry.
+    pub fn rebase_peak_resident(&self) {
+        let mut s = self.state.lock();
+        s.peak_resident = s.frames.len();
     }
 
     /// Fetch a page (from memory if resident, otherwise from disk), pin it,
@@ -230,6 +257,7 @@ impl BufferPool {
                 last_used: clock,
             },
         );
+        s.peak_resident = s.peak_resident.max(s.frames.len());
         Ok(Fetched::Pinned(page))
     }
 
@@ -269,6 +297,7 @@ impl BufferPool {
                 last_used: clock,
             },
         );
+        s.peak_resident = s.peak_resident.max(s.frames.len());
         Ok(())
     }
 

@@ -27,5 +27,5 @@ pub use buffer::{BufferPool, BufferPoolStats, FileId, PageId};
 pub use catalog::{Catalog, StorageRuntime, TableInfo};
 pub use disk::DiskManager;
 pub use heap::{PageRef, TableHeap};
-pub use page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE};
-pub use temp::{SpillHandle, TempSpace};
+pub use page::{records_per_page, Page, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use temp::{SpillHandle, SpillPageRef, TempSpace};

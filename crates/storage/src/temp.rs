@@ -32,6 +32,42 @@ pub struct SpillHandle {
     pub tuple_size: usize,
 }
 
+/// One spilled page borrowed from a [`TempSpace`]: a pool copy that stays
+/// pinned until the guard drops, or an uncached bypass read when every frame
+/// was pinned.  This is the primitive behind page-at-a-time consumption of
+/// spilled partitions — a consumer holds at most one page of a spilled
+/// buffer resident outside the pool, instead of reloading the whole range.
+pub struct SpillPageRef<'a> {
+    page: Page,
+    /// Present when the page is a pinned pool frame that must be unpinned.
+    pinned: Option<(&'a BufferPool, PageId)>,
+}
+
+impl SpillPageRef<'_> {
+    /// The packed record bytes of this page.
+    pub fn data(&self) -> &[u8] {
+        self.page.data()
+    }
+}
+
+impl std::ops::Deref for SpillPageRef<'_> {
+    type Target = Page;
+
+    fn deref(&self) -> &Page {
+        &self.page
+    }
+}
+
+impl Drop for SpillPageRef<'_> {
+    fn drop(&mut self) {
+        if let Some((pool, id)) = self.pinned {
+            // The frame is resident and pinned by construction, so the unpin
+            // cannot fail for a guard produced by `TempSpace::page_guard`.
+            let _ = pool.unpin(id);
+        }
+    }
+}
+
 /// The shared spill file of one paged catalog, page-addressed through its
 /// buffer pool.
 pub struct TempSpace {
@@ -140,19 +176,33 @@ impl TempSpace {
         })
     }
 
+    /// Pin-guard access to page `i` of a spilled range.  The returned guard
+    /// keeps the frame pinned (LRU-safe) until dropped; when every frame is
+    /// pinned the page is read uncached instead, so progress is guaranteed
+    /// even on a capacity-1 pool.
+    pub fn page_guard(&self, handle: &SpillHandle, i: usize) -> Result<SpillPageRef<'_>> {
+        if i >= handle.pages {
+            return Err(HiqueError::Storage(format!(
+                "spill page {i} out of range ({} pages in handle)",
+                handle.pages
+            )));
+        }
+        let id = PageId::new(self.file, handle.start + i);
+        match self.pool.fetch_or_bypass(id)? {
+            Fetched::Pinned(page) => Ok(SpillPageRef {
+                page,
+                pinned: Some((self.pool.as_ref(), id)),
+            }),
+            Fetched::Bypassed(page) => Ok(SpillPageRef { page, pinned: None }),
+        }
+    }
+
     /// Read a spilled buffer back into one packed byte vector, pinning each
     /// page just long enough to copy it out.
     pub fn reload(&self, handle: &SpillHandle) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(handle.records * handle.tuple_size);
         for i in 0..handle.pages {
-            let id = PageId::new(self.file, handle.start + i);
-            match self.pool.fetch_or_bypass(id)? {
-                Fetched::Pinned(page) => {
-                    out.extend_from_slice(page.data());
-                    self.pool.unpin(id)?;
-                }
-                Fetched::Bypassed(page) => out.extend_from_slice(page.data()),
-            }
+            out.extend_from_slice(self.page_guard(handle, i)?.data());
         }
         if out.len() != handle.records * handle.tuple_size {
             return Err(HiqueError::Storage(format!(
@@ -228,6 +278,32 @@ mod tests {
         // Ranges do not overlap.
         assert!(hb.start >= ha.start + ha.pages);
         assert_eq!(space.allocated_pages(), ha.pages + hb.pages);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_guards_walk_a_spilled_range_one_pin_at_a_time() {
+        let (space, pool, path) = setup("guards", 2);
+        let buf = packed(600, 32);
+        let handle = space.spill_records(&buf, 32).unwrap();
+        assert!(handle.pages > 2, "range must exceed the pool budget");
+        // Walk the range through guards: contents concatenate back to the
+        // original buffer, and the pool never holds more than its capacity.
+        let mut out = Vec::new();
+        for i in 0..handle.pages {
+            let guard = space.page_guard(&handle, i).unwrap();
+            out.extend_from_slice(guard.data());
+            assert!(pool.resident() <= pool.capacity());
+        }
+        assert_eq!(out, buf);
+        // The high-water mark proves the walk stayed within the budget.
+        assert!(pool.peak_resident() <= pool.capacity());
+        assert!(pool.stats().evictions > 0);
+        // Out-of-range page index is a typed error.
+        assert!(matches!(
+            space.page_guard(&handle, handle.pages),
+            Err(HiqueError::Storage(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -94,6 +94,21 @@ impl QueryResult {
     }
 }
 
+/// Compare two rows under (column index, ascending) keys, major key first
+/// — the one comparator behind [`sort_rows`] and every chunk-sort/merge
+/// built on it, so parallel merges can never diverge from the serial sort
+/// rule.
+pub fn cmp_rows(a: &Row, b: &Row, keys: &[(usize, bool)]) -> std::cmp::Ordering {
+    for &(col, asc) in keys {
+        let ord = a.get(col).total_cmp(b.get(col));
+        let ord = if asc { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
 /// Sort rows by the given (column index, ascending) keys, major key first.
 ///
 /// The sort is stable so that rows equal under the keys keep their input
@@ -102,16 +117,7 @@ pub fn sort_rows(rows: &mut [Row], keys: &[(usize, bool)]) {
     if keys.is_empty() {
         return;
     }
-    rows.sort_by(|a, b| {
-        for &(col, asc) in keys {
-            let ord = a.get(col).total_cmp(b.get(col));
-            let ord = if asc { ord } else { ord.reverse() };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+    rows.sort_by(|a, b| cmp_rows(a, b, keys));
 }
 
 /// Apply ORDER BY keys and LIMIT to a result row set in place.

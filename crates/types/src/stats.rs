@@ -97,6 +97,25 @@ pub struct ExecStats {
     pub sort_passes: u64,
     /// Result rows produced.
     pub rows_out: u64,
+    /// Temporaries (staged inputs, join intermediates, sort runs, alignment
+    /// vectors) written through the buffer pool under a memory budget.  The
+    /// spill decision is size-only, so this count is identical for every
+    /// thread count.
+    pub spilled_temporaries: u64,
+    /// High-water mark of resident buffer-pool frames *during this
+    /// execution* (the executor rebases the pool's watermark at start and
+    /// snapshots it at the end; zero for memory-resident catalogs).
+    /// Always ≤ `memory_budget_pages`.
+    pub peak_resident_pages: u64,
+    /// High-water mark of spilled pages a consumer held materialized
+    /// *outside* the pool at once (the pipeline `ResidencyMeter`):
+    /// streaming consumers hold one page per pin, gathering consumers a
+    /// whole partition/relation.  This is the counter that proves
+    /// page-at-a-time reload stays small where whole-partition reload
+    /// could not — the pool capacity bounds `peak_resident_pages` by
+    /// construction, but nothing bounds this one except the consumption
+    /// style.
+    pub spill_consumer_peak_pages: u64,
     /// Buffer-pool and disk I/O of the execution (zero for memory-resident
     /// catalogs; see [`IoStats`] for the interleaving caveat under
     /// `threads > 1`).
@@ -174,6 +193,13 @@ impl AddAssign for ExecStats {
         self.partition_passes += rhs.partition_passes;
         self.sort_passes += rhs.sort_passes;
         self.rows_out += rhs.rows_out;
+        self.spilled_temporaries += rhs.spilled_temporaries;
+        // High-water marks combine by max, not by sum: merging worker
+        // counter sets must not inflate peak residency.
+        self.peak_resident_pages = self.peak_resident_pages.max(rhs.peak_resident_pages);
+        self.spill_consumer_peak_pages = self
+            .spill_consumer_peak_pages
+            .max(rhs.spill_consumer_peak_pages);
         self.io += rhs.io;
     }
 }
@@ -182,7 +208,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} {}",
+            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} spilled={} peak_resident={} spill_consumer_peak={} {}",
             self.function_calls,
             self.tuples_processed,
             self.bytes_touched,
@@ -192,6 +218,9 @@ impl fmt::Display for ExecStats {
             self.partition_passes,
             self.sort_passes,
             self.rows_out,
+            self.spilled_temporaries,
+            self.peak_resident_pages,
+            self.spill_consumer_peak_pages,
             self.io
         )
     }
@@ -264,6 +293,9 @@ mod tests {
             "part_passes=",
             "sort_passes=",
             "rows_out=",
+            "spilled=",
+            "peak_resident=",
+            "spill_consumer_peak=",
             "pool_hits=",
             "pool_misses=",
             "pool_evictions=",
@@ -272,6 +304,21 @@ mod tests {
         ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
+    }
+
+    #[test]
+    fn spill_counters_merge_sum_and_peak_merges_by_max() {
+        let mut a = ExecStats::new();
+        a.spilled_temporaries = 2;
+        a.peak_resident_pages = 40;
+        let mut b = ExecStats::new();
+        b.spilled_temporaries = 3;
+        b.peak_resident_pages = 25;
+        a.merge(&b);
+        assert_eq!(a.spilled_temporaries, 5);
+        // The high-water mark is a max, not a sum: two workers sharing one
+        // pool do not double its residency.
+        assert_eq!(a.peak_resident_pages, 40);
     }
 
     #[test]
