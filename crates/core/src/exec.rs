@@ -128,16 +128,15 @@ pub fn execute(
         options.memory_budget_pages
     };
     let spill_ctx: Option<SpillContext> = match (budget_pages, catalog.storage()) {
-        (pages, Some(runtime)) if pages > 0 => SpillContext::acquire(runtime.temp(), pages),
+        (pages, Some(runtime)) if pages > 0 => Some(SpillContext::acquire(runtime.temp(), pages)?),
         _ => None,
     };
     let spill = spill_ctx.as_ref();
     let io_base = catalog.pool_stats();
     // Per-execution residency window: peak_resident_pages reports this
-    // run's high-water, not the pool's lifetime maximum.
-    if let Some(pool) = catalog.buffer_pool() {
-        pool.rebase_peak_resident();
-    }
+    // run's high-water, not the pool's lifetime maximum — and concurrent
+    // executions each hold their own window.
+    let peak_window = catalog.buffer_pool().map(|p| p.begin_peak_window());
 
     // ---- Staging -----------------------------------------------------------
     let t0 = Instant::now();
@@ -491,12 +490,10 @@ pub fn execute(
     stats.io = catalog.pool_stats().since(&io_base);
     if let Some(ctx) = &spill_ctx {
         stats.spilled_temporaries = ctx.spill_count();
+        stats.spill_claim_denied = ctx.claim_denied();
         stats.spill_consumer_peak_pages = ctx.meter().peak() as u64;
     }
-    stats.peak_resident_pages = catalog
-        .buffer_pool()
-        .map(|p| p.peak_resident() as u64)
-        .unwrap_or(0);
+    stats.peak_resident_pages = peak_window.map(|w| w.end() as u64).unwrap_or(0);
 
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
@@ -523,6 +520,7 @@ mod tests {
     use crate::generator::generate;
     use hique_plan::{plan_query, CatalogProvider, PlannerConfig};
     use hique_types::{Column, DataType, Schema};
+    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
@@ -863,6 +861,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn denied_spill_claim_queues_and_is_surfaced_in_stats() {
+        // Regression for the silent-unbounded bug: with the admission cap at
+        // one claim, a second budgeted execution must QUEUE behind the
+        // holder (never proceed without spill capability) and report the
+        // wait as spill_claim_denied once it runs.
+        const BUDGET: usize = 4;
+        let build = || {
+            let mut cat = Catalog::new();
+            cat.create_table(
+                "r",
+                Schema::new(vec![
+                    Column::new("k", DataType::Int32),
+                    Column::new("v", DataType::Float64),
+                    Column::new("tag", DataType::Char(4)),
+                ]),
+            )
+            .unwrap();
+            for i in 0..2000 {
+                cat.table_mut("r")
+                    .unwrap()
+                    .heap
+                    .append_row(&Row::new(vec![
+                        Value::Int32(i % 20),
+                        Value::Float64(i as f64),
+                        Value::Str(if i % 2 == 0 { "ev" } else { "od" }.into()),
+                    ]))
+                    .unwrap();
+            }
+            cat.analyze_table("r").unwrap();
+            cat
+        };
+        let plain = build();
+        let mut paged = build();
+        paged.spill_to_disk(BUDGET).unwrap();
+        let temp = Arc::clone(paged.storage().expect("paged").temp());
+        temp.set_max_claims(1);
+        let sql = "select v, tag from r where v < 1500 order by v";
+        let config = PlannerConfig::default().with_memory_budget_pages(BUDGET);
+        let unbounded = run(sql, &plain, &PlannerConfig::default());
+
+        // Uncontended execution: the claim is granted without waiting.
+        let first = run(sql, &paged, &config);
+        assert_eq!(first.stats.spill_claim_denied, 0);
+        assert!(first.stats.spilled_temporaries > 0);
+        assert_eq!(first.rows, unbounded.rows);
+
+        // Interleaved: another budgeted execution's claim (stood in for by a
+        // directly acquired SpillContext) holds the only slot.
+        let blocker = SpillContext::acquire(&temp, BUDGET).expect("first claim");
+        assert_eq!(blocker.claim_denied(), 0);
+        let second = std::thread::scope(|s| {
+            let handle = s.spawn(|| run(sql, &paged, &config));
+            // Give the execution time to reach the claim; it must block
+            // there rather than finish unbudgeted.
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            assert!(
+                !handle.is_finished(),
+                "losing execution must queue for admission, not run unbounded"
+            );
+            drop(blocker);
+            handle.join().expect("queued execution completes")
+        });
+        assert_eq!(
+            second.stats.spill_claim_denied, 1,
+            "the queued claim must be surfaced in ExecStats"
+        );
+        assert!(second.stats.spilled_temporaries > 0, "budget still honored");
+        assert!(second.stats.peak_resident_pages <= BUDGET as u64);
+        assert_eq!(second.rows, unbounded.rows, "results unchanged by the wait");
     }
 
     #[test]

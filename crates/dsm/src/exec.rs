@@ -95,16 +95,15 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
     let started = Instant::now();
     let pool = ScopedPool::new(plan.threads);
     let spill_ctx: Option<SpillContext> = match (plan.memory_budget_pages, db.temp()) {
-        (pages, Some(temp)) if pages > 0 => SpillContext::acquire(temp, pages),
+        (pages, Some(temp)) if pages > 0 => Some(SpillContext::acquire(temp, pages)?),
         _ => None,
     };
     let spill = spill_ctx.as_ref();
     let io_base = db.pool_stats();
     // Per-execution residency window: peak_resident_pages reports this
-    // run's high-water, not the pool's lifetime maximum.
-    if let Some(pool) = db.pool() {
-        pool.rebase_peak_resident();
-    }
+    // run's high-water, not the pool's lifetime maximum — and concurrent
+    // executions each hold their own window.
+    let peak_window = db.pool().map(|p| p.begin_peak_window());
 
     // Resolve the decomposed tables in FROM order.
     let stores: Vec<&ColumnStore> = plan
@@ -413,9 +412,10 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
     stats.io = db.pool_stats().since(&io_base);
     if let Some(ctx) = &spill_ctx {
         stats.spilled_temporaries = ctx.spill_count();
+        stats.spill_claim_denied = ctx.claim_denied();
         stats.spill_consumer_peak_pages = ctx.meter().peak() as u64;
     }
-    stats.peak_resident_pages = db.pool().map(|p| p.peak_resident() as u64).unwrap_or(0);
+    stats.peak_resident_pages = peak_window.map(|w| w.end() as u64).unwrap_or(0);
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
         rows,

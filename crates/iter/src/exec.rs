@@ -44,7 +44,7 @@ pub fn execute_plan_with(
     // same size-only policy as the holistic engine).
     let spill: Option<Rc<SpillContext>> = match (plan.memory_budget_pages, catalog.storage()) {
         (pages, Some(runtime)) if pages > 0 => {
-            SpillContext::acquire(runtime.temp(), pages).map(Rc::new)
+            Some(Rc::new(SpillContext::acquire(runtime.temp(), pages)?))
         }
         _ => None,
     };
@@ -54,10 +54,9 @@ pub fn execute_plan_with(
     let started = Instant::now();
     let io_base = catalog.pool_stats();
     // Per-execution residency window: peak_resident_pages reports this
-    // run's high-water, not the pool's lifetime maximum.
-    if let Some(pool) = catalog.buffer_pool() {
-        pool.rebase_peak_resident();
-    }
+    // run's high-water, not the pool's lifetime maximum — and concurrent
+    // executions each hold their own window.
+    let peak_window = catalog.buffer_pool().map(|p| p.begin_peak_window());
 
     // ---- Staged inputs ----------------------------------------------------
     let staged_iter = |t: usize, ctx: &ExecContext| -> Result<BoxedIterator<'_>> {
@@ -224,12 +223,10 @@ pub fn execute_plan_with(
     stats.io = catalog.pool_stats().since(&io_base);
     if let Some(spill) = &spill {
         stats.spilled_temporaries = spill.spill_count();
+        stats.spill_claim_denied = spill.claim_denied();
         stats.spill_consumer_peak_pages = spill.meter().peak() as u64;
     }
-    stats.peak_resident_pages = catalog
-        .buffer_pool()
-        .map(|p| p.peak_resident() as u64)
-        .unwrap_or(0);
+    stats.peak_resident_pages = peak_window.map(|w| w.end() as u64).unwrap_or(0);
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
         rows,

@@ -7,7 +7,7 @@
 //! partitions live in the catalog's [`TempSpace`] as buffer-pool pages.
 //! This crate is the one place that knows how to get them back out:
 //!
-//! * [`SpillContext`] — the per-execution claim on the spill space plus the
+//! * [`SpillContext`] — the per-execution spill namespace claim plus the
 //!   size-only spill policy (`memory_budget_pages / 4` of page data), shared
 //!   by the holistic, iterator and DSM engines so every engine spills the
 //!   same temporaries for the same budget regardless of thread count;
@@ -29,7 +29,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hique_par::ScopedPool;
-use hique_storage::{records_per_page, SpillHandle, TempSpace, PAGE_HEADER_SIZE, PAGE_SIZE};
+use hique_storage::{
+    records_per_page, SpillHandle, SpillNamespace, TempSpace, PAGE_HEADER_SIZE, PAGE_SIZE,
+};
 use hique_types::{HiqueError, Result};
 
 /// Bytes of record data one spill page holds.
@@ -102,35 +104,42 @@ impl Drop for ResidencyGuard {
 
 /// Spill policy of one execution: where to spill and from what size.
 ///
-/// Claims the catalog's spill space exclusively (a context restarts the
-/// spill allocator, so outstanding handles of another execution would be
-/// invalidated); when the space is already held, [`SpillContext::acquire`]
-/// returns `None` and the caller runs without spilling — results are
-/// identical either way, so concurrent budgeted queries on one catalog
-/// degrade gracefully.  The claim is released when the context drops.
+/// Claims a private [`SpillNamespace`] from the catalog's spill space, so
+/// any number of concurrent budgeted executions can spill simultaneously
+/// without touching each other's pages.  When the space's admission cap is
+/// reached, [`SpillContext::acquire`] queues for a slot — the wait is
+/// surfaced through [`SpillContext::claim_denied`] and a queue timeout is a
+/// typed error, never a silent fallback to an unbounded working set.  The
+/// namespace (its file, frames and admission slot) is released when the
+/// context drops.
 pub struct SpillContext {
-    temp: Arc<TempSpace>,
+    space: SpillNamespace,
     threshold_bytes: usize,
     spilled: AtomicU64,
+    denied: bool,
     meter: ResidencyMeter,
 }
 
 impl SpillContext {
-    /// Claim the spill space for one budgeted execution, spilling
+    /// Claim a spill namespace for one budgeted execution, spilling
     /// temporaries larger than a quarter of the page budget's data capacity
     /// — big enough that small queries stay memory-resident, small enough
     /// that anything actually pressuring the budget goes to the pool.
-    pub fn acquire(temp: &Arc<TempSpace>, budget_pages: usize) -> Option<Self> {
-        if !temp.try_acquire() {
-            return None;
-        }
-        temp.reset();
-        Some(SpillContext {
-            temp: Arc::clone(temp),
+    pub fn acquire(temp: &Arc<TempSpace>, budget_pages: usize) -> Result<Self> {
+        let (space, denied) = temp.claim()?;
+        Ok(SpillContext {
+            space,
             threshold_bytes: budget_pages.saturating_mul(page_data_bytes()) / 4,
             spilled: AtomicU64::new(0),
+            denied,
             meter: ResidencyMeter::new(),
         })
+    }
+
+    /// 1 when this execution's claim was initially denied and had to queue
+    /// for an admission slot, 0 otherwise (`ExecStats::spill_claim_denied`).
+    pub fn claim_denied(&self) -> u64 {
+        u64::from(self.denied)
     }
 
     /// Byte size above which a temporary is spilled.
@@ -146,15 +155,15 @@ impl SpillContext {
         bytes >= self.threshold_bytes.max(1)
     }
 
-    /// The spill space this context writes to.
-    pub fn temp(&self) -> &TempSpace {
-        &self.temp
+    /// The spill namespace this context writes to.
+    pub fn temp(&self) -> &SpillNamespace {
+        &self.space
     }
 
-    /// Write a packed record buffer into the spill space, counting it as one
-    /// spilled temporary.
+    /// Write a packed record buffer into the spill namespace, counting it as
+    /// one spilled temporary.
     pub fn spill(&self, buf: &[u8], tuple_size: usize) -> Result<SpillHandle> {
-        let handle = self.temp.spill_records(buf, tuple_size)?;
+        let handle = self.space.spill_records(buf, tuple_size)?;
         self.spilled.fetch_add(1, Ordering::Relaxed);
         Ok(handle)
     }
@@ -167,12 +176,6 @@ impl SpillContext {
     /// The consumer-residency meter of this execution.
     pub fn meter(&self) -> &ResidencyMeter {
         &self.meter
-    }
-}
-
-impl Drop for SpillContext {
-    fn drop(&mut self) {
-        self.temp.release();
     }
 }
 
@@ -260,7 +263,7 @@ impl<'a> PartitionStream<'a> {
             }
             Source::Spilled { ctx, handle } => {
                 for i in 0..handle.pages {
-                    let guard = ctx.temp.page_guard(handle, i)?;
+                    let guard = ctx.space.page_guard(handle, i)?;
                     let _resident = ctx.meter.track(1);
                     f(guard.data());
                 }
@@ -300,7 +303,7 @@ impl<'a> PartitionStream<'a> {
                 let expect = handle.records * handle.tuple_size;
                 let mut out = Vec::with_capacity(expect);
                 for i in 0..handle.pages {
-                    let guard = ctx.temp.page_guard(handle, i)?;
+                    let guard = ctx.space.page_guard(handle, i)?;
                     out.extend_from_slice(guard.data());
                 }
                 if out.len() != expect {
@@ -468,15 +471,23 @@ mod tests {
     }
 
     #[test]
-    fn spill_decision_is_size_only_and_space_is_exclusive() {
+    fn spill_decision_is_size_only_and_contexts_coexist() {
         let (temp, _pool, path) = temp_space("policy", 4);
-        let ctx = SpillContext::acquire(&temp, 64).expect("space free");
+        let ctx = SpillContext::acquire(&temp, 64).expect("claim granted");
         let threshold = ctx.threshold_bytes();
         assert_eq!(threshold, 64 * page_data_bytes() / 4);
         assert!(!ctx.should_spill(threshold - 1));
         assert!(ctx.should_spill(threshold));
-        // Exclusive: a second acquisition fails until the first drops.
-        assert!(SpillContext::acquire(&temp, 64).is_none());
+        // Multi-tenant: a second context claims its own namespace without
+        // waiting, and both spill without interfering.
+        let other = SpillContext::acquire(&temp, 64).expect("second claim granted");
+        assert_eq!(ctx.claim_denied() + other.claim_denied(), 0);
+        let buf = packed(100, 16);
+        let ha = ctx.spill(&buf, 16).unwrap();
+        let hb = other.spill(&buf, 16).unwrap();
+        assert_eq!(PartitionStream::spilled(&ctx, ha).gather().unwrap(), buf);
+        assert_eq!(PartitionStream::spilled(&other, hb).gather().unwrap(), buf);
+        drop(other);
         drop(ctx);
         let again = SpillContext::acquire(&temp, 0).expect("released");
         // Zero budget: everything spills (threshold clamps to 1 byte).

@@ -213,14 +213,15 @@ pub fn explain_with_stats(plan: &PhysicalPlan, actuals: &PlanActuals, stats: &Ex
     let _ = writeln!(
         out,
         "buffer pool: hits={} misses={} evictions={} pages_read={} pages_written={} \
-         peak_resident={} spilled_temporaries={}",
+         peak_resident={} spilled_temporaries={} spill_claim_denied={}",
         io.pool_hits,
         io.pool_misses,
         io.pool_evictions,
         io.pages_read,
         io.pages_written,
         stats.peak_resident_pages,
-        stats.spilled_temporaries
+        stats.spilled_temporaries,
+        stats.spill_claim_denied
     );
     let _ = writeln!(out, "execution: {stats}");
     out
@@ -331,12 +332,13 @@ mod tests {
         stats.io.pages_written = 2;
         stats.peak_resident_pages = 30;
         stats.spilled_temporaries = 4;
+        stats.spill_claim_denied = 1;
         let text = explain_with_stats(&plan, &PlanActuals::unknown(&plan), &stats);
         assert!(text.contains("memory budget: 32 pages"), "{text}");
         assert!(
             text.contains(
                 "buffer pool: hits=7 misses=3 evictions=2 pages_read=3 pages_written=2 \
-                 peak_resident=30 spilled_temporaries=4"
+                 peak_resident=30 spilled_temporaries=4 spill_claim_denied=1"
             ),
             "{text}"
         );

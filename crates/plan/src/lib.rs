@@ -30,6 +30,7 @@ pub mod joinorder;
 pub mod optimizer;
 pub mod physical;
 pub mod provider;
+pub mod shape;
 pub mod stats;
 
 pub use config::PlannerConfig;
@@ -40,3 +41,4 @@ pub use physical::{
     StagingStrategy,
 };
 pub use provider::CatalogProvider;
+pub use shape::{shape_class, shape_key};

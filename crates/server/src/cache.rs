@@ -1,0 +1,210 @@
+//! The shape-keyed prepared-plan cache.
+//!
+//! Maps a normalized query shape ([`hique_plan::shape_key`]) to the fully
+//! prepared artifact: the optimized [`PhysicalPlan`] and the instantiated
+//! kernel program ([`GeneratedQuery`]).  Keys preserve literals, so a
+//! cached plan is *exact* for its query — including literal-dependent
+//! cardinality estimates — while case and whitespace variants of one query
+//! share an entry.  Eviction is LRU over a fixed entry budget.
+
+use std::collections::HashMap;
+
+use hique_holistic::GeneratedQuery;
+use hique_plan::PhysicalPlan;
+use parking_lot::Mutex;
+
+/// A fully prepared query: what the paper's Table III calls the
+/// preparation cost, paid once per shape and amortized by every reuse.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Normalized cache key ([`hique_plan::shape_key`]).
+    pub shape: String,
+    /// Literal-masked template ([`hique_plan::shape_class`]), for grouping
+    /// cache statistics — never used as the key.
+    pub class: String,
+    /// The generated kernel program (carries the physical plan).
+    pub generated: GeneratedQuery,
+}
+
+impl PreparedQuery {
+    /// The optimized physical plan (shared by all four engine modes).
+    pub fn plan(&self) -> &PhysicalPlan {
+        self.generated.plan()
+    }
+}
+
+struct Entry {
+    prepared: std::sync::Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<String, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache hit/miss counters and current size.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh preparation.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// A bounded LRU cache of [`PreparedQuery`]s, shared by every session of a
+/// server.  All operations take one short-held lock; preparation itself
+/// (parse/plan/codegen) happens *outside* the lock, so a slow preparation
+/// never blocks other sessions' lookups.  Two sessions racing to prepare
+/// the same shape both succeed; one insert wins and the loser's artifact is
+/// simply dropped — correctness does not depend on single-flight.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` prepared shapes (min 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Look up a shape key, counting a hit or miss.
+    pub fn get(&self, shape: &str) -> Option<std::sync::Arc<PreparedQuery>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(shape) {
+            Some(entry) => {
+                entry.last_used = clock;
+                let prepared = std::sync::Arc::clone(&entry.prepared);
+                inner.hits += 1;
+                Some(prepared)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a prepared query under its shape key, evicting the
+    /// least-recently-used entry when the cache is full.
+    pub fn insert(&self, prepared: std::sync::Arc<PreparedQuery>) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.entries.contains_key(&prepared.shape) && inner.entries.len() >= self.capacity {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner.entries.insert(
+            prepared.shape.clone(),
+            Entry {
+                prepared,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Hit/miss counters and current size.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_plan::{plan_query, shape_class, shape_key, CatalogProvider, PlannerConfig};
+    use hique_storage::Catalog;
+    use hique_types::{Column, DataType, Row, Schema, Value};
+    use std::sync::Arc;
+
+    fn prepared_for(sql: &str, cat: &Catalog) -> Arc<PreparedQuery> {
+        let q = hique_sql::parse_query(sql).unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(cat)).unwrap();
+        let plan = plan_query(&bound, cat, &PlannerConfig::default()).unwrap();
+        Arc::new(PreparedQuery {
+            shape: shape_key(sql),
+            class: shape_class(sql),
+            generated: hique_holistic::generate(&plan).unwrap(),
+        })
+    }
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("v", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..50 {
+            cat.table_mut("r")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i), Value::Float64(i as f64)]))
+                .unwrap();
+        }
+        cat.analyze_table("r").unwrap();
+        cat
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_shape_normalization() {
+        let cat = catalog();
+        let cache = PlanCache::new(8);
+        let sql = "select k from r where v > 10";
+        assert!(cache.get(&shape_key(sql)).is_none());
+        cache.insert(prepared_for(sql, &cat));
+        // A differently formatted spelling of the same query hits.
+        let variant = "SELECT k FROM r   WHERE v > 10;";
+        assert!(cache.get(&shape_key(variant)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_shapes() {
+        let cat = catalog();
+        let cache = PlanCache::new(2);
+        let q1 = "select k from r where v > 1";
+        let q2 = "select k from r where v > 2";
+        let q3 = "select k from r where v > 3";
+        cache.insert(prepared_for(q1, &cat));
+        cache.insert(prepared_for(q2, &cat));
+        // Touch q1 so q2 becomes the LRU victim.
+        assert!(cache.get(&shape_key(q1)).is_some());
+        cache.insert(prepared_for(q3, &cat));
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(&shape_key(q1)).is_some());
+        assert!(cache.get(&shape_key(q2)).is_none(), "LRU victim survived");
+        assert!(cache.get(&shape_key(q3)).is_some());
+    }
+}

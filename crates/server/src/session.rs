@@ -1,0 +1,335 @@
+//! Server and session: concurrent query execution over one shared catalog.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hique_dsm::DsmDatabase;
+use hique_plan::{plan_query, shape_class, shape_key, CatalogProvider, PlannerConfig};
+use hique_storage::Catalog;
+use hique_types::{HiqueError, QueryResult, Result};
+
+use crate::cache::{CacheStats, PlanCache, PreparedQuery};
+
+/// Which engine mode a session executes on.  All four share the catalog,
+/// the cached plan and the spill/peak-window contracts; the differential
+/// harness relies on their results being canonically identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Holistic generated kernels (the paper's engine).
+    Holistic,
+    /// Generic Volcano iterators.
+    IterGeneric,
+    /// Type-specialized iterators.
+    IterOptimized,
+    /// Column-at-a-time DSM engine.
+    Dsm,
+}
+
+impl Engine {
+    /// Every engine mode, in the canonical differential-test order.
+    pub const ALL: [Engine; 4] = [
+        Engine::Holistic,
+        Engine::IterGeneric,
+        Engine::IterOptimized,
+        Engine::Dsm,
+    ];
+
+    /// Stable lowercase name (wire protocol `.engine` argument).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Holistic => "holistic",
+            Engine::IterGeneric => "iter-generic",
+            Engine::IterOptimized => "iter-optimized",
+            Engine::Dsm => "dsm",
+        }
+    }
+
+    /// Parse a wire-protocol engine name.
+    pub fn parse(name: &str) -> Result<Engine> {
+        Engine::ALL
+            .into_iter()
+            .find(|e| e.name() == name)
+            .ok_or_else(|| {
+                HiqueError::Unsupported(format!(
+                    "unknown engine '{name}' (expected one of: holistic, iter-generic, \
+                     iter-optimized, dsm)"
+                ))
+            })
+    }
+}
+
+/// Server sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently admitted spill claims — set on the catalog's
+    /// [`hique_storage::TempSpace`] so the spill budget is split by
+    /// admission control instead of raced for.  Sessions beyond this count
+    /// still execute; their budgeted queries queue at the spill claim.
+    pub max_sessions: usize,
+    /// Worker threads per query (the planner's fan-out).
+    pub threads: usize,
+    /// Memory budget handed to every session's plans, in buffer-pool
+    /// pages.  `0` means "the catalog's pool capacity when paged, else
+    /// unbudgeted" — the shared pool *is* the session budget, and the
+    /// per-execution peak window proves each run stayed within it.
+    pub memory_budget_pages: usize,
+    /// Prepared-plan cache entries.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 8,
+            threads: 1,
+            memory_budget_pages: 0,
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) catalog: Catalog,
+    pub(crate) dsm: DsmDatabase,
+    pub(crate) cache: PlanCache,
+    pub(crate) planner: PlannerConfig,
+    pub(crate) config: ServerConfig,
+    session_seq: AtomicU64,
+    queries_served: AtomicU64,
+}
+
+/// A long-lived query service: one catalog + buffer pool + plan cache,
+/// any number of concurrent [`Session`]s.  Cloning is cheap (shared
+/// handle); the catalog is immutable once the server owns it, which is
+/// what makes lock-free concurrent reads sound.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Build a server over `catalog`.  When the catalog runs in paged mode
+    /// the spill admission cap is set to `config.max_sessions` and the
+    /// default session budget is the pool capacity.
+    pub fn new(catalog: Catalog, config: ServerConfig) -> Result<Server> {
+        let budget = if config.memory_budget_pages != 0 {
+            config.memory_budget_pages
+        } else {
+            catalog.buffer_pool().map(|p| p.capacity()).unwrap_or(0)
+        };
+        if let Some(runtime) = catalog.storage() {
+            runtime.temp().set_max_claims(config.max_sessions.max(1));
+        }
+        let dsm = DsmDatabase::from_catalog(&catalog)?;
+        let planner = PlannerConfig::default()
+            .with_threads(config.threads.max(1))
+            .with_memory_budget_pages(budget);
+        Ok(Server {
+            shared: Arc::new(Shared {
+                catalog,
+                dsm,
+                cache: PlanCache::new(config.plan_cache_capacity),
+                planner,
+                config,
+                session_seq: AtomicU64::new(0),
+                queries_served: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Open a session (default engine: holistic).
+    pub fn session(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            id: self.shared.session_seq.fetch_add(1, Ordering::Relaxed),
+            engine: Engine::Holistic,
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+
+    /// Plan-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The sizing configuration this server was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// Queries executed across all sessions since startup.
+    pub fn queries_served(&self) -> u64 {
+        self.shared.queries_served.load(Ordering::Relaxed)
+    }
+}
+
+/// One client's handle on a [`Server`]: prepares through the shared plan
+/// cache and executes on its selected engine.  Sessions are `Send` — each
+/// client thread owns one — and any number run concurrently.
+pub struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+    engine: Engine,
+}
+
+impl Session {
+    /// Server-unique session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The engine [`Session::execute`] runs on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Select the engine for subsequent [`Session::execute`] calls.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// Prepare `sql` through the shared cache: returns the prepared
+    /// artifact and whether it was a cache hit.  A miss pays the full
+    /// parse → analyze → plan → generate cost (the paper's Table III
+    /// preparation) and publishes the result for every other session.
+    pub fn prepare(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+        let shape = shape_key(sql);
+        if let Some(prepared) = self.shared.cache.get(&shape) {
+            return Ok((prepared, true));
+        }
+        let query = hique_sql::parse_query(sql)?;
+        let bound = hique_sql::analyze(&query, &CatalogProvider::new(&self.shared.catalog))?;
+        let plan = plan_query(&bound, &self.shared.catalog, &self.shared.planner)?;
+        let generated = hique_holistic::generate(&plan)?;
+        let prepared = Arc::new(PreparedQuery {
+            shape,
+            class: shape_class(sql),
+            generated,
+        });
+        self.shared.cache.insert(Arc::clone(&prepared));
+        Ok((prepared, false))
+    }
+
+    /// Prepare (through the cache) and execute on the session's engine.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        self.execute_on(sql, self.engine)
+    }
+
+    /// Prepare (through the cache) and execute on an explicit engine.
+    pub fn execute_on(&mut self, sql: &str, engine: Engine) -> Result<QueryResult> {
+        let (prepared, _hit) = self.prepare(sql)?;
+        let result = match engine {
+            Engine::Holistic => prepared.generated.execute(&self.shared.catalog)?,
+            Engine::IterGeneric => hique_iter::execute_plan(
+                prepared.plan(),
+                &self.shared.catalog,
+                hique_iter::ExecMode::Generic,
+            )?,
+            Engine::IterOptimized => hique_iter::execute_plan(
+                prepared.plan(),
+                &self.shared.catalog,
+                hique_iter::ExecMode::Optimized,
+            )?,
+            Engine::Dsm => hique_dsm::execute_plan(prepared.plan(), &self.shared.dsm)?,
+        };
+        self.shared.queries_served.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+}
+
+// Sessions are handed to client threads; the whole stack under them
+// (catalog, heaps, pool, DSM columns, cached kernels) must be shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Server>();
+    assert_send_sync::<Session>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_types::{Column, DataType, Row, Schema, Value};
+
+    fn catalog(rows: i32) -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("v", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..rows {
+            cat.table_mut("r")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![
+                    Value::Int32(i % 10),
+                    Value::Float64(i as f64),
+                ]))
+                .unwrap();
+        }
+        cat.analyze_table("r").unwrap();
+        cat
+    }
+
+    #[test]
+    fn sessions_share_the_plan_cache_across_engines() {
+        let server = Server::new(catalog(200), ServerConfig::default()).unwrap();
+        let mut s1 = server.session();
+        let mut s2 = server.session();
+        assert_ne!(s1.id(), s2.id());
+        let sql = "select k, count(*) as n from r group by k order by k";
+        let a = s1.execute(sql).unwrap();
+        // Same shape from another session and another engine: cache hit,
+        // identical rows.
+        let b = s2
+            .execute_on(
+                "SELECT k, COUNT(*) AS n FROM r GROUP BY k ORDER BY k",
+                Engine::IterOptimized,
+            )
+            .unwrap();
+        assert_eq!(a.rows, b.rows);
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert!(stats.hits >= 1, "{stats:?}");
+        assert_eq!(server.queries_served(), 2);
+    }
+
+    #[test]
+    fn all_engines_agree_through_sessions() {
+        let server = Server::new(catalog(500), ServerConfig::default()).unwrap();
+        let sql = "select k, sum(v) as sv from r where v < 400 group by k order by k";
+        let mut results = Vec::new();
+        for engine in Engine::ALL {
+            let mut s = server.session();
+            results.push(s.execute_on(sql, engine).unwrap().rows);
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn engine_names_round_trip_and_errors_are_typed() {
+        for e in Engine::ALL {
+            assert_eq!(Engine::parse(e.name()).unwrap(), e);
+        }
+        assert!(matches!(
+            Engine::parse("volcano"),
+            Err(HiqueError::Unsupported(_))
+        ));
+        let server = Server::new(catalog(10), ServerConfig::default()).unwrap();
+        let mut s = server.session();
+        assert!(matches!(
+            s.execute("select nope from r"),
+            Err(HiqueError::Analysis(_))
+        ));
+        assert!(matches!(s.execute("not sql"), Err(HiqueError::Parse(_))));
+    }
+}

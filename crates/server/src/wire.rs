@@ -1,0 +1,346 @@
+//! The std-only line-based wire protocol.
+//!
+//! One request per line; one response per request, terminated by a line
+//! containing a single `.`:
+//!
+//! ```text
+//! C: select k, count(*) as n from r group by k order by k
+//! S: OK 10 2
+//! S: k\tn
+//! S: 0\t20
+//! S: ...
+//! S: .
+//! C: .engine dsm
+//! S: OK engine dsm
+//! S: .
+//! C: .stats
+//! S: OK stats
+//! S: cache_hits=3
+//! S: ...
+//! S: .
+//! C: .quit
+//! S: OK bye
+//! S: .
+//! ```
+//!
+//! Errors are `ERR <layer>: <message>` followed by `.`.  The protocol is
+//! deliberately `nc`-compatible: no framing beyond newlines, values
+//! tab-separated using the engine's canonical [`Value`] rendering.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hique_types::{HiqueError, QueryResult, Result};
+
+use crate::session::{Engine, Server, Session};
+
+/// How often an idle connection or the accept loop re-checks the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+fn io_err(e: std::io::Error) -> HiqueError {
+    HiqueError::Storage(format!("wire i/o: {e}"))
+}
+
+/// Serve connections on `listener` until `stop` is set.  Each connection
+/// gets its own [`Session`] on its own thread; the call blocks until stop,
+/// then joins every connection thread (connections see the flag within one
+/// poll interval).
+pub fn serve(server: Server, listener: TcpListener, stop: Arc<AtomicBool>) -> Result<()> {
+    listener.set_nonblocking(true).map_err(io_err)?;
+    let mut workers = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let session = server.session();
+                let server = server.clone();
+                let stop = Arc::clone(&stop);
+                workers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, server, session, stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+fn write_result(out: &mut impl Write, result: &QueryResult) -> std::io::Result<()> {
+    let cols = result.schema.columns();
+    writeln!(out, "OK {} {}", result.rows.len(), cols.len())?;
+    if !cols.is_empty() {
+        let names: Vec<&str> = cols.iter().map(|c| c.name.as_str()).collect();
+        writeln!(out, "{}", names.join("\t"))?;
+        for row in &result.rows {
+            let vals: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+            writeln!(out, "{}", vals.join("\t"))?;
+        }
+    }
+    writeln!(out, ".")
+}
+
+fn write_err(out: &mut impl Write, e: &HiqueError) -> std::io::Result<()> {
+    let msg = e.message().replace('\n', " ");
+    writeln!(out, "ERR {}: {msg}", e.layer())?;
+    writeln!(out, ".")
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    server: Server,
+    mut session: Session,
+    stop: Arc<AtomicBool>,
+) -> Result<()> {
+    stream
+        .set_read_timeout(Some(POLL_INTERVAL))
+        .map_err(io_err)?;
+    let mut writer = stream.try_clone().map_err(io_err)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::Acquire) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let outcome = if let Some(command) = request.strip_prefix('.') {
+            let mut parts = command.split_whitespace();
+            match parts.next() {
+                Some("quit") => {
+                    let _ = writeln!(writer, "OK bye\n.");
+                    break;
+                }
+                Some("engine") => match parts.next().map(Engine::parse) {
+                    Some(Ok(engine)) => {
+                        session.set_engine(engine);
+                        writeln!(writer, "OK engine {}\n.", engine.name()).map_err(io_err)
+                    }
+                    Some(Err(e)) => write_err(&mut writer, &e).map_err(io_err),
+                    None => write_err(
+                        &mut writer,
+                        &HiqueError::Unsupported(".engine needs an argument".into()),
+                    )
+                    .map_err(io_err),
+                },
+                Some("stats") => {
+                    let cache = server.cache_stats();
+                    writeln!(
+                        writer,
+                        "OK stats\ncache_hits={}\ncache_misses={}\ncache_entries={}\nqueries={}\nengine={}\n.",
+                        cache.hits,
+                        cache.misses,
+                        cache.entries,
+                        server.queries_served(),
+                        session.engine().name()
+                    )
+                    .map_err(io_err)
+                }
+                _ => write_err(
+                    &mut writer,
+                    &HiqueError::Unsupported(format!("unknown command '{request}'")),
+                )
+                .map_err(io_err),
+            }
+        } else {
+            match session.execute(request) {
+                Ok(result) => write_result(&mut writer, &result).map_err(io_err),
+                Err(e) => write_err(&mut writer, &e).map_err(io_err),
+            }
+        };
+        if outcome.is_err() {
+            break; // client went away mid-response
+        }
+        if writer.flush().is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// One parsed wire response: the status line plus the body lines up to
+/// (excluding) the `.` terminator.
+#[derive(Debug, Clone)]
+pub struct WireResponse {
+    /// `OK ...` or `ERR ...`.
+    pub status: String,
+    /// Body lines (for a query: the header line, then one line per row).
+    pub lines: Vec<String>,
+}
+
+impl WireResponse {
+    /// True when the status line starts with `OK`.
+    pub fn is_ok(&self) -> bool {
+        self.status.starts_with("OK")
+    }
+
+    /// Row lines of a query response (body minus the header line).
+    pub fn rows(&self) -> &[String] {
+        if self.lines.is_empty() {
+            &[]
+        } else {
+            &self.lines[1..]
+        }
+    }
+}
+
+/// A minimal blocking client for the line protocol (used by the smoke
+/// mode, the benchmarks and the tests).
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        let writer = stream.try_clone().map_err(io_err)?;
+        Ok(WireClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and read the full response.
+    pub fn request(&mut self, line: &str) -> Result<WireResponse> {
+        writeln!(self.writer, "{line}").map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut status = String::new();
+        if self.reader.read_line(&mut status).map_err(io_err)? == 0 {
+            return Err(HiqueError::Storage("server closed the connection".into()));
+        }
+        let status = status.trim_end().to_string();
+        let mut lines = Vec::new();
+        loop {
+            let mut l = String::new();
+            if self.reader.read_line(&mut l).map_err(io_err)? == 0 {
+                return Err(HiqueError::Storage(
+                    "connection closed before response terminator".into(),
+                ));
+            }
+            let l = l.trim_end().to_string();
+            if l == "." {
+                break;
+            }
+            lines.push(l);
+        }
+        Ok(WireResponse { status, lines })
+    }
+
+    /// Convenience: send SQL, error on an `ERR` response.
+    pub fn query(&mut self, sql: &str) -> Result<WireResponse> {
+        let resp = self.request(sql)?;
+        if !resp.is_ok() {
+            return Err(HiqueError::Execution(resp.status));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ServerConfig;
+    use hique_storage::Catalog;
+    use hique_types::{Column, DataType, Row, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "r",
+            Schema::new(vec![
+                Column::new("k", DataType::Int32),
+                Column::new("v", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..100 {
+            cat.table_mut("r")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![
+                    Value::Int32(i % 5),
+                    Value::Float64(i as f64),
+                ]))
+                .unwrap();
+        }
+        cat.analyze_table("r").unwrap();
+        cat
+    }
+
+    #[test]
+    fn queries_commands_and_errors_round_trip_over_tcp() {
+        let server = Server::new(catalog(), ServerConfig::default()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let serve_handle = {
+            let server = server.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve(server, listener, stop))
+        };
+
+        let mut client = WireClient::connect(addr).unwrap();
+        let resp = client
+            .query("select k, count(*) as n from r group by k order by k")
+            .unwrap();
+        assert_eq!(resp.status, "OK 5 2");
+        assert_eq!(resp.lines[0], "k\tn");
+        assert_eq!(resp.rows().len(), 5);
+        assert_eq!(resp.rows()[0], "0\t20");
+
+        // Engine switch changes the executor, not the result.
+        let ok = client.request(".engine dsm").unwrap();
+        assert_eq!(ok.status, "OK engine dsm");
+        let resp2 = client
+            .query("select k, count(*) as n from r group by k order by k")
+            .unwrap();
+        assert_eq!(resp2.rows(), resp.rows());
+
+        // Errors are typed lines, and the connection survives them.
+        let err = client.request("select nope from r").unwrap();
+        assert!(err.status.starts_with("ERR analysis:"), "{}", err.status);
+        let err = client.request(".engine warp").unwrap();
+        assert!(err.status.starts_with("ERR unsupported:"), "{}", err.status);
+
+        // Stats reflect the cache hit from the repeated shape.
+        let stats = client.request(".stats").unwrap();
+        assert!(stats.is_ok());
+        assert!(
+            stats.lines.iter().any(|l| l == "cache_hits=1"),
+            "{:?}",
+            stats.lines
+        );
+
+        let bye = client.request(".quit").unwrap();
+        assert_eq!(bye.status, "OK bye");
+
+        // A second client gets its own session.
+        let mut c2 = WireClient::connect(addr).unwrap();
+        assert!(c2.query("select k from r where k = 1").is_ok());
+        drop(c2);
+
+        stop.store(true, Ordering::Release);
+        serve_handle.join().unwrap().unwrap();
+        assert_eq!(server.queries_served(), 3);
+    }
+}

@@ -58,10 +58,17 @@ struct PoolState {
     next_file: FileId,
     clock: u64,
     stats: BufferPoolStats,
-    /// High-water mark of resident frames since the last rebase; always
-    /// ≤ the pool capacity, which is what makes it the proof obligation of
-    /// the `memory_budget_pages` knob.
+    /// Lifetime high-water mark of resident frames; always ≤ the pool
+    /// capacity, which is what makes it the proof obligation of the
+    /// `memory_budget_pages` knob.
     peak_resident: usize,
+    /// Epoch-tagged peak windows: one entry per live [`PeakWindow`], holding
+    /// the high-water mark of resident frames since that window opened.
+    /// Every frame insert max-updates all open windows, so concurrent
+    /// executions each observe their own per-run peak instead of clobbering
+    /// a single shared watermark.
+    windows: HashMap<u64, usize>,
+    next_window: u64,
 }
 
 /// A fixed-capacity LRU cache of disk pages.
@@ -128,6 +135,8 @@ impl BufferPool {
                 clock: 0,
                 stats: BufferPoolStats::default(),
                 peak_resident: 0,
+                windows: HashMap::new(),
+                next_window: 0,
             }),
         })
     }
@@ -157,26 +166,50 @@ impl BufferPool {
         self.state.lock().frames.len()
     }
 
-    /// High-water mark of resident frames since the last
-    /// [`BufferPool::rebase_peak_resident`] (or pool creation).  Never
-    /// exceeds [`BufferPool::capacity`]; exposed so executions can report
-    /// how much of the memory budget was actually used
-    /// (`ExecStats::peak_resident_pages`).
+    /// Lifetime high-water mark of resident frames (since pool creation).
+    /// Never exceeds [`BufferPool::capacity`].  For a *per-execution* peak
+    /// use [`BufferPool::begin_peak_window`].
     pub fn peak_resident(&self) -> usize {
         self.state.lock().peak_resident
     }
 
-    /// Restart the residency watermark from the current resident count.
-    ///
-    /// Executors call this when an execution begins so
-    /// [`BufferPool::peak_resident`] reports *that execution's* peak
-    /// instead of the pool's lifetime maximum.  Sound under the
-    /// single-query-at-a-time execution model; concurrent executions
-    /// sharing one pool would rebase each other's windows — the same
-    /// interleaving caveat the I/O counters already carry.
-    pub fn rebase_peak_resident(&self) {
+    /// Open an epoch-tagged residency window: an RAII handle whose peak is
+    /// the high-water mark of resident frames between now and the call to
+    /// [`PeakWindow::end`] (or drop).  Windows are independent — any number
+    /// of concurrent executions can each hold one over the same pool and
+    /// each reads its own correct per-run peak, which is what replaces the
+    /// old `rebase_peak_resident` scheme where one execution's rebase
+    /// clobbered another's watermark.
+    pub fn begin_peak_window(&self) -> PeakWindow<'_> {
         let mut s = self.state.lock();
-        s.peak_resident = s.frames.len();
+        let id = s.next_window;
+        s.next_window += 1;
+        let now = s.frames.len();
+        s.windows.insert(id, now);
+        PeakWindow { pool: self, id }
+    }
+
+    /// Drop every resident frame of `file` (without write-back — the caller
+    /// is discarding the file's contents) and forget its registration.
+    ///
+    /// This is the cleanup path for per-claim spill namespaces: their data
+    /// is dead once the claim ends, so dirty frames must not be flushed to a
+    /// file that is about to be deleted.  Pinned frames of the file are a
+    /// caller bug (a page guard outliving its namespace) and surface as a
+    /// typed error with nothing removed.
+    pub fn unregister_file(&self, file: FileId) -> Result<()> {
+        let mut s = self.state.lock();
+        if s.frames
+            .iter()
+            .any(|(id, f)| id.file == file && f.pin_count > 0)
+        {
+            return Err(HiqueError::Storage(format!(
+                "cannot unregister file {file}: pinned frames outstanding"
+            )));
+        }
+        s.frames.retain(|id, _| id.file != file);
+        s.files.remove(&file);
+        Ok(())
     }
 
     /// Fetch a page (from memory if resident, otherwise from disk), pin it,
@@ -257,8 +290,20 @@ impl BufferPool {
                 last_used: clock,
             },
         );
-        s.peak_resident = s.peak_resident.max(s.frames.len());
+        Self::note_resident(s);
         Ok(Fetched::Pinned(page))
+    }
+
+    /// Record the current resident count in the lifetime watermark and in
+    /// every open peak window.  Called after each `frames.insert`.
+    fn note_resident(s: &mut PoolState) {
+        let now = s.frames.len();
+        s.peak_resident = s.peak_resident.max(now);
+        for peak in s.windows.values_mut() {
+            if *peak < now {
+                *peak = now;
+            }
+        }
     }
 
     /// Install new contents for `id`, marking the frame dirty.  A frame that
@@ -297,7 +342,7 @@ impl BufferPool {
                 last_used: clock,
             },
         );
-        s.peak_resident = s.peak_resident.max(s.frames.len());
+        Self::note_resident(&mut s);
         Ok(())
     }
 
@@ -379,6 +424,39 @@ impl BufferPool {
         }
         s.stats.evictions += 1;
         Ok(true)
+    }
+}
+
+/// One open residency window over a [`BufferPool`] (see
+/// [`BufferPool::begin_peak_window`]).  Dropping the handle closes the
+/// window; [`PeakWindow::end`] closes it and returns the peak.
+pub struct PeakWindow<'a> {
+    pool: &'a BufferPool,
+    id: u64,
+}
+
+impl PeakWindow<'_> {
+    /// High-water mark of resident frames since this window opened
+    /// (initially the resident count at open time).
+    pub fn peak(&self) -> usize {
+        *self
+            .pool
+            .state
+            .lock()
+            .windows
+            .get(&self.id)
+            .expect("open window is registered")
+    }
+
+    /// Close the window and return its peak.
+    pub fn end(self) -> usize {
+        self.peak()
+    }
+}
+
+impl Drop for PeakWindow<'_> {
+    fn drop(&mut self) {
+        self.pool.state.lock().windows.remove(&self.id);
     }
 }
 
@@ -629,6 +707,70 @@ mod tests {
         }
         assert_eq!(pool.resident(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overlapping_peak_windows_report_independent_peaks() {
+        // Regression for the rebase_peak_resident clobbering bug: two
+        // windows over one pool, opened and closed at different times, must
+        // each report the high-water mark of *their own* span.
+        let (pool, f, path) = setup("windows", 8, 10);
+        let id = |p: usize| PageId::new(f, p);
+        let a = pool.begin_peak_window();
+        assert_eq!(a.peak(), 0);
+        for p in 0..3 {
+            pool.fetch(id(p)).unwrap();
+            pool.unpin(id(p)).unwrap();
+        }
+        // Window B opens mid-flight at 3 resident frames.
+        let b = pool.begin_peak_window();
+        assert_eq!(b.peak(), 3);
+        for p in 3..5 {
+            pool.fetch(id(p)).unwrap();
+            pool.unpin(id(p)).unwrap();
+        }
+        // Closing A must not disturb B (the old rebase did exactly that).
+        assert_eq!(a.end(), 5);
+        pool.fetch(id(5)).unwrap();
+        pool.unpin(id(5)).unwrap();
+        assert_eq!(b.end(), 6);
+        // The lifetime watermark is unaffected by window churn.
+        assert_eq!(pool.peak_resident(), 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unregister_file_drops_frames_without_write_back() {
+        let pa = temp_path("unreg_keep");
+        let pb = temp_path("unreg_drop");
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+        let da = Arc::new(DiskManager::open(&pa).unwrap());
+        let db = Arc::new(DiskManager::open(&pb).unwrap());
+        da.write_page(0, &page_with(1)).unwrap();
+        db.write_page(0, &page_with(2)).unwrap();
+        let pool = BufferPool::new(4).unwrap();
+        let fa = pool.register_file(da);
+        let fb = pool.register_file(Arc::clone(&db));
+        pool.fetch(PageId::new(fa, 0)).unwrap();
+        // Dirty frame for fb: unregistering must NOT write it back.
+        pool.write(PageId::new(fb, 0), page_with(99)).unwrap();
+        // A pinned frame blocks unregistration with a typed error.
+        assert!(matches!(
+            pool.unregister_file(fa),
+            Err(HiqueError::Storage(_))
+        ));
+        let written = pool.stats().pages_written;
+        pool.unregister_file(fb).unwrap();
+        assert_eq!(pool.stats().pages_written, written);
+        assert_eq!(db.read_page(0).unwrap().record(0), &2u64.to_le_bytes());
+        // The file is gone from the pool: fetches now fail as unregistered.
+        assert!(pool.fetch(PageId::new(fb, 0)).is_err());
+        pool.unpin(PageId::new(fa, 0)).unwrap();
+        pool.unregister_file(fa).unwrap();
+        assert_eq!(pool.resident(), 0);
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
     }
 
     #[test]

@@ -23,9 +23,9 @@ pub mod heap;
 pub mod page;
 pub mod temp;
 
-pub use buffer::{BufferPool, BufferPoolStats, FileId, PageId};
+pub use buffer::{BufferPool, BufferPoolStats, FileId, PageId, PeakWindow};
 pub use catalog::{Catalog, StorageRuntime, TableInfo};
 pub use disk::DiskManager;
 pub use heap::{PageRef, TableHeap};
 pub use page::{records_per_page, Page, PAGE_HEADER_SIZE, PAGE_SIZE};
-pub use temp::{SpillHandle, SpillPageRef, TempSpace};
+pub use temp::{SpillHandle, SpillNamespace, SpillPageRef, TempSpace};

@@ -1,16 +1,27 @@
 //! Temporary-table spill space: the paper's "temporary tables inside the
-//! buffer pool".
+//! buffer pool", multiplexed across concurrent executions.
 //!
 //! Staged inputs and join intermediates are packed arrays of fixed-length
-//! records.  Under a memory budget the holistic executor writes them into
-//! this shared spill file *through the buffer pool* — the spilled pages are
-//! ordinary dirty frames that the LRU policy writes back to disk under
-//! pressure and reloads on demand, so temporaries compete with base-table
-//! pages for the same `memory_budget_pages` frames.
+//! records.  Under a memory budget an executor writes them into a spill file
+//! *through the buffer pool* — the spilled pages are ordinary dirty frames
+//! that the LRU policy writes back to disk under pressure and reloads on
+//! demand, so temporaries compete with base-table pages for the same
+//! `memory_budget_pages` frames.
+//!
+//! [`TempSpace`] is the admission-controlled factory: each execution claims
+//! a private [`SpillNamespace`] — its own temp file registered with the
+//! shared pool — so concurrent sessions can spill simultaneously without
+//! overwriting each other's pages.  The number of simultaneous claims is
+//! capped ([`TempSpace::set_max_claims`]); a claim past the cap queues on a
+//! condvar until a slot frees, so a budgeted execution is never silently
+//! degraded to an unbounded working set.  Dropping a namespace discards its
+//! frames (no write-back — the data is dead), deletes its file, and wakes
+//! one queued claimer.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 use hique_types::{HiqueError, Result};
 use parking_lot::Mutex;
@@ -19,7 +30,12 @@ use crate::buffer::{BufferPool, Fetched, FileId, PageId};
 use crate::disk::DiskManager;
 use crate::page::{records_per_page, Page, PAGE_HEADER_SIZE, PAGE_SIZE};
 
-/// A page range in the spill file holding one packed record buffer.
+/// How long a queued spill claim waits for a slot before surfacing a typed
+/// admission error.  Long enough to ride out any real execution; short
+/// enough that a leaked claim cannot hang a server forever.
+const CLAIM_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A page range in a spill namespace holding one packed record buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpillHandle {
     /// First page of the range.
@@ -32,15 +48,20 @@ pub struct SpillHandle {
     pub tuple_size: usize,
 }
 
-/// One spilled page borrowed from a [`TempSpace`]: a pool copy that stays
-/// pinned until the guard drops, or an uncached bypass read when every frame
-/// was pinned.  This is the primitive behind page-at-a-time consumption of
-/// spilled partitions — a consumer holds at most one page of a spilled
-/// buffer resident outside the pool, instead of reloading the whole range.
+/// One spilled page borrowed from a [`SpillNamespace`]: a pool copy that
+/// stays pinned until the guard drops, or an uncached bypass read when every
+/// frame was pinned.  This is the primitive behind page-at-a-time
+/// consumption of spilled partitions — a consumer holds at most one page of
+/// a spilled buffer resident outside the pool, instead of reloading the
+/// whole range.  While any guard is live its namespace refuses
+/// [`SpillNamespace::reset`], so a handle can never be invalidated under a
+/// reader.
 pub struct SpillPageRef<'a> {
     page: Page,
     /// Present when the page is a pinned pool frame that must be unpinned.
     pinned: Option<(&'a BufferPool, PageId)>,
+    /// Live-guard count of the owning namespace.
+    guards: &'a AtomicUsize,
 }
 
 impl SpillPageRef<'_> {
@@ -62,76 +83,195 @@ impl Drop for SpillPageRef<'_> {
     fn drop(&mut self) {
         if let Some((pool, id)) = self.pinned {
             // The frame is resident and pinned by construction, so the unpin
-            // cannot fail for a guard produced by `TempSpace::page_guard`.
+            // cannot fail for a guard produced by
+            // `SpillNamespace::page_guard`.
             let _ = pool.unpin(id);
         }
+        self.guards.fetch_sub(1, Ordering::Release);
     }
 }
 
-/// The shared spill file of one paged catalog, page-addressed through its
-/// buffer pool.
+struct ClaimState {
+    /// Maximum number of simultaneous claims (admission control).
+    max_claims: usize,
+    /// Currently outstanding claims.
+    active: usize,
+    /// Monotonic namespace id, used to name per-claim spill files.
+    next_id: u64,
+}
+
+/// Admission-controlled factory of per-execution spill namespaces, shared by
+/// every execution of one paged catalog.
 pub struct TempSpace {
     pool: Arc<BufferPool>,
-    file: FileId,
-    path: PathBuf,
-    next_page: Mutex<usize>,
-    /// Exclusive-use flag: spill allocations are only valid for one
-    /// execution at a time (a reset invalidates every outstanding handle),
-    /// so executors must hold the acquisition for their whole run.
-    in_use: AtomicBool,
+    /// Base path; claim `i` spills to `<base>.<i>`.
+    base: PathBuf,
+    state: StdMutex<ClaimState>,
+    released: Condvar,
 }
 
 impl TempSpace {
-    /// Create (truncating) the spill file at `path` and register it with
-    /// `pool`.
+    /// Create a spill-space factory rooted at `path`, backed by `pool`.
+    /// No file is created until a claim is made.  The default admission cap
+    /// is effectively unlimited; servers size it to their session count via
+    /// [`TempSpace::set_max_claims`].
     pub fn create(pool: Arc<BufferPool>, path: impl AsRef<Path>) -> Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        std::fs::remove_file(&path).ok();
-        let disk = Arc::new(DiskManager::open(&path)?);
-        let file = pool.register_file(disk);
         Ok(TempSpace {
             pool,
-            file,
-            path,
-            next_page: Mutex::new(0),
-            in_use: AtomicBool::new(false),
+            base: path.as_ref().to_path_buf(),
+            state: StdMutex::new(ClaimState {
+                max_claims: usize::MAX,
+                active: 0,
+                next_id: 0,
+            }),
+            released: Condvar::new(),
         })
     }
 
-    /// Claim exclusive use of the spill space for one execution.  Returns
-    /// `false` when another execution currently holds it — the caller then
-    /// runs without spilling (spilling is an optimization; results are
-    /// identical either way) instead of corrupting the holder's pages.
-    pub fn try_acquire(&self) -> bool {
-        self.in_use
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+    /// Cap the number of simultaneously claimed namespaces.  A server sets
+    /// this to its session count so spill capacity is split by admission
+    /// control rather than by racing.
+    pub fn set_max_claims(&self, n: usize) {
+        let mut s = self.state.lock().expect("claim state lock");
+        s.max_claims = n.max(1);
+        drop(s);
+        self.released.notify_all();
     }
 
-    /// Release a successful [`TempSpace::try_acquire`].
-    pub fn release(&self) {
-        self.in_use.store(false, Ordering::Release);
+    /// Number of currently outstanding claims.
+    pub fn active_claims(&self) -> usize {
+        self.state.lock().expect("claim state lock").active
     }
 
-    /// Path of the spill file (for cleanup).
+    /// Base path of the spill files (claim `i` lives at `<base>.<i>`).
+    pub fn path(&self) -> &Path {
+        &self.base
+    }
+
+    /// Claim a private spill namespace, queueing (up to an internal
+    /// timeout) when the admission cap is reached.  Returns the namespace
+    /// and whether the claim was initially denied and had to wait — the
+    /// executor surfaces that as `ExecStats::spill_claim_denied` instead of
+    /// silently running unbounded, which is the bug this replaces.
+    pub fn claim(self: &Arc<Self>) -> Result<(SpillNamespace, bool)> {
+        let (id, denied) = {
+            let mut s = self.state.lock().expect("claim state lock");
+            let denied = s.active >= s.max_claims;
+            let deadline = Instant::now() + CLAIM_TIMEOUT;
+            while s.active >= s.max_claims {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(HiqueError::Storage(format!(
+                        "spill admission queue timed out after {CLAIM_TIMEOUT:?} \
+                         ({} of {} claims outstanding)",
+                        s.active, s.max_claims
+                    )));
+                }
+                let (guard, _) = self
+                    .released
+                    .wait_timeout(s, deadline - now)
+                    .expect("claim state lock");
+                s = guard;
+            }
+            s.active += 1;
+            let id = s.next_id;
+            s.next_id += 1;
+            (id, denied)
+        };
+        let path = self.base.with_extension(format!("{id}.spill"));
+        std::fs::remove_file(&path).ok();
+        let disk = match DiskManager::open(&path) {
+            Ok(d) => Arc::new(d),
+            Err(e) => {
+                self.release_slot();
+                return Err(e);
+            }
+        };
+        let file = self.pool.register_file(disk);
+        Ok((
+            SpillNamespace {
+                temp: Arc::clone(self),
+                file,
+                path,
+                next_page: Mutex::new(0),
+                guards: AtomicUsize::new(0),
+            },
+            denied,
+        ))
+    }
+
+    /// Refuse-if-busy sanity check: spill state is per-claim now, so there
+    /// is nothing to reset — but a caller asking to reset while claims are
+    /// outstanding is making the exact mistake the old global `reset` made
+    /// legal (invalidating live handles), so that is a typed error.
+    pub fn reset(&self) -> Result<()> {
+        let active = self.active_claims();
+        if active > 0 {
+            return Err(HiqueError::Storage(format!(
+                "cannot reset spill space: {active} claim(s) outstanding"
+            )));
+        }
+        Ok(())
+    }
+
+    fn release_slot(&self) {
+        let mut s = self.state.lock().expect("claim state lock");
+        s.active -= 1;
+        drop(s);
+        self.released.notify_one();
+    }
+}
+
+impl std::fmt::Debug for TempSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock().expect("claim state lock");
+        f.debug_struct("TempSpace")
+            .field("base", &self.base)
+            .field("active_claims", &s.active)
+            .field("max_claims", &s.max_claims)
+            .finish()
+    }
+}
+
+/// One execution's private spill file, page-addressed through the shared
+/// buffer pool.  Created by [`TempSpace::claim`]; dropping it discards the
+/// file's frames (no write-back), deletes the file, and frees the admission
+/// slot.
+pub struct SpillNamespace {
+    temp: Arc<TempSpace>,
+    file: FileId,
+    path: PathBuf,
+    next_page: Mutex<usize>,
+    /// Count of live [`SpillPageRef`] guards; resets refuse while > 0.
+    guards: AtomicUsize,
+}
+
+impl SpillNamespace {
+    /// Path of this namespace's spill file (for tests and cleanup checks).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Number of spill pages allocated so far.
+    /// Number of spill pages allocated so far in this namespace.
     pub fn allocated_pages(&self) -> usize {
         *self.next_page.lock()
     }
 
-    /// Release every spill allocation, restarting from page zero.
-    ///
-    /// Outstanding [`SpillHandle`]s are invalidated, so this is only valid
-    /// between queries — which is exactly the paper's single-query-at-a-time
-    /// execution model.  The holistic executor resets at the start of every
-    /// budgeted execution, bounding the spill file by one query's
-    /// temporaries instead of letting it grow for the catalog's lifetime.
-    pub fn reset(&self) {
+    /// Release every spill allocation of this namespace, restarting from
+    /// page zero.  Outstanding [`SpillHandle`]s become dangling, so this
+    /// refuses with a typed error while any page guard is live; handles the
+    /// caller still intends to read must not be reset away either — the
+    /// normal pattern is one namespace per execution, dropped at the end,
+    /// with no reset at all.
+    pub fn reset(&self) -> Result<()> {
+        let live = self.guards.load(Ordering::Acquire);
+        if live > 0 {
+            return Err(HiqueError::Storage(format!(
+                "cannot reset spill namespace: {live} page guard(s) live"
+            )));
+        }
         *self.next_page.lock() = 0;
+        Ok(())
     }
 
     /// Write a packed record buffer into freshly allocated spill pages via
@@ -166,7 +306,9 @@ impl TempSpace {
                 let pushed = page.push_record(record)?;
                 debug_assert!(pushed, "spill page sized to its record count");
             }
-            self.pool.write(PageId::new(self.file, start + i), page)?;
+            self.temp
+                .pool
+                .write(PageId::new(self.file, start + i), page)?;
         }
         Ok(SpillHandle {
             start,
@@ -188,12 +330,19 @@ impl TempSpace {
             )));
         }
         let id = PageId::new(self.file, handle.start + i);
-        match self.pool.fetch_or_bypass(id)? {
+        let fetched = self.temp.pool.fetch_or_bypass(id)?;
+        self.guards.fetch_add(1, Ordering::Acquire);
+        match fetched {
             Fetched::Pinned(page) => Ok(SpillPageRef {
                 page,
-                pinned: Some((self.pool.as_ref(), id)),
+                pinned: Some((self.temp.pool.as_ref(), id)),
+                guards: &self.guards,
             }),
-            Fetched::Bypassed(page) => Ok(SpillPageRef { page, pinned: None }),
+            Fetched::Bypassed(page) => Ok(SpillPageRef {
+                page,
+                pinned: None,
+                guards: &self.guards,
+            }),
         }
     }
 
@@ -215,9 +364,19 @@ impl TempSpace {
     }
 }
 
-impl std::fmt::Debug for TempSpace {
+impl Drop for SpillNamespace {
+    fn drop(&mut self) {
+        // Guards borrow the namespace, so none can be live here; the
+        // unregister therefore cannot fail on pinned frames.
+        let _ = self.temp.pool.unregister_file(self.file);
+        std::fs::remove_file(&self.path).ok();
+        self.temp.release_slot();
+    }
+}
+
+impl std::fmt::Debug for SpillNamespace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TempSpace")
+        f.debug_struct("SpillNamespace")
             .field("path", &self.path)
             .field("allocated_pages", &self.allocated_pages())
             .finish()
@@ -237,11 +396,11 @@ mod tests {
         p
     }
 
-    fn setup(name: &str, budget: usize) -> (TempSpace, Arc<BufferPool>, PathBuf) {
+    fn setup(name: &str, budget: usize) -> (Arc<TempSpace>, Arc<BufferPool>) {
         let path = temp_file(name);
         let pool = Arc::new(BufferPool::new(budget).unwrap());
-        let space = TempSpace::create(Arc::clone(&pool), &path).unwrap();
-        (space, pool, path)
+        let space = Arc::new(TempSpace::create(Arc::clone(&pool), &path).unwrap());
+        (space, pool)
     }
 
     fn packed(records: usize, width: usize) -> Vec<u8> {
@@ -252,18 +411,26 @@ mod tests {
 
     #[test]
     fn spill_and_reload_round_trips() {
-        let (space, _pool, path) = setup("roundtrip", 64);
+        let (temp, _pool) = setup("roundtrip", 64);
+        let (space, denied) = temp.claim().unwrap();
+        assert!(!denied);
         let buf = packed(1000, 24);
         let handle = space.spill_records(&buf, 24).unwrap();
         assert_eq!(handle.records, 1000);
         assert_eq!(handle.pages, 1000usize.div_ceil((PAGE_SIZE - 8) / 24));
         assert_eq!(space.reload(&handle).unwrap(), buf);
-        std::fs::remove_file(&path).ok();
+        let path = space.path().to_path_buf();
+        assert!(path.exists());
+        drop(space);
+        // Dropping the namespace deletes its file and frees the slot.
+        assert!(!path.exists());
+        assert_eq!(temp.active_claims(), 0);
     }
 
     #[test]
     fn tight_budget_forces_evictions_yet_reloads_identically() {
-        let (space, pool, path) = setup("tight", 2);
+        let (temp, pool) = setup("tight", 2);
+        let (space, _) = temp.claim().unwrap();
         let a = packed(500, 40);
         let b = packed(300, 16);
         let ha = space.spill_records(&a, 40).unwrap();
@@ -278,12 +445,12 @@ mod tests {
         // Ranges do not overlap.
         assert!(hb.start >= ha.start + ha.pages);
         assert_eq!(space.allocated_pages(), ha.pages + hb.pages);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn page_guards_walk_a_spilled_range_one_pin_at_a_time() {
-        let (space, pool, path) = setup("guards", 2);
+        let (temp, pool) = setup("guards", 2);
+        let (space, _) = temp.claim().unwrap();
         let buf = packed(600, 32);
         let handle = space.spill_records(&buf, 32).unwrap();
         assert!(handle.pages > 2, "range must exceed the pool budget");
@@ -304,12 +471,12 @@ mod tests {
             space.page_guard(&handle, handle.pages),
             Err(HiqueError::Storage(_))
         ));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn empty_and_invalid_spills() {
-        let (space, _pool, path) = setup("invalid", 4);
+        let (temp, _pool) = setup("invalid", 4);
+        let (space, _) = temp.claim().unwrap();
         // Empty buffer: a zero-page handle reloads to an empty buffer.
         let h = space.spill_records(&[], 8).unwrap();
         assert_eq!(h.pages, 0);
@@ -328,6 +495,72 @@ mod tests {
             space.spill_records(&[0u8; 10], 8),
             Err(HiqueError::Storage(_))
         ));
-        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_claims_get_disjoint_namespaces() {
+        // Two live claims spill simultaneously into separate files and both
+        // reload their own data intact — the multi-tenant property the old
+        // single-claim TempSpace could not provide.
+        let (temp, _pool) = setup("tenants", 4);
+        let (a, da) = temp.claim().unwrap();
+        let (b, db) = temp.claim().unwrap();
+        assert!(!da && !db, "cap is unlimited by default");
+        assert_ne!(a.path(), b.path());
+        assert_eq!(temp.active_claims(), 2);
+        let abuf = packed(400, 24);
+        let bbuf = packed(400, 24);
+        let ha = a.spill_records(&abuf, 24).unwrap();
+        let hb = b.spill_records(&bbuf, 24).unwrap();
+        // Same page range in different namespaces: no interference.
+        assert_eq!(ha.start, hb.start);
+        assert_eq!(a.reload(&ha).unwrap(), abuf);
+        assert_eq!(b.reload(&hb).unwrap(), bbuf);
+    }
+
+    #[test]
+    fn admission_cap_queues_claims_and_reports_denial() {
+        let (temp, _pool) = setup("admission", 4);
+        temp.set_max_claims(1);
+        let (a, denied_a) = temp.claim().unwrap();
+        assert!(!denied_a);
+        // A queued claim blocks until the holder drops, and reports that it
+        // was initially denied.
+        let t = {
+            let temp = Arc::clone(&temp);
+            std::thread::spawn(move || {
+                let (ns, denied) = temp.claim().unwrap();
+                let buf = packed(10, 8);
+                let h = ns.spill_records(&buf, 8).unwrap();
+                assert_eq!(ns.reload(&h).unwrap(), buf);
+                denied
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(temp.active_claims(), 1);
+        drop(a);
+        assert!(t.join().unwrap(), "queued claim must report denial");
+        assert_eq!(temp.active_claims(), 0);
+    }
+
+    #[test]
+    fn reset_refuses_while_claims_or_guards_outstanding() {
+        let (temp, _pool) = setup("reset", 4);
+        assert!(temp.reset().is_ok());
+        let (space, _) = temp.claim().unwrap();
+        // Factory-level reset refuses while any claim is outstanding.
+        assert!(matches!(temp.reset(), Err(HiqueError::Storage(_))));
+        let buf = packed(100, 16);
+        let h = space.spill_records(&buf, 16).unwrap();
+        {
+            let _guard = space.page_guard(&h, 0).unwrap();
+            // Namespace-level reset refuses while a page guard is live.
+            assert!(matches!(space.reset(), Err(HiqueError::Storage(_))));
+        }
+        // Guard dropped: reset succeeds and restarts the allocator.
+        space.reset().unwrap();
+        assert_eq!(space.allocated_pages(), 0);
+        drop(space);
+        assert!(temp.reset().is_ok());
     }
 }

@@ -102,10 +102,16 @@ pub struct ExecStats {
     /// spill decision is size-only, so this count is identical for every
     /// thread count.
     pub spilled_temporaries: u64,
+    /// 1 when this execution's spill-namespace claim was initially denied
+    /// by admission control and had to queue for a slot (0 otherwise; sums
+    /// across merged executions).  A denied claim *waits* — it never runs
+    /// unbounded without spill capability — and this counter is how the
+    /// wait stays observable instead of silent.
+    pub spill_claim_denied: u64,
     /// High-water mark of resident buffer-pool frames *during this
-    /// execution* (the executor rebases the pool's watermark at start and
-    /// snapshots it at the end; zero for memory-resident catalogs).
-    /// Always ≤ `memory_budget_pages`.
+    /// execution* (the executor opens an epoch-tagged peak window on the
+    /// pool at start and closes it at the end; zero for memory-resident
+    /// catalogs).  Always ≤ `memory_budget_pages`.
     pub peak_resident_pages: u64,
     /// High-water mark of spilled pages a consumer held materialized
     /// *outside* the pool at once (the pipeline `ResidencyMeter`):
@@ -194,6 +200,7 @@ impl AddAssign for ExecStats {
         self.sort_passes += rhs.sort_passes;
         self.rows_out += rhs.rows_out;
         self.spilled_temporaries += rhs.spilled_temporaries;
+        self.spill_claim_denied += rhs.spill_claim_denied;
         // High-water marks combine by max, not by sum: merging worker
         // counter sets must not inflate peak residency.
         self.peak_resident_pages = self.peak_resident_pages.max(rhs.peak_resident_pages);
@@ -208,7 +215,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} spilled={} peak_resident={} spill_consumer_peak={} {}",
+            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} spilled={} spill_claim_denied={} peak_resident={} spill_consumer_peak={} {}",
             self.function_calls,
             self.tuples_processed,
             self.bytes_touched,
@@ -219,6 +226,7 @@ impl fmt::Display for ExecStats {
             self.sort_passes,
             self.rows_out,
             self.spilled_temporaries,
+            self.spill_claim_denied,
             self.peak_resident_pages,
             self.spill_consumer_peak_pages,
             self.io
@@ -294,6 +302,7 @@ mod tests {
             "sort_passes=",
             "rows_out=",
             "spilled=",
+            "spill_claim_denied=",
             "peak_resident=",
             "spill_consumer_peak=",
             "pool_hits=",
