@@ -11,7 +11,7 @@
 use hique_conformance::genquery::{replay_seed, scan_query_for_seed};
 use hique_conformance::planquality::{measure_actuals, QualityReport};
 use hique_conformance::runner::plan_sql;
-use hique_conformance::{run_suite_with_budget, Fixture};
+use hique_conformance::{run_chaos_suite, run_suite_with_budget, Fixture};
 use hique_plan::{explain_with_actuals, explain_with_stats, PlanActuals, PlannerConfig};
 
 struct Args {
@@ -26,6 +26,10 @@ struct Args {
     /// budgets), so the suite combines tight-memory spilling with the
     /// generator's randomized `threads ∈ {1, 2, 4}` on every query.
     force_plan_budget: bool,
+    /// Chaos lane: replay the seeded queries under seeded storage-fault and
+    /// cancellation schedules on all four engines × threads {1, 4}, gating
+    /// on bit-identical-or-typed-error with zero leaks.
+    chaos: bool,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -45,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         plan_quality: None,
         budget_pages: None,
         force_plan_budget: false,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,10 +86,11 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--force-plan-budget" => args.force_plan_budget = true,
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: conformance [--queries N] [--seed S] [--sf F] [--replay SEED] \
-                     [--plan-quality N] [--budget-pages P] [--force-plan-budget]"
+                     [--plan-quality N] [--budget-pages P] [--force-plan-budget] [--chaos]"
                         .to_string(),
                 )
             }
@@ -104,7 +110,14 @@ fn main() {
     };
 
     println!("generating TPC-H-shaped catalog at SF {} ...", args.sf);
-    let fixture = match args.budget_pages {
+    // The chaos lane injects faults under the buffer pool, so it always
+    // needs a paged fixture; default the pool budget when not given.
+    let budget_pages = if args.chaos {
+        Some(args.budget_pages.unwrap_or(128))
+    } else {
+        args.budget_pages
+    };
+    let fixture = match budget_pages {
         Some(pages) => {
             println!("spilling catalog to disk behind a {pages}-page buffer pool ...");
             Fixture::generate_paged(args.sf, pages).expect("paged catalog generation")
@@ -127,6 +140,31 @@ fn main() {
             for d in &outcome.divergences {
                 println!("--- {d}");
             }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.chaos {
+        println!(
+            "chaos: {} seeded queries (seed {:#x}) x seeded fault/cancel schedules \
+             x 4 engines x threads {:?} under a {}-page plan budget ...",
+            args.queries,
+            args.seed,
+            hique_conformance::CHAOS_THREADS,
+            hique_conformance::CHAOS_BUDGET_PAGES,
+        );
+        let report = run_chaos_suite(&fixture, args.seed, args.queries);
+        print!("{report}");
+        if report.faults_fired == 0 {
+            eprintln!("chaos lane fired zero faults — the schedules never reached storage?");
+            std::process::exit(1);
+        }
+        if report.cancellations == 0 {
+            eprintln!("chaos lane observed zero cancellations — deadlines never fired?");
+            std::process::exit(1);
+        }
+        if !report.is_clean() {
             std::process::exit(1);
         }
         return;

@@ -22,18 +22,24 @@
 //! * [`planquality`] — the estimate-vs-actual harness: measures real
 //!   per-operator cardinalities (filtered scans, join steps) against the
 //!   planner's estimates and aggregates q-error distributions, gating the
-//!   histogram/MCV statistics the greedy join order depends on.
+//!   histogram/MCV statistics the greedy join order depends on;
+//! * [`chaos`] — the robustness lane: replays seeded queries under seeded
+//!   storage-fault and cancellation schedules, asserting every run is
+//!   bit-identical to its fault-free baseline or a typed retryable error,
+//!   with zero leaked spill claims, pins or temp files afterwards.
 //!
 //! The `conformance` binary runs an arbitrary-size fuzz budget; the crate's
 //! integration tests run a fixed suite (100+ queries) plus golden-file
 //! checks pinning TPC-H Q1/Q3/Q10 results.
 
 pub mod canon;
+pub mod chaos;
 pub mod genquery;
 pub mod planquality;
 pub mod runner;
 
 pub use canon::{canonicalize, compare, CanonicalResult, Mismatch};
+pub use chaos::{run_chaos_suite, ChaosFailure, ChaosReport, CHAOS_BUDGET_PAGES, CHAOS_THREADS};
 pub use genquery::{query_for_seed, replay_seed, scan_query_for_seed, QueryGenerator, RandomQuery};
 pub use planquality::{measure_actuals, q_error, CardSample, QualityReport};
 pub use runner::{

@@ -13,7 +13,7 @@ use hique_dsm::DsmDatabase;
 use hique_iter::ExecMode;
 use hique_plan::{plan_query, CatalogProvider, PhysicalPlan, PlannerConfig};
 use hique_storage::Catalog;
-use hique_types::{HiqueError, QueryResult};
+use hique_types::{CancelToken, HiqueError, QueryResult};
 
 use crate::canon::{canonicalize, compare, CanonicalResult, Mismatch};
 use crate::genquery::{QueryGenerator, RandomQuery};
@@ -64,11 +64,35 @@ pub fn run_engine(
     catalog: &Catalog,
     dsm: &DsmDatabase,
 ) -> Result<QueryResult, HiqueError> {
+    run_engine_cancellable(engine, plan, catalog, dsm, CancelToken::disabled())
+}
+
+/// Execute a shared plan on one engine under a cancellation token — the
+/// entry point the chaos lane uses to fuzz cooperative cancellation through
+/// every engine mode.
+pub fn run_engine_cancellable(
+    engine: EngineId,
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    dsm: &DsmDatabase,
+    cancel: CancelToken,
+) -> Result<QueryResult, HiqueError> {
     match engine {
-        EngineId::IterGeneric => hique_iter::execute_plan(plan, catalog, ExecMode::Generic),
-        EngineId::IterOptimized => hique_iter::execute_plan(plan, catalog, ExecMode::Optimized),
-        EngineId::Dsm => hique_dsm::execute_plan(plan, dsm),
-        EngineId::Holistic => hique_holistic::execute_plan(plan, catalog),
+        EngineId::IterGeneric => {
+            hique_iter::execute_plan_cancellable(plan, catalog, ExecMode::Generic, true, cancel)
+        }
+        EngineId::IterOptimized => {
+            hique_iter::execute_plan_cancellable(plan, catalog, ExecMode::Optimized, true, cancel)
+        }
+        EngineId::Dsm => hique_dsm::execute_plan_cancellable(plan, dsm, cancel),
+        EngineId::Holistic => {
+            let generated = hique_holistic::generate(plan)?;
+            let options = hique_holistic::ExecOptions {
+                cancel,
+                ..Default::default()
+            };
+            generated.execute_with(catalog, &options)
+        }
     }
 }
 

@@ -13,7 +13,8 @@ use hique_pipeline::SpillContext;
 use hique_plan::{AggAlgorithm, JoinAlgorithm, StagingStrategy};
 use hique_storage::Catalog;
 use hique_types::{
-    result::finalize_rows, ExecStats, HiqueError, PhaseTimings, QueryResult, Result, Row, Value,
+    result::finalize_rows, CancelToken, ExecStats, HiqueError, PhaseTimings, QueryResult, Result,
+    Row, Value,
 };
 
 use crate::generator::{GeneratedQuery, OutputKernel};
@@ -23,10 +24,10 @@ use crate::join::{
 use crate::kernel::CompiledKey;
 use crate::relation::StagedRelation;
 use crate::spill::StagedSlot;
-use crate::staging::{stage_table_pooled, StagedInput};
+use crate::staging::{stage_table_cancellable, StagedInput};
 
 /// Execution options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// When `false`, the final result rows are not materialized — the
     /// executor only counts them (`stats.rows_out`), mirroring the paper's
@@ -45,6 +46,10 @@ pub struct ExecOptions {
     /// join temporaries above a fraction of the budget are written through
     /// the catalog's buffer pool and reloaded on use (DESIGN.md §9).
     pub memory_budget_pages: usize,
+    /// Cooperative cancellation token, polled at page-granularity points
+    /// (heap-scan pages, join steps, partition-stream pulls, spill-admission
+    /// waits).  The default disabled token never fires (DESIGN.md §12).
+    pub cancel: CancelToken,
 }
 
 impl Default for ExecOptions {
@@ -53,6 +58,7 @@ impl Default for ExecOptions {
             collect_rows: true,
             threads: 0,
             memory_budget_pages: 0,
+            cancel: CancelToken::disabled(),
         }
     }
 }
@@ -127,12 +133,18 @@ pub fn execute(
     } else {
         options.memory_budget_pages
     };
+    let cancel = &options.cancel;
     let spill_ctx: Option<SpillContext> = match (budget_pages, catalog.storage()) {
-        (pages, Some(runtime)) if pages > 0 => Some(SpillContext::acquire(runtime.temp(), pages)?),
+        (pages, Some(runtime)) if pages > 0 => Some(SpillContext::acquire_cancellable(
+            runtime.temp(),
+            pages,
+            cancel.clone(),
+        )?),
         _ => None,
     };
     let spill = spill_ctx.as_ref();
     let io_base = catalog.pool_stats();
+    let faults_base = catalog.faults_injected();
     // Per-execution residency window: peak_resident_pages reports this
     // run's high-water, not the pool's lifetime maximum — and concurrent
     // executions each hold their own window.
@@ -142,8 +154,10 @@ pub fn execute(
     let t0 = Instant::now();
     let mut staged: Vec<Option<StagedSlot>> = (0..plan.staged.len()).map(|_| None).collect();
     for &t in &plan.join_order {
+        cancel.check()?;
         let info = catalog.table(&plan.staged[t].table_name)?;
-        let input = stage_table_pooled(&info.heap, &plan.staged[t], &mut stats, &pool)?;
+        let input =
+            stage_table_cancellable(&info.heap, &plan.staged[t], &mut stats, &pool, cancel)?;
         staged[t] = Some(StagedSlot::stage(input, spill)?);
     }
     timings.record("staging", t0.elapsed());
@@ -220,6 +234,7 @@ pub fn execute(
         };
 
         for (i, step) in plan.joins.iter().enumerate() {
+            cancel.check()?;
             let current = current_slot.into_input(spill)?;
             let right_desc = &plan.staged[step.right];
             let right = staged[step.right]
@@ -346,6 +361,7 @@ pub fn execute(
     let mut rows: Vec<Row> = Vec::new();
     if let Some(spec) = &plan.aggregate {
         let t2 = Instant::now();
+        cancel.check()?;
         let compiled = generated
             .aggregation
             .as_ref()
@@ -433,6 +449,7 @@ pub fn execute(
         // Non-aggregate single-table (or materialized) result: run the
         // output kernels over every record.
         let t3 = Instant::now();
+        cancel.check()?;
         if slot.is_spilled() {
             // Page-at-a-time: decode straight off pinned pool pages, one
             // page resident at a time — the spilled relation is never
@@ -494,6 +511,7 @@ pub fn execute(
         stats.spill_consumer_peak_pages = ctx.meter().peak() as u64;
     }
     stats.peak_resident_pages = peak_window.map(|w| w.end() as u64).unwrap_or(0);
+    stats.faults_injected = catalog.faults_injected().saturating_sub(faults_base);
 
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
@@ -933,6 +951,53 @@ mod tests {
         assert!(second.stats.spilled_temporaries > 0, "budget still honored");
         assert!(second.stats.peak_resident_pages <= BUDGET as u64);
         assert_eq!(second.rows, unbounded.rows, "results unchanged by the wait");
+    }
+
+    #[test]
+    fn cancelled_execution_surfaces_a_typed_error_not_a_panic() {
+        let cat = catalog();
+        let q = hique_sql::parse_query("select r.v, s.w from r, s where r.k = s.k").unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        let plan = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
+        let generated = generate(&plan).unwrap();
+        // Pre-cancelled token: the execution stops at the first check point.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = generated
+            .execute_with(
+                &cat,
+                &ExecOptions {
+                    cancel,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HiqueError::Cancelled(_)), "{err}");
+        assert!(err.is_retryable());
+        // An expired deadline behaves the same; a generous one is inert.
+        let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err = generated
+            .execute_with(
+                &cat,
+                &ExecOptions {
+                    cancel: expired,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HiqueError::Cancelled(_)), "{err}");
+        let generous = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let ok = generated
+            .execute_with(
+                &cat,
+                &ExecOptions {
+                    cancel: generous,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(ok.stats.cancelled, 0);
+        assert_eq!(ok.stats.faults_injected, 0);
     }
 
     #[test]

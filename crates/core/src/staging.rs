@@ -14,7 +14,7 @@ use std::ops::Range;
 use hique_par::{chunk_ranges, ScopedPool};
 use hique_plan::{StagedTable, StagingStrategy};
 use hique_storage::TableHeap;
-use hique_types::{ExecStats, Result};
+use hique_types::{CancelToken, ExecStats, Result};
 
 use crate::kernel::{CompiledFilter, CompiledKey, CompiledProjection};
 use crate::relation::{merge_sorted_runs, StagedRelation};
@@ -56,6 +56,9 @@ struct ScanKernels {
     filters: Vec<CompiledFilter>,
     projection: CompiledProjection,
     tuple_size: usize,
+    /// Checked once per heap page, so a cancelled execution stops mid-scan
+    /// at the next page boundary (each worker observes the shared token).
+    cancel: CancelToken,
 }
 
 impl ScanKernels {
@@ -76,6 +79,7 @@ impl ScanKernels {
         let mut buf = vec![0u8; self.projection.output_width()];
         // loop over pages / loop over tuples (Listing 1).
         for p in pages {
+            self.cancel.check()?;
             let page = heap.page_guard(p)?;
             'tuples: for record in page.records() {
                 stats.add_tuple(self.tuple_size);
@@ -125,6 +129,18 @@ pub fn stage_table_pooled(
     stats: &mut ExecStats,
     pool: &ScopedPool,
 ) -> Result<StagedInput> {
+    stage_table_cancellable(heap, staged, stats, pool, &CancelToken::disabled())
+}
+
+/// [`stage_table_pooled`] under a cancellation token, checked once per heap
+/// page by every scan worker.
+pub fn stage_table_cancellable(
+    heap: &TableHeap,
+    staged: &StagedTable,
+    stats: &mut ExecStats,
+    pool: &ScopedPool,
+    cancel: &CancelToken,
+) -> Result<StagedInput> {
     let base_schema = heap.schema();
     let kernels = ScanKernels {
         filters: staged
@@ -134,6 +150,7 @@ pub fn stage_table_pooled(
             .collect::<Result<_>>()?,
         projection: CompiledProjection::compile(base_schema, &staged.keep),
         tuple_size: base_schema.tuple_size(),
+        cancel: cancel.clone(),
     };
     let out_schema = staged.schema.clone();
     let out_width = kernels.projection.output_width();

@@ -24,8 +24,8 @@ use hique_sql::analyze::{ColumnFilter, OutputExpr, ScalarExpr};
 use hique_sql::ast::{AggFunc, BinOp};
 use hique_storage::SpillHandle;
 use hique_types::{
-    result::finalize_rows, DataType, ExecStats, HiqueError, PhaseTimings, QueryResult, Result, Row,
-    Value,
+    result::finalize_rows, CancelToken, DataType, ExecStats, HiqueError, PhaseTimings, QueryResult,
+    Result, Row, Value,
 };
 
 use crate::column::{ColumnData, ColumnStore, DsmDatabase};
@@ -77,6 +77,7 @@ impl U32Slot {
                 let _resident = ctx.meter().track(h.pages);
                 let mut out = Vec::with_capacity(h.records);
                 for i in 0..h.pages {
+                    ctx.cancel().check()?;
                     let page = ctx.temp().page_guard(h, i)?;
                     for rec in page.data().chunks_exact(4) {
                         out.push(u32::from_le_bytes(rec.try_into().expect("4-byte record")));
@@ -90,16 +91,36 @@ impl U32Slot {
 
 /// Execute a physical plan with the DSM engine.
 pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult> {
+    execute_plan_cancellable(plan, db, CancelToken::disabled())
+}
+
+/// [`execute_plan`] under a cancellation token, polled between column
+/// operators (filter applications, join steps, gathers) and at every
+/// spilled-vector page pull.
+pub fn execute_plan_cancellable(
+    plan: &PhysicalPlan,
+    db: &DsmDatabase,
+    cancel: CancelToken,
+) -> Result<QueryResult> {
     let mut stats = ExecStats::new();
     let mut timings = PhaseTimings::new();
     let started = Instant::now();
     let pool = ScopedPool::new(plan.threads);
     let spill_ctx: Option<SpillContext> = match (plan.memory_budget_pages, db.temp()) {
-        (pages, Some(temp)) if pages > 0 => Some(SpillContext::acquire(temp, pages)?),
+        (pages, Some(temp)) if pages > 0 => Some(SpillContext::acquire_cancellable(
+            temp,
+            pages,
+            cancel.clone(),
+        )?),
         _ => None,
     };
     let spill = spill_ctx.as_ref();
     let io_base = db.pool_stats();
+    let faults_base = db
+        .pool()
+        .and_then(|p| p.fault_plan())
+        .map(|plan| plan.injected())
+        .unwrap_or(0);
     // Per-execution residency window: peak_resident_pages reports this
     // run's high-water, not the pool's lifetime maximum — and concurrent
     // executions each hold their own window.
@@ -126,8 +147,10 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
     let mut selections: Vec<Vec<u32>> = Vec::with_capacity(stores.len());
     for (t, store) in stores.iter().enumerate() {
         stats.add_calls(1);
+        cancel.check()?;
         let mut sel: Vec<u32> = (0..store.rows as u32).collect();
         for f in plan.staged[t].filters.iter() {
+            cancel.check()?;
             sel = apply_filter(store, f, &sel, &pool, &mut stats)?;
         }
         stats.add_materialized(sel.len() * 4);
@@ -172,6 +195,7 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
 
     for step in &steps {
         stats.add_calls(1);
+        cancel.check()?;
         let right_table = step.right;
         let right_base_col = plan.staged[right_table].keep[step.right_key];
         // For join teams the left key column lives in the first member's
@@ -286,6 +310,7 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
     let mut rows: Vec<Row> = Vec::new();
     if let Some(spec) = &plan.aggregate {
         stats.add_calls(1);
+        cancel.check()?;
         // Materialize group-key columns and aggregate argument vectors.
         let mut group_cols: Vec<(ColumnData, DataType)> = Vec::new();
         for &g in &spec.group_columns {
@@ -383,6 +408,7 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
     } else {
         // Non-aggregate output: materialize each output column, then zip.
         stats.add_calls(1);
+        cancel.check()?;
         let mut out_cols: Vec<(ColumnData, DataType)> = Vec::new();
         for (o, col) in plan.output.iter().zip(plan.output_schema.columns()) {
             out_cols.push(match o {
@@ -416,6 +442,12 @@ pub fn execute_plan(plan: &PhysicalPlan, db: &DsmDatabase) -> Result<QueryResult
         stats.spill_consumer_peak_pages = ctx.meter().peak() as u64;
     }
     stats.peak_resident_pages = peak_window.map(|w| w.end() as u64).unwrap_or(0);
+    stats.faults_injected = db
+        .pool()
+        .and_then(|p| p.fault_plan())
+        .map(|plan| plan.injected())
+        .unwrap_or(0)
+        .saturating_sub(faults_base);
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
         rows,
@@ -673,6 +705,28 @@ mod tests {
             let io = budgeted.stats.io;
             assert!(io.pool_hits + io.pool_misses > 0, "no pool traffic");
         }
+    }
+
+    #[test]
+    fn cancelled_dsm_execution_surfaces_a_typed_error() {
+        let cat = catalog();
+        let sql = "select r.k, sum(r.v) as sv from r, s where r.k = s.k group by r.k";
+        let q = hique_sql::parse_query(sql).unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        let plan = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
+        let db = DsmDatabase::from_catalog(&cat).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = execute_plan_cancellable(&plan, &db, cancel).unwrap_err();
+        assert!(matches!(err, HiqueError::Cancelled(_)), "{err}");
+        let ok = execute_plan_cancellable(
+            &plan,
+            &db,
+            CancelToken::with_deadline(std::time::Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(ok.stats.cancelled, 0);
+        assert_eq!(ok.stats.faults_injected, 0);
     }
 
     #[test]

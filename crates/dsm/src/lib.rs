@@ -20,4 +20,4 @@ pub mod column;
 pub mod exec;
 
 pub use column::{ColumnData, ColumnStore, DsmDatabase};
-pub use exec::execute_plan;
+pub use exec::{execute_plan, execute_plan_cancellable};

@@ -7,7 +7,9 @@ use hique_par::ScopedPool;
 use hique_pipeline::SpillContext;
 use hique_plan::{AggAlgorithm, JoinAlgorithm, PhysicalPlan, StagingStrategy};
 use hique_storage::Catalog;
-use hique_types::{result::finalize_rows, HiqueError, PhaseTimings, QueryResult, Result};
+use hique_types::{
+    result::finalize_rows, CancelToken, HiqueError, PhaseTimings, QueryResult, Result,
+};
 
 use crate::agg::{AggStrategy, AggregateIterator};
 use crate::iterator::{ExecContext, ExecMode, QueryIterator};
@@ -35,6 +37,19 @@ pub fn execute_plan_with(
     mode: ExecMode,
     collect_rows: bool,
 ) -> Result<QueryResult> {
+    execute_plan_cancellable(plan, catalog, mode, collect_rows, CancelToken::disabled())
+}
+
+/// [`execute_plan_with`] under a cancellation token, polled at the engine's
+/// page-granularity points (scan page fetches, spilled partition pulls,
+/// spill-admission waits, output batches).
+pub fn execute_plan_cancellable(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    mode: ExecMode,
+    collect_rows: bool,
+    cancel: CancelToken,
+) -> Result<QueryResult> {
     // The blocking operators (sort runs, partition scatters) honor the
     // plan's worker count through the shared substrate's deterministic
     // fan-out, so `threads = 1 ≡ threads = N` holds for this engine too.
@@ -42,17 +57,20 @@ pub fn execute_plan_with(
     // Under a memory budget on a paged catalog, sort runs and hash
     // partitions above the threshold spill through the buffer pool (the
     // same size-only policy as the holistic engine).
-    let spill: Option<Rc<SpillContext>> = match (plan.memory_budget_pages, catalog.storage()) {
-        (pages, Some(runtime)) if pages > 0 => {
-            Some(Rc::new(SpillContext::acquire(runtime.temp(), pages)?))
-        }
-        _ => None,
-    };
+    let spill: Option<Rc<SpillContext>> =
+        match (plan.memory_budget_pages, catalog.storage()) {
+            (pages, Some(runtime)) if pages > 0 => Some(Rc::new(
+                SpillContext::acquire_cancellable(runtime.temp(), pages, cancel.clone())?,
+            )),
+            _ => None,
+        };
     let ctx = ExecContext::new(mode)
         .with_pool(pool)
-        .with_spill(spill.clone());
+        .with_spill(spill.clone())
+        .with_cancel(cancel.clone());
     let started = Instant::now();
     let io_base = catalog.pool_stats();
+    let faults_base = catalog.faults_injected();
     // Per-execution residency window: peak_resident_pages reports this
     // run's high-water, not the pool's lifetime maximum — and concurrent
     // executions each hold their own window.
@@ -202,6 +220,11 @@ pub fn execute_plan_with(
     let mut counted: u64 = 0;
     let keep_rows = collect_rows || plan.aggregate.is_some();
     while let Some(row) = output.next()? {
+        // One check per page-sized batch of output rows keeps deadline
+        // tokens (which read the clock) off the per-tuple path.
+        if counted.is_multiple_of(256) {
+            cancel.check()?;
+        }
         counted += 1;
         if keep_rows {
             rows.push(row);
@@ -227,6 +250,7 @@ pub fn execute_plan_with(
         stats.spill_consumer_peak_pages = spill.meter().peak() as u64;
     }
     stats.peak_resident_pages = peak_window.map(|w| w.end() as u64).unwrap_or(0);
+    stats.faults_injected = catalog.faults_injected().saturating_sub(faults_base);
     Ok(QueryResult {
         schema: plan.output_schema.clone(),
         rows,
@@ -489,6 +513,29 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cancelled_iterator_execution_surfaces_a_typed_error() {
+        let cat = catalog();
+        let q = hique_sql::parse_query("select r.v, s.w from r, s where r.k = s.k").unwrap();
+        let bound = hique_sql::analyze(&q, &CatalogProvider::new(&cat)).unwrap();
+        let plan = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
+        for mode in [ExecMode::Generic, ExecMode::Optimized] {
+            let cancel = CancelToken::new();
+            cancel.cancel();
+            let err = execute_plan_cancellable(&plan, &cat, mode, true, cancel).unwrap_err();
+            assert!(matches!(err, HiqueError::Cancelled(_)), "{mode:?}: {err}");
+            let ok = execute_plan_cancellable(
+                &plan,
+                &cat,
+                mode,
+                true,
+                CancelToken::with_deadline(std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+            assert_eq!(ok.stats.cancelled, 0, "{mode:?}");
         }
     }
 

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use hique_par::ScopedPool;
 use hique_pipeline::SpillContext;
-use hique_types::{ExecStats, Result, Row, Schema};
+use hique_types::{CancelToken, ExecStats, Result, Row, Schema};
 
 /// How "generic" the iterator implementations behave.
 ///
@@ -39,6 +39,9 @@ pub struct ExecContext {
     /// runs in paged mode: sort runs and hash-partitioned join inputs above
     /// the size threshold go through the buffer pool.
     spill: Option<Rc<SpillContext>>,
+    /// Cooperative cancellation, polled at page boundaries (scan page
+    /// fetches, spilled partition pulls, output batches).
+    cancel: CancelToken,
 }
 
 impl std::fmt::Debug for ExecContext {
@@ -59,6 +62,7 @@ impl ExecContext {
             stats: Rc::new(RefCell::new(ExecStats::new())),
             pool: ScopedPool::serial(),
             spill: None,
+            cancel: CancelToken::disabled(),
         }
     }
 
@@ -72,6 +76,23 @@ impl ExecContext {
     pub fn with_spill(mut self, spill: Option<Rc<SpillContext>>) -> Self {
         self.spill = spill;
         self
+    }
+
+    /// Observe `cancel` at the engine's page-granularity check points.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The cancellation token this execution observes.
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Cooperative cancellation check point.
+    #[inline]
+    pub fn check_cancel(&self) -> Result<()> {
+        self.cancel.check()
     }
 
     /// The execution mode.

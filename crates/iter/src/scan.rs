@@ -60,6 +60,7 @@ impl QueryIterator for ScanIterator<'_> {
                 if self.page >= self.heap.num_pages() {
                     return Ok(None);
                 }
+                self.ctx.check_cancel()?;
                 self.current = Some(self.heap.page_guard(self.page)?);
             }
             // Decode (copying) before advancing, so the record borrow from

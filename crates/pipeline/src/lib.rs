@@ -32,7 +32,7 @@ use hique_par::ScopedPool;
 use hique_storage::{
     records_per_page, SpillHandle, SpillNamespace, TempSpace, PAGE_HEADER_SIZE, PAGE_SIZE,
 };
-use hique_types::{HiqueError, Result};
+use hique_types::{CancelToken, HiqueError, Result};
 
 /// Bytes of record data one spill page holds.
 pub fn page_data_bytes() -> usize {
@@ -118,6 +118,7 @@ pub struct SpillContext {
     spilled: AtomicU64,
     denied: bool,
     meter: ResidencyMeter,
+    cancel: CancelToken,
 }
 
 impl SpillContext {
@@ -126,14 +127,33 @@ impl SpillContext {
     /// — big enough that small queries stay memory-resident, small enough
     /// that anything actually pressuring the budget goes to the pool.
     pub fn acquire(temp: &Arc<TempSpace>, budget_pages: usize) -> Result<Self> {
-        let (space, denied) = temp.claim()?;
+        Self::acquire_cancellable(temp, budget_pages, CancelToken::disabled())
+    }
+
+    /// [`SpillContext::acquire`] under a cancellation token.  The admission
+    /// wait observes the token (a query queued for a spill slot cancels
+    /// within its deadline instead of blocking out the 30 s claim timeout),
+    /// and every spilled page pull through this context re-checks it, so a
+    /// cancelled execution stops at the next page boundary.
+    pub fn acquire_cancellable(
+        temp: &Arc<TempSpace>,
+        budget_pages: usize,
+        cancel: CancelToken,
+    ) -> Result<Self> {
+        let (space, denied) = temp.claim_cancellable(&cancel)?;
         Ok(SpillContext {
             space,
             threshold_bytes: budget_pages.saturating_mul(page_data_bytes()) / 4,
             spilled: AtomicU64::new(0),
             denied,
             meter: ResidencyMeter::new(),
+            cancel,
         })
+    }
+
+    /// The cancellation token this execution observes.
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// 1 when this execution's claim was initially denied and had to queue
@@ -263,6 +283,7 @@ impl<'a> PartitionStream<'a> {
             }
             Source::Spilled { ctx, handle } => {
                 for i in 0..handle.pages {
+                    ctx.cancel.check()?;
                     let guard = ctx.space.page_guard(handle, i)?;
                     let _resident = ctx.meter.track(1);
                     f(guard.data());
@@ -303,6 +324,7 @@ impl<'a> PartitionStream<'a> {
                 let expect = handle.records * handle.tuple_size;
                 let mut out = Vec::with_capacity(expect);
                 for i in 0..handle.pages {
+                    ctx.cancel.check()?;
                     let guard = ctx.space.page_guard(handle, i)?;
                     out.extend_from_slice(guard.data());
                 }
@@ -514,6 +536,41 @@ mod tests {
             let par = set.map_pooled(&ScopedPool::new(threads), |i, s| (i, s.num_records()));
             assert_eq!(par, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn cancelled_context_stops_spilled_pulls_at_a_page_boundary() {
+        let (temp, _pool, path) = temp_space("cancel", 4);
+        let cancel = CancelToken::new();
+        let ctx = SpillContext::acquire_cancellable(&temp, 1, cancel.clone()).expect("space free");
+        let buf = packed(2000, 16);
+        let handle = ctx.spill(&buf, 16).unwrap();
+        assert!(handle.pages > 2);
+
+        let stream = PartitionStream::spilled(&ctx, handle);
+        // Cancel after the second page: the stream surfaces a typed
+        // Cancelled error instead of finishing (or panicking), and the
+        // residency meter unwinds to zero.
+        let mut pages_seen = 0usize;
+        let err = stream
+            .for_each_page(|_| {
+                pages_seen += 1;
+                if pages_seen == 2 {
+                    cancel.cancel();
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, HiqueError::Cancelled(_)), "{err}");
+        assert_eq!(pages_seen, 2, "stops at the next page boundary");
+        assert_eq!(ctx.meter().current(), 0);
+        assert!(matches!(
+            stream.gather().unwrap_err(),
+            HiqueError::Cancelled(_)
+        ));
+        // Memory streams of an un-cancelled context are unaffected.
+        let free = SpillContext::acquire(&temp, 1).unwrap();
+        assert!(free.cancel().check().is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -333,6 +333,8 @@ mod tests {
         stats.peak_resident_pages = 30;
         stats.spilled_temporaries = 4;
         stats.spill_claim_denied = 1;
+        stats.cancelled = 1;
+        stats.faults_injected = 2;
         let text = explain_with_stats(&plan, &PlanActuals::unknown(&plan), &stats);
         assert!(text.contains("memory budget: 32 pages"), "{text}");
         assert!(
@@ -343,6 +345,10 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("execution:"), "{text}");
+        // The robustness counters flow through the execution line, so a
+        // server-side `.stats` (or a replayed chaos run) shows them.
+        assert!(text.contains("cancelled=1"), "{text}");
+        assert!(text.contains("faults_injected=2"), "{text}");
         // An unbudgeted plan renders no budget line.
         let unbounded = plan_query(&bound, &cat, &PlannerConfig::default()).unwrap();
         assert!(!explain(&unbounded).contains("memory budget"));

@@ -1,12 +1,16 @@
 //! Server and session: concurrent query execution over one shared catalog.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use hique_dsm::DsmDatabase;
+use hique_holistic::ExecOptions;
 use hique_plan::{plan_query, shape_class, shape_key, CatalogProvider, PlannerConfig};
 use hique_storage::Catalog;
-use hique_types::{HiqueError, QueryResult, Result};
+use hique_types::{CancelToken, HiqueError, QueryResult, Result};
+use parking_lot::Mutex;
 
 use crate::cache::{CacheStats, PlanCache, PreparedQuery};
 
@@ -96,6 +100,25 @@ pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
     session_seq: AtomicU64,
     queries_served: AtomicU64,
+    queries_cancelled: AtomicU64,
+    /// Cancellation tokens of queries currently executing, keyed by session
+    /// id (one in-flight statement per session).  [`Server::cancel_all`]
+    /// fires every one of them, which is how drain-on-shutdown stops
+    /// in-flight work without tearing connections down mid-response.
+    inflight: Mutex<HashMap<u64, CancelToken>>,
+}
+
+/// RAII registration of one executing query's token in the server's
+/// in-flight table; removed even when execution unwinds through `?`.
+struct InflightGuard {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.shared.inflight.lock().remove(&self.id);
+    }
 }
 
 /// A long-lived query service: one catalog + buffer pool + plan cache,
@@ -133,17 +156,35 @@ impl Server {
                 config,
                 session_seq: AtomicU64::new(0),
                 queries_served: AtomicU64::new(0),
+                queries_cancelled: AtomicU64::new(0),
+                inflight: Mutex::new(HashMap::new()),
             }),
         })
     }
 
-    /// Open a session (default engine: holistic).
+    /// Open a session (default engine: holistic, no statement timeout).
     pub fn session(&self) -> Session {
         Session {
             shared: Arc::clone(&self.shared),
             id: self.shared.session_seq.fetch_add(1, Ordering::Relaxed),
             engine: Engine::Holistic,
+            timeout: None,
         }
+    }
+
+    /// Cancel every query currently executing (drain-on-shutdown): each
+    /// in-flight statement stops at its next cooperative check point and
+    /// surfaces a typed `cancelled` error to its client.
+    pub fn cancel_all(&self) {
+        for token in self.shared.inflight.lock().values() {
+            token.cancel();
+        }
+    }
+
+    /// Queries that ended in cooperative cancellation (deadline or
+    /// [`Server::cancel_all`]) since startup.
+    pub fn queries_cancelled(&self) -> u64 {
+        self.shared.queries_cancelled.load(Ordering::Relaxed)
     }
 
     /// The shared catalog.
@@ -174,6 +215,10 @@ pub struct Session {
     shared: Arc<Shared>,
     id: u64,
     engine: Engine,
+    /// Per-statement deadline (`.timeout` wire command); `None` means no
+    /// deadline, though the statement's token still observes
+    /// [`Server::cancel_all`].
+    timeout: Option<Duration>,
 }
 
 impl Session {
@@ -190,6 +235,16 @@ impl Session {
     /// Select the engine for subsequent [`Session::execute`] calls.
     pub fn set_engine(&mut self, engine: Engine) {
         self.engine = engine;
+    }
+
+    /// Set (or with `None` clear) the per-statement execution deadline.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// The current per-statement deadline.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
     }
 
     /// Prepare `sql` through the shared cache: returns the prepared
@@ -220,24 +275,66 @@ impl Session {
     }
 
     /// Prepare (through the cache) and execute on an explicit engine.
+    ///
+    /// The statement runs under a live [`CancelToken`] — with the session's
+    /// deadline when one is set — registered in the server's in-flight
+    /// table for the duration, so [`Server::cancel_all`] reaches it.  A
+    /// cancelled statement returns the typed [`HiqueError::Cancelled`] and
+    /// is counted in [`Server::queries_cancelled`]; its claims, pins and
+    /// temp files unwind through the ordinary error path.
     pub fn execute_on(&mut self, sql: &str, engine: Engine) -> Result<QueryResult> {
         let (prepared, _hit) = self.prepare(sql)?;
+        let cancel = match self.timeout {
+            Some(timeout) => CancelToken::with_deadline(timeout),
+            None => CancelToken::new(),
+        };
+        let _inflight = {
+            self.shared.inflight.lock().insert(self.id, cancel.clone());
+            InflightGuard {
+                shared: Arc::clone(&self.shared),
+                id: self.id,
+            }
+        };
         let result = match engine {
-            Engine::Holistic => prepared.generated.execute(&self.shared.catalog)?,
-            Engine::IterGeneric => hique_iter::execute_plan(
+            Engine::Holistic => prepared.generated.execute_with(
+                &self.shared.catalog,
+                &ExecOptions {
+                    cancel: cancel.clone(),
+                    ..ExecOptions::default()
+                },
+            ),
+            Engine::IterGeneric => hique_iter::execute_plan_cancellable(
                 prepared.plan(),
                 &self.shared.catalog,
                 hique_iter::ExecMode::Generic,
-            )?,
-            Engine::IterOptimized => hique_iter::execute_plan(
+                true,
+                cancel.clone(),
+            ),
+            Engine::IterOptimized => hique_iter::execute_plan_cancellable(
                 prepared.plan(),
                 &self.shared.catalog,
                 hique_iter::ExecMode::Optimized,
-            )?,
-            Engine::Dsm => hique_dsm::execute_plan(prepared.plan(), &self.shared.dsm)?,
+                true,
+                cancel.clone(),
+            ),
+            Engine::Dsm => {
+                hique_dsm::execute_plan_cancellable(prepared.plan(), &self.shared.dsm, cancel)
+            }
         };
-        self.shared.queries_served.fetch_add(1, Ordering::Relaxed);
-        Ok(result)
+        match result {
+            Ok(result) => {
+                self.shared.queries_served.fetch_add(1, Ordering::Relaxed);
+                Ok(result)
+            }
+            Err(e) => {
+                if matches!(e, HiqueError::Cancelled(_)) {
+                    self.shared
+                        .queries_cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
     }
 }
 

@@ -20,6 +20,7 @@ use hique_types::{HiqueError, IoStats, Result};
 use parking_lot::Mutex;
 
 use crate::disk::DiskManager;
+use crate::fault::FaultPlan;
 use crate::page::Page;
 
 /// Identifier of a file registered with a [`BufferPool`].
@@ -69,6 +70,10 @@ struct PoolState {
     /// a single shared watermark.
     windows: HashMap<u64, usize>,
     next_window: u64,
+    /// Fault-injection schedule shared by every registered file; installed
+    /// into each [`DiskManager`] at registration and on
+    /// [`BufferPool::set_fault_plan`].
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 /// A fixed-capacity LRU cache of disk pages.
@@ -137,18 +142,38 @@ impl BufferPool {
                 peak_resident: 0,
                 windows: HashMap::new(),
                 next_window: 0,
+                fault_plan: None,
             }),
         })
     }
 
     /// Register a disk file with the pool, returning the handle used in
-    /// [`PageId`]s.
+    /// [`PageId`]s.  A file registered while a fault plan is installed
+    /// inherits it — per-claim spill files join the same schedule as the
+    /// base tables.
     pub fn register_file(&self, disk: Arc<DiskManager>) -> FileId {
         let mut s = self.state.lock();
         let id = s.next_file;
         s.next_file += 1;
+        disk.set_fault_plan(s.fault_plan.clone());
         s.files.insert(id, disk);
         id
+    }
+
+    /// Install (or clear, with `None`) a fault-injection schedule on every
+    /// registered file, base tables and spill namespaces alike; files
+    /// registered later inherit the plan too.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        let mut s = self.state.lock();
+        s.fault_plan = plan.clone();
+        for disk in s.files.values() {
+            disk.set_fault_plan(plan.clone());
+        }
+    }
+
+    /// The fault-injection schedule currently installed, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.state.lock().fault_plan.clone()
     }
 
     /// Maximum number of resident frames.
@@ -164,6 +189,19 @@ impl BufferPool {
     /// Number of pages currently resident.
     pub fn resident(&self) -> usize {
         self.state.lock().frames.len()
+    }
+
+    /// Number of frames with a non-zero pin count.  A quiesced pool (no
+    /// query running) must report zero — the chaos harness asserts this
+    /// after every faulted or cancelled execution to prove pins cannot leak
+    /// through error paths.
+    pub fn pinned_frames(&self) -> usize {
+        self.state
+            .lock()
+            .frames
+            .values()
+            .filter(|f| f.pin_count > 0)
+            .count()
     }
 
     /// Lifetime high-water mark of resident frames (since pool creation).
@@ -387,6 +425,8 @@ impl BufferPool {
             let page = s.frames[&id].page.clone();
             disk.write_page(id.page as usize, &page)?;
             s.stats.pages_written += 1;
+            // Deliberately infallible: `id` came from iterating `frames`
+            // under the same lock, so the entry cannot have vanished.
             s.frames.get_mut(&id).expect("frame exists").dirty = false;
         }
         Ok(())
@@ -407,6 +447,8 @@ impl BufferPool {
         else {
             return Ok(false);
         };
+        // Deliberately infallible: `victim` was selected from `frames`
+        // under the same lock held across both statements.
         let frame = s.frames.remove(&victim).expect("victim exists");
         if frame.dirty {
             let Some(disk) = s.files.get(&victim.file).cloned() else {
@@ -439,6 +481,8 @@ impl PeakWindow<'_> {
     /// High-water mark of resident frames since this window opened
     /// (initially the resident count at open time).
     pub fn peak(&self) -> usize {
+        // Deliberately infallible: the entry is inserted when the window is
+        // created and removed only by this handle's Drop.
         *self
             .pool
             .state
@@ -771,6 +815,59 @@ mod tests {
         assert_eq!(pool.resident(), 0);
         std::fs::remove_file(&pa).ok();
         std::fs::remove_file(&pb).ok();
+    }
+
+    #[test]
+    fn eviction_write_back_fault_reinserts_dirty_frame_with_exact_counters() {
+        // Satellite regression: an injected write fault during eviction must
+        // re-insert the dirty frame (no silent data loss), keep every
+        // counter exact, fail the triggering fetch with a typed error, and
+        // leave the pool fully usable once the plan clears.
+        let (pool, f, path) = setup("evict_fault", 3, 1);
+        pool.write(PageId::new(f, 0), page_with(111)).unwrap();
+        assert_eq!(pool.resident(), 1);
+        let plan = Arc::new(FaultPlan::new().fail_nth_write(1));
+        pool.set_fault_plan(Some(Arc::clone(&plan)));
+        let before = pool.stats();
+        // Fetching page 1 must evict dirty page 0; the write-back fails.
+        let err = pool.fetch(PageId::new(f, 1)).unwrap_err();
+        assert!(err.message().contains("injected fault"), "{err}");
+        assert_eq!(plan.injected(), 1);
+        // The dirty frame is back in the pool, unpinned, still dirty; no
+        // eviction or page-write was counted for the failed attempt.
+        assert_eq!(pool.resident(), 1);
+        assert_eq!(pool.pinned_frames(), 0);
+        let after = pool.stats();
+        assert_eq!(after.evictions, before.evictions);
+        assert_eq!(after.pages_written, before.pages_written);
+        assert_eq!(after.pages_read, before.pages_read);
+        // Plan exhausted (one-shot): the next fetch evicts cleanly and the
+        // deferred write-back lands the dirty contents on disk.
+        let page = pool.fetch(PageId::new(f, 1)).unwrap();
+        assert_eq!(page.record(0), &1u64.to_le_bytes());
+        pool.unpin(PageId::new(f, 1)).unwrap();
+        assert_eq!(pool.stats().pages_written, before.pages_written + 1);
+        pool.set_fault_plan(None);
+        let page = pool.fetch(PageId::new(f, 0)).unwrap();
+        assert_eq!(page.record(0), &111u64.to_le_bytes());
+        pool.unpin(PageId::new(f, 0)).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_read_fault_fails_fetch_without_installing_a_frame() {
+        let (pool, f, path) = setup("read_fault", 2, 2);
+        pool.set_fault_plan(Some(Arc::new(FaultPlan::new().fail_nth_read(1))));
+        let err = pool.fetch(PageId::new(f, 0)).unwrap_err();
+        assert!(err.message().contains("injected fault"), "{err}");
+        // No half-installed frame, no pin: the pool stays consistent and
+        // serves the same page on retry.
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.pinned_frames(), 0);
+        let page = pool.fetch(PageId::new(f, 0)).unwrap();
+        assert_eq!(page.record(0), &0u64.to_le_bytes());
+        pool.unpin(PageId::new(f, 0)).unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

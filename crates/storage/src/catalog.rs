@@ -95,6 +95,19 @@ impl StorageRuntime {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+
+    /// Install (or clear) a fault-injection schedule across the whole
+    /// runtime: every registered base-table file, every future per-claim
+    /// spill file, and the spill allocator all share one plan (and one set
+    /// of operation counters).
+    pub fn install_fault_plan(&self, plan: Option<Arc<crate::fault::FaultPlan>>) {
+        self.pool.set_fault_plan(plan);
+    }
+
+    /// Faults injected by the currently installed plan (0 when none is).
+    pub fn faults_injected(&self) -> u64 {
+        self.pool.fault_plan().map(|p| p.injected()).unwrap_or(0)
+    }
 }
 
 impl Drop for StorageRuntime {
@@ -272,6 +285,9 @@ impl Catalog {
 
         // Phase two (infallible swaps): adopt the files written above.
         for (name, disk) in disks {
+            // Deliberately infallible: `disks` was built by iterating this
+            // same map in phase one, and `self` is borrowed mutably
+            // throughout, so no table was dropped in between.
             self.tables
                 .get_mut(&name)
                 .expect("table existed in phase one")
@@ -303,6 +319,17 @@ impl Catalog {
             .as_ref()
             .map(|s| s.pool.stats())
             .unwrap_or_default()
+    }
+
+    /// Faults injected by the runtime's installed fault plan so far (0 for
+    /// a memory-resident catalog or when no plan is installed).  Engines
+    /// snapshot this around an execution to fill
+    /// `ExecStats::faults_injected`.
+    pub fn faults_injected(&self) -> u64 {
+        self.storage
+            .as_ref()
+            .map(|s| s.faults_injected())
+            .unwrap_or(0)
     }
 
     /// Gather per-column statistics — distinct counts, min/max bounds, a

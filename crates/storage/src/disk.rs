@@ -10,15 +10,21 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use std::sync::Arc;
+
 use hique_types::{HiqueError, Result};
 use parking_lot::Mutex;
 
+use crate::fault::FaultPlan;
 use crate::page::{Page, PAGE_SIZE};
 
 /// Reads and writes 4 KiB pages of a single file.
 pub struct DiskManager {
     path: PathBuf,
     file: Mutex<File>,
+    /// Optional fault-injection schedule; checked before every page read and
+    /// write so scheduled failures surface exactly where real ones would.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl DiskManager {
@@ -35,7 +41,15 @@ impl DiskManager {
         Ok(DiskManager {
             path,
             file: Mutex::new(file),
+            faults: Mutex::new(None),
         })
+    }
+
+    /// Install (or clear, with `None`) a fault-injection schedule.  Usually
+    /// called through [`crate::BufferPool::set_fault_plan`], which shares one
+    /// plan across every registered file.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.lock() = plan;
     }
 
     /// Path of the backing file.
@@ -55,6 +69,9 @@ impl DiskManager {
 
     /// Write `page` as page number `page_no` (extending the file if needed).
     pub fn write_page(&self, page_no: usize, page: &Page) -> Result<()> {
+        if let Some(plan) = self.faults.lock().clone() {
+            plan.before_write(&self.path, page_no)?;
+        }
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start((page_no * PAGE_SIZE) as u64))
             .map_err(|e| HiqueError::Storage(format!("seek: {e}")))?;
@@ -65,6 +82,9 @@ impl DiskManager {
 
     /// Read page number `page_no`.
     pub fn read_page(&self, page_no: usize) -> Result<Page> {
+        if let Some(plan) = self.faults.lock().clone() {
+            plan.before_read(&self.path, page_no)?;
+        }
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start((page_no * PAGE_SIZE) as u64))
             .map_err(|e| HiqueError::Storage(format!("seek: {e}")))?;
@@ -120,6 +140,27 @@ mod tests {
         let path = temp_path("missing");
         let dm = DiskManager::open(&path).unwrap();
         assert!(dm.read_page(3).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_errors_and_clear() {
+        let path = temp_path("faults");
+        let dm = DiskManager::open(&path).unwrap();
+        let mut p = Page::new(8).unwrap();
+        p.push_record(&5u64.to_le_bytes()).unwrap();
+        dm.write_page(0, &p).unwrap();
+        let plan = Arc::new(FaultPlan::new().fail_nth_read(2).fail_nth_write(1));
+        dm.set_fault_plan(Some(Arc::clone(&plan)));
+        // Scheduled write fault fires first, and leaves the file intact.
+        let err = dm.write_page(0, &p).unwrap_err();
+        assert!(err.message().contains("injected fault"), "{err}");
+        assert!(dm.read_page(0).is_ok()); // read 1 passes
+        assert!(dm.read_page(0).is_err()); // read 2 injected
+        assert_eq!(plan.injected(), 2);
+        // Clearing the plan restores normal operation.
+        dm.set_fault_plan(None);
+        assert_eq!(dm.read_page(0).unwrap().record(0), &5u64.to_le_bytes());
         std::fs::remove_file(&path).ok();
     }
 

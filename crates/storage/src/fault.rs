@@ -1,0 +1,206 @@
+//! Deterministic storage fault injection.
+//!
+//! A [`FaultPlan`] is a seed-driven schedule of storage failures — "fail the
+//! 3rd page read", "short-read the 7th", "disk-full on the 2nd spill
+//! allocation" — installed on a [`crate::BufferPool`] (which propagates it to
+//! every registered [`crate::DiskManager`], base tables and per-claim spill
+//! files alike) so error paths become *testable*: the chaos conformance lane
+//! replays seeded queries under seeded fault plans and asserts that every
+//! injected failure surfaces as a typed error, never a panic, with zero
+//! leaked pins/claims/temp files.
+//!
+//! Every injected error message carries the `injected fault:` marker, which
+//! is how the chaos harness distinguishes scheduled failures from real bugs
+//! (and what [`hique_types::HiqueError::is_retryable`] keys on).  Operation
+//! counters are global across all files sharing one plan, so a single-
+//! threaded run hits a deterministic operation; multi-threaded runs may vary
+//! *which* operation fails, but never whether the failure is typed and
+//! leak-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hique_types::{HiqueError, Result};
+
+/// One seeded schedule of storage faults.  All triggers are 1-based ("fail
+/// the Nth operation"); `None` means the operation class never fails.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Fail the Nth page read with an I/O error.
+    fail_read: Option<u64>,
+    /// Fail the Nth page read as a short read (truncated page).
+    short_read: Option<u64>,
+    /// Fail the Nth page write with an I/O error.
+    fail_write: Option<u64>,
+    /// Fail the Nth spill allocation with disk-full.
+    disk_full: Option<u64>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    spill_allocs: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder base).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Fail the `n`th page read (1-based) with an injected I/O error.
+    pub fn fail_nth_read(mut self, n: u64) -> Self {
+        self.fail_read = Some(n.max(1));
+        self
+    }
+
+    /// Short-read the `n`th page read (1-based): the page appears truncated.
+    pub fn short_nth_read(mut self, n: u64) -> Self {
+        self.short_read = Some(n.max(1));
+        self
+    }
+
+    /// Fail the `n`th page write (1-based) with an injected I/O error.
+    pub fn fail_nth_write(mut self, n: u64) -> Self {
+        self.fail_write = Some(n.max(1));
+        self
+    }
+
+    /// Fail the `n`th spill allocation (1-based) with injected disk-full.
+    pub fn disk_full_on_alloc(mut self, n: u64) -> Self {
+        self.disk_full = Some(n.max(1));
+        self
+    }
+
+    /// Derive a single-fault schedule deterministically from `seed`: the
+    /// fault kind and its 1-based trigger count both come from a splitmix64
+    /// step, so equal seeds always produce equal schedules.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let h = splitmix64(seed);
+        let n = 1 + (h >> 8) % 40;
+        match h % 4 {
+            0 => FaultPlan::new().fail_nth_read(n),
+            1 => FaultPlan::new().short_nth_read(n),
+            2 => FaultPlan::new().fail_nth_write(n),
+            _ => FaultPlan::new().disk_full_on_alloc(1 + (h >> 8) % 6),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// (reads, writes, spill allocations) observed so far.
+    pub fn ops_seen(&self) -> (u64, u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+            self.spill_allocs.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hook called by [`crate::DiskManager::read_page`] before the real
+    /// read; errors when this read is scheduled to fail.
+    pub fn before_read(&self, path: &std::path::Path, page_no: usize) -> Result<()> {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fail_read == Some(n) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(HiqueError::Storage(format!(
+                "injected fault: read {n} (page {page_no} of {}) failed: simulated i/o error",
+                path.display()
+            )));
+        }
+        if self.short_read == Some(n) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(HiqueError::Storage(format!(
+                "injected fault: short read at read {n} (page {page_no} of {}): \
+                 got fewer bytes than a page",
+                path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Hook called by [`crate::DiskManager::write_page`] before the real
+    /// write; errors when this write is scheduled to fail.
+    pub fn before_write(&self, path: &std::path::Path, page_no: usize) -> Result<()> {
+        let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fail_write == Some(n) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(HiqueError::Storage(format!(
+                "injected fault: write {n} (page {page_no} of {}) failed: simulated i/o error",
+                path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Hook called by [`crate::SpillNamespace::spill_records`] before
+    /// allocating spill pages; errors with disk-full when scheduled.
+    pub fn before_spill_alloc(&self, pages: usize) -> Result<()> {
+        let n = self.spill_allocs.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.disk_full == Some(n) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(HiqueError::Storage(format!(
+                "injected fault: spill allocation {n} ({pages} page(s)) failed: \
+                 no space left on device"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The finalizer step of splitmix64 — a cheap, well-mixed 64-bit hash.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn nth_operation_fails_exactly_once() {
+        let plan = FaultPlan::new().fail_nth_read(3);
+        let p = Path::new("t.tbl");
+        assert!(plan.before_read(p, 0).is_ok());
+        assert!(plan.before_read(p, 1).is_ok());
+        let err = plan.before_read(p, 2).unwrap_err();
+        assert!(err.message().contains("injected fault"), "{err}");
+        assert!(err.is_retryable());
+        // The schedule is one-shot: later reads succeed again.
+        assert!(plan.before_read(p, 3).is_ok());
+        assert_eq!(plan.injected(), 1);
+        assert_eq!(plan.ops_seen().0, 4);
+    }
+
+    #[test]
+    fn write_and_spill_faults_are_independent_counters() {
+        let plan = FaultPlan::new().fail_nth_write(1).disk_full_on_alloc(2);
+        let p = Path::new("t.tbl");
+        assert!(plan.before_read(p, 0).is_ok());
+        assert!(plan.before_write(p, 0).is_err());
+        assert!(plan.before_write(p, 1).is_ok());
+        assert!(plan.before_spill_alloc(4).is_ok());
+        let err = plan.before_spill_alloc(4).unwrap_err();
+        assert!(err.message().contains("no space left"), "{err}");
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..64u64 {
+            let a = format!("{:?}", FaultPlan::from_seed(seed));
+            let b = format!("{:?}", FaultPlan::from_seed(seed));
+            assert_eq!(a, b);
+        }
+        // The seed stream covers every fault kind.
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::from_seed).collect();
+        assert!(plans.iter().any(|p| p.fail_read.is_some()));
+        assert!(plans.iter().any(|p| p.short_read.is_some()));
+        assert!(plans.iter().any(|p| p.fail_write.is_some()));
+        assert!(plans.iter().any(|p| p.disk_full.is_some()));
+    }
+}

@@ -19,6 +19,7 @@ pub mod btree;
 pub mod buffer;
 pub mod catalog;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod temp;
@@ -26,6 +27,7 @@ pub mod temp;
 pub use buffer::{BufferPool, BufferPoolStats, FileId, PageId, PeakWindow};
 pub use catalog::{Catalog, StorageRuntime, TableInfo};
 pub use disk::DiskManager;
+pub use fault::FaultPlan;
 pub use heap::{PageRef, TableHeap};
 pub use page::{records_per_page, Page, PAGE_HEADER_SIZE, PAGE_SIZE};
 pub use temp::{SpillHandle, SpillNamespace, SpillPageRef, TempSpace};

@@ -74,6 +74,8 @@ impl Page {
     /// Number of records currently stored.
     #[inline(always)]
     pub fn num_tuples(&self) -> usize {
+        // Deliberately infallible: a 4-byte slice of the fixed-size header
+        // always converts to [u8; 4].
         u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize
     }
 
@@ -84,6 +86,8 @@ impl Page {
     /// Width in bytes of every record on this page.
     #[inline(always)]
     pub fn tuple_size(&self) -> usize {
+        // Deliberately infallible: same fixed-size header slice as
+        // `num_tuples`.
         u32::from_le_bytes(self.buf[4..8].try_into().unwrap()) as usize
     }
 

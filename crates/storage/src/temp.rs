@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
-use hique_types::{HiqueError, Result};
+use hique_types::{CancelToken, HiqueError, Result};
 use parking_lot::Mutex;
 
 use crate::buffer::{BufferPool, Fetched, FileId, PageId};
@@ -34,6 +34,11 @@ use crate::page::{records_per_page, Page, PAGE_HEADER_SIZE, PAGE_SIZE};
 /// admission error.  Long enough to ride out any real execution; short
 /// enough that a leaked claim cannot hang a server forever.
 const CLAIM_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How often a queued claim re-checks its cancel token while waiting for a
+/// slot: a cancelled or past-deadline query leaves the admission queue
+/// within one slice instead of riding out the full claim timeout.
+const CANCEL_POLL: Duration = Duration::from_millis(25);
 
 /// A page range in a spill namespace holding one packed record buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +116,16 @@ pub struct TempSpace {
 }
 
 impl TempSpace {
+    /// Lock the claim state, recovering from poison.  A client thread that
+    /// panics mid-claim must not permanently wedge every other session: the
+    /// state the lock protects is three plain counters whose consistency is
+    /// maintained by RAII (`SpillNamespace::drop` releases the slot even
+    /// during an unwind), so the poisoned guard's data is always valid and
+    /// recovery is sound.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ClaimState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Create a spill-space factory rooted at `path`, backed by `pool`.
     /// No file is created until a claim is made.  The default admission cap
     /// is effectively unlimited; servers size it to their session count via
@@ -132,7 +147,7 @@ impl TempSpace {
     /// this to its session count so spill capacity is split by admission
     /// control rather than by racing.
     pub fn set_max_claims(&self, n: usize) {
-        let mut s = self.state.lock().expect("claim state lock");
+        let mut s = self.lock_state();
         s.max_claims = n.max(1);
         drop(s);
         self.released.notify_all();
@@ -140,7 +155,7 @@ impl TempSpace {
 
     /// Number of currently outstanding claims.
     pub fn active_claims(&self) -> usize {
-        self.state.lock().expect("claim state lock").active
+        self.lock_state().active
     }
 
     /// Base path of the spill files (claim `i` lives at `<base>.<i>`).
@@ -154,11 +169,24 @@ impl TempSpace {
     /// executor surfaces that as `ExecStats::spill_claim_denied` instead of
     /// silently running unbounded, which is the bug this replaces.
     pub fn claim(self: &Arc<Self>) -> Result<(SpillNamespace, bool)> {
+        self.claim_cancellable(&CancelToken::disabled())
+    }
+
+    /// Like [`TempSpace::claim`], but a queued wait polls `cancel` between
+    /// condvar slices: a query blocked in spill admission observes its
+    /// deadline (or an explicit cancel) within [`CANCEL_POLL`] instead of
+    /// holding its queue position for the full claim timeout.
+    pub fn claim_cancellable(
+        self: &Arc<Self>,
+        cancel: &CancelToken,
+    ) -> Result<(SpillNamespace, bool)> {
+        cancel.check()?;
         let (id, denied) = {
-            let mut s = self.state.lock().expect("claim state lock");
+            let mut s = self.lock_state();
             let denied = s.active >= s.max_claims;
             let deadline = Instant::now() + CLAIM_TIMEOUT;
             while s.active >= s.max_claims {
+                cancel.check()?;
                 let now = Instant::now();
                 if now >= deadline {
                     return Err(HiqueError::Storage(format!(
@@ -169,8 +197,8 @@ impl TempSpace {
                 }
                 let (guard, _) = self
                     .released
-                    .wait_timeout(s, deadline - now)
-                    .expect("claim state lock");
+                    .wait_timeout(s, (deadline - now).min(CANCEL_POLL))
+                    .unwrap_or_else(|p| p.into_inner());
                 s = guard;
             }
             s.active += 1;
@@ -215,7 +243,7 @@ impl TempSpace {
     }
 
     fn release_slot(&self) {
-        let mut s = self.state.lock().expect("claim state lock");
+        let mut s = self.lock_state();
         s.active -= 1;
         drop(s);
         self.released.notify_one();
@@ -224,7 +252,7 @@ impl TempSpace {
 
 impl std::fmt::Debug for TempSpace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.state.lock().expect("claim state lock");
+        let s = self.lock_state();
         f.debug_struct("TempSpace")
             .field("base", &self.base)
             .field("active_claims", &s.active)
@@ -294,6 +322,12 @@ impl SpillNamespace {
         let records = buf.len() / tuple_size;
         let per_page = records_per_page(tuple_size);
         let pages = records.div_ceil(per_page);
+        // Fault hook: a scheduled disk-full fires before any page is
+        // allocated, so a failed spill leaves the namespace allocator
+        // untouched.
+        if let Some(plan) = self.temp.pool.fault_plan() {
+            plan.before_spill_alloc(pages)?;
+        }
         let start = {
             let mut next = self.next_page.lock();
             let start = *next;
@@ -386,6 +420,7 @@ impl std::fmt::Debug for SpillNamespace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn temp_file(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -541,6 +576,78 @@ mod tests {
         drop(a);
         assert!(t.join().unwrap(), "queued claim must report denial");
         assert_eq!(temp.active_claims(), 0);
+    }
+
+    #[test]
+    fn poisoned_claim_lock_recovers_for_other_sessions() {
+        // Satellite regression: a client thread that panics while holding
+        // the claim-state lock poisons the std mutex; later sessions must
+        // recover (the state is plain counters kept consistent by RAII)
+        // instead of panicking on the poison forever.
+        let (temp, _pool) = setup("poison", 4);
+        let t = {
+            let temp = Arc::clone(&temp);
+            std::thread::spawn(move || {
+                let _guard = temp.state.lock().unwrap();
+                panic!("simulated client panic while holding the claim lock");
+            })
+        };
+        assert!(t.join().is_err(), "the poisoning thread must panic");
+        let (ns, denied) = temp.claim().unwrap();
+        assert!(!denied);
+        let buf = packed(10, 8);
+        let h = ns.spill_records(&buf, 8).unwrap();
+        assert_eq!(ns.reload(&h).unwrap(), buf);
+        drop(ns);
+        assert_eq!(temp.active_claims(), 0);
+        temp.set_max_claims(2); // the poisoned lock serves every entry point
+    }
+
+    #[test]
+    fn queued_claim_cancels_within_its_deadline() {
+        let (temp, _pool) = setup("cancel_claim", 4);
+        temp.set_max_claims(1);
+        let (_hold, _) = temp.claim().unwrap();
+        // A claim queued behind the held slot must observe its deadline in
+        // one poll slice, far inside the 30s admission timeout.
+        let cancel = CancelToken::with_deadline(Duration::from_millis(100));
+        let started = Instant::now();
+        let err = temp.claim_cancellable(&cancel).unwrap_err();
+        assert!(matches!(err, HiqueError::Cancelled(_)), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(temp.active_claims(), 1, "the cancelled claim took no slot");
+    }
+
+    #[test]
+    fn pre_cancelled_claim_never_takes_a_slot() {
+        let (temp, _pool) = setup("cancel_pre", 4);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(matches!(
+            temp.claim_cancellable(&cancel),
+            Err(HiqueError::Cancelled(_))
+        ));
+        assert_eq!(temp.active_claims(), 0);
+    }
+
+    #[test]
+    fn injected_disk_full_fails_spill_and_releases_cleanly() {
+        let (temp, pool) = setup("disk_full", 8);
+        pool.set_fault_plan(Some(Arc::new(FaultPlan::new().disk_full_on_alloc(2))));
+        let (space, _) = temp.claim().unwrap();
+        let buf = packed(100, 16);
+        let h = space.spill_records(&buf, 16).unwrap();
+        let err = space.spill_records(&buf, 16).unwrap_err();
+        assert!(err.message().contains("no space left"), "{err}");
+        // The failed allocation did not advance the allocator, and the
+        // earlier spill is still readable.
+        assert_eq!(space.allocated_pages(), h.pages);
+        assert_eq!(space.reload(&h).unwrap(), buf);
+        let path = space.path().to_path_buf();
+        drop(space);
+        assert!(!path.exists(), "spill file must be deleted on drop");
+        assert_eq!(temp.active_claims(), 0);
+        assert_eq!(pool.pinned_frames(), 0);
     }
 
     #[test]

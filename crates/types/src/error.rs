@@ -32,6 +32,11 @@ pub enum HiqueError {
     /// (mirrors the paper's explicitly unsupported features, e.g. nested
     /// queries and statistical aggregate functions).
     Unsupported(String),
+    /// The query was cancelled cooperatively (explicit cancel, statement
+    /// deadline, or server shutdown drain) before it completed.  Always
+    /// retryable: cancellation unwinds through RAII guards, so no storage
+    /// state is left behind.
+    Cancelled(String),
 }
 
 impl HiqueError {
@@ -47,6 +52,21 @@ impl HiqueError {
             HiqueError::Codegen(_) => "codegen",
             HiqueError::Execution(_) => "execution",
             HiqueError::Unsupported(_) => "unsupported",
+            HiqueError::Cancelled(_) => "cancelled",
+        }
+    }
+
+    /// True for errors a client may simply retry: the engine guarantees the
+    /// failed execution released every claim, pin and temp file it held.
+    /// Cancellation is always retryable; storage errors are retryable when
+    /// they carry the injected-fault marker used by the chaos harness (the
+    /// fault plan is exhausted or replaced between runs).  Semantic errors
+    /// (parse/analysis/type/plan/...) are deterministic and never retryable.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            HiqueError::Cancelled(_) => true,
+            HiqueError::Storage(m) | HiqueError::Execution(m) => m.contains("injected fault"),
+            _ => false,
         }
     }
 
@@ -61,7 +81,8 @@ impl HiqueError {
             | HiqueError::Plan(m)
             | HiqueError::Codegen(m)
             | HiqueError::Execution(m)
-            | HiqueError::Unsupported(m) => m,
+            | HiqueError::Unsupported(m)
+            | HiqueError::Cancelled(m) => m,
         }
     }
 }
@@ -98,11 +119,21 @@ mod tests {
             HiqueError::Codegen(String::new()),
             HiqueError::Execution(String::new()),
             HiqueError::Unsupported(String::new()),
+            HiqueError::Cancelled(String::new()),
         ];
         let mut labels: Vec<_> = errs.iter().map(|e| e.layer()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), errs.len());
+    }
+
+    #[test]
+    fn retryability_is_typed() {
+        assert!(HiqueError::Cancelled("deadline".into()).is_retryable());
+        assert!(HiqueError::Storage("injected fault: write 3 of file".into()).is_retryable());
+        assert!(!HiqueError::Storage("page 7 out of range".into()).is_retryable());
+        assert!(!HiqueError::Parse("bad token".into()).is_retryable());
+        assert!(!HiqueError::Analysis("no such column".into()).is_retryable());
     }
 
     #[test]

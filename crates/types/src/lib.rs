@@ -13,6 +13,7 @@
 //! total record width, and [`tuple`] reads/writes typed fields at those
 //! offsets over `&[u8]`/`&mut [u8]` without any per-field dispatch.
 
+pub mod cancel;
 pub mod datatype;
 pub mod error;
 pub mod histogram;
@@ -23,6 +24,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use datatype::DataType;
 pub use error::{HiqueError, Result};
 pub use histogram::{Bucket, CmpKind, ColumnDistribution};

@@ -122,6 +122,15 @@ pub struct ExecStats {
     /// construction, but nothing bounds this one except the consumption
     /// style.
     pub spill_consumer_peak_pages: u64,
+    /// 1 when this execution was stopped by cooperative cancellation
+    /// (deadline, explicit cancel, shutdown drain) before completing; sums
+    /// across merged executions, so a server-level roll-up counts cancelled
+    /// statements.  A successful run always reports 0.
+    pub cancelled: u64,
+    /// Storage faults injected by an installed
+    /// `FaultPlan` while this execution ran (failed/short reads, failed
+    /// writes, disk-full spill allocations).  Zero outside chaos testing.
+    pub faults_injected: u64,
     /// Buffer-pool and disk I/O of the execution (zero for memory-resident
     /// catalogs; see [`IoStats`] for the interleaving caveat under
     /// `threads > 1`).
@@ -201,6 +210,8 @@ impl AddAssign for ExecStats {
         self.rows_out += rhs.rows_out;
         self.spilled_temporaries += rhs.spilled_temporaries;
         self.spill_claim_denied += rhs.spill_claim_denied;
+        self.cancelled += rhs.cancelled;
+        self.faults_injected += rhs.faults_injected;
         // High-water marks combine by max, not by sum: merging worker
         // counter sets must not inflate peak residency.
         self.peak_resident_pages = self.peak_resident_pages.max(rhs.peak_resident_pages);
@@ -215,7 +226,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} spilled={} spill_claim_denied={} peak_resident={} spill_consumer_peak={} {}",
+            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} spilled={} spill_claim_denied={} peak_resident={} spill_consumer_peak={} cancelled={} faults_injected={} {}",
             self.function_calls,
             self.tuples_processed,
             self.bytes_touched,
@@ -229,6 +240,8 @@ impl fmt::Display for ExecStats {
             self.spill_claim_denied,
             self.peak_resident_pages,
             self.spill_consumer_peak_pages,
+            self.cancelled,
+            self.faults_injected,
             self.io
         )
     }
@@ -305,6 +318,8 @@ mod tests {
             "spill_claim_denied=",
             "peak_resident=",
             "spill_consumer_peak=",
+            "cancelled=",
+            "faults_injected=",
             "pool_hits=",
             "pool_misses=",
             "pool_evictions=",
