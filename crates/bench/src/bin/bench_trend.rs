@@ -90,6 +90,29 @@ fn measure_ms(sql: &str, catalog: &Catalog, config: &PlannerConfig, repeats: usi
     best
 }
 
+/// Best-of-`repeats` bytecode-VM wall milliseconds (compilation excluded —
+/// the trend tracks interpretation speed, `fig_prep_vs_exec` tracks the
+/// preparation bill).
+fn measure_vm_ms(sql: &str, catalog: &Catalog, config: &PlannerConfig, repeats: usize) -> f64 {
+    let plan = plan_sql(sql, catalog, config).expect("plan");
+    let generated = hique_holistic::generate(&plan).expect("generate");
+    let program = hique_vm::compile(&generated, catalog, hique_vm::CompileMode::Specialized)
+        .expect("compile");
+    let options = ExecOptions {
+        collect_rows: false,
+        ..ExecOptions::default()
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        program
+            .execute(&generated, catalog, &options)
+            .expect("execute");
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -121,6 +144,18 @@ fn main() {
             measure_ms(sql, &catalog, &default_config, args.repeats),
         );
     }
+
+    // Q1 interpreted by the bytecode VM: tracks the fifth engine mode's
+    // execution speed next to the holistic kernels above.
+    record(
+        "q1_vm_ms",
+        measure_vm_ms(
+            hique_tpch::queries::Q1_SQL,
+            &catalog,
+            &default_config,
+            args.repeats,
+        ),
+    );
 
     // The paper's micro-benchmarks.
     let join_catalog = join_workload(

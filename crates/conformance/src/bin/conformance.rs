@@ -1,4 +1,4 @@
-//! Differential fuzzing CLI: run N seeded random queries through all four
+//! Differential fuzzing CLI: run N seeded random queries through all five
 //! engine modes and report any divergence.
 //!
 //! ```bash
@@ -27,7 +27,7 @@ struct Args {
     /// generator's randomized `threads ∈ {1, 2, 4}` on every query.
     force_plan_budget: bool,
     /// Chaos lane: replay the seeded queries under seeded storage-fault and
-    /// cancellation schedules on all four engines × threads {1, 4}, gating
+    /// cancellation schedules on all five engines × threads {1, 4}, gating
     /// on bit-identical-or-typed-error with zero leaks.
     chaos: bool,
 }
@@ -148,7 +148,7 @@ fn main() {
     if args.chaos {
         println!(
             "chaos: {} seeded queries (seed {:#x}) x seeded fault/cancel schedules \
-             x 4 engines x threads {:?} under a {}-page plan budget ...",
+             x 5 engine modes x threads {:?} under a {}-page plan budget ...",
             args.queries,
             args.seed,
             hique_conformance::CHAOS_THREADS,
@@ -227,7 +227,7 @@ fn main() {
     }
 
     println!(
-        "running {} seeded random queries (seed {:#x}) on 4 engine modes ...",
+        "running {} seeded random queries (seed {:#x}) on 5 engine modes ...",
         args.queries, args.seed
     );
     // Snapshot after fixture construction so the eviction gate below is

@@ -193,7 +193,7 @@ fn mix(seed: u64) -> u64 {
 }
 
 /// Replay `count` seeded queries under seeded fault and cancellation
-/// schedules across all four engine modes and both [`CHAOS_THREADS`]
+/// schedules across all five engine modes and both [`CHAOS_THREADS`]
 /// settings, auditing results, error types and storage leaks after every
 /// run.
 ///

@@ -2,11 +2,11 @@
 //!
 //! Cross-engine differential test harness for the HIQUE reproduction.
 //!
-//! The paper's evaluation only means something if the three execution models
+//! The paper's evaluation only means something if the execution models
 //! — Volcano iterators ([`hique_iter`]), column-at-a-time DSM
-//! ([`hique_dsm`]) and holistic generated kernels ([`hique_holistic`]) —
-//! compute *identical* answers for the same physical plan. This crate
-//! mechanizes that property:
+//! ([`hique_dsm`]), holistic generated kernels ([`hique_holistic`]) and the
+//! query-time-compiled bytecode VM ([`hique_vm`]) — compute *identical*
+//! answers for the same physical plan. This crate mechanizes that property:
 //!
 //! * [`genquery`] — a seeded random query generator over the TPC-H-shaped
 //!   schema: conjunctive filters, equi-joins along the foreign-key graph (up
@@ -16,9 +16,9 @@
 //! * [`canon`] — result canonicalization (rows sorted by typed value over
 //!   all columns) with relative float tolerance and a byte-stable text form
 //!   for golden-file pinning;
-//! * [`runner`] — plans each query once, executes it on all four engine
-//!   modes (generic iterators, optimized iterators, DSM, holistic) and
-//!   reports any divergence with the seed and SQL needed to reproduce it;
+//! * [`runner`] — plans each query once, executes it on all five engine
+//!   modes (generic iterators, optimized iterators, DSM, holistic, bytecode
+//!   VM) and reports any divergence with the seed and SQL to reproduce it;
 //! * [`planquality`] — the estimate-vs-actual harness: measures real
 //!   per-operator cardinalities (filtered scans, join steps) against the
 //!   planner's estimates and aggregates q-error distributions, gating the

@@ -25,14 +25,17 @@ pub enum EngineId {
     IterOptimized,
     Dsm,
     Holistic,
+    /// Query-time-compiled bytecode (constants specialized to immediates).
+    Vm,
 }
 
 impl EngineId {
-    pub const ALL: [EngineId; 4] = [
+    pub const ALL: [EngineId; 5] = [
         EngineId::IterGeneric,
         EngineId::IterOptimized,
         EngineId::Dsm,
         EngineId::Holistic,
+        EngineId::Vm,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -41,6 +44,7 @@ impl EngineId {
             EngineId::IterOptimized => "iter-optimized",
             EngineId::Dsm => "dsm",
             EngineId::Holistic => "holistic",
+            EngineId::Vm => "vm",
         }
     }
 }
@@ -92,6 +96,19 @@ pub fn run_engine_cancellable(
                 ..Default::default()
             };
             generated.execute_with(catalog, &options)
+        }
+        EngineId::Vm => {
+            // The real query-time pipeline: render the kernel program, lower
+            // it to bytecode with constants specialized to immediates,
+            // interpret.
+            let generated = hique_holistic::generate(plan)?;
+            let program =
+                hique_vm::compile(&generated, catalog, hique_vm::CompileMode::Specialized)?;
+            let options = hique_holistic::ExecOptions {
+                cancel,
+                ..Default::default()
+            };
+            program.execute(&generated, catalog, &options)
         }
     }
 }
@@ -176,7 +193,7 @@ impl Fixture {
         Ok(Fixture { catalog, dsm, sf })
     }
 
-    /// Plan `query` once and execute it on all four engine modes, comparing
+    /// Plan `query` once and execute it on all five engine modes, comparing
     /// canonicalized results against the generic-iterator baseline.
     ///
     /// Planning or execution errors are reported as divergences too: every

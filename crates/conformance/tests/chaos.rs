@@ -13,8 +13,8 @@ fn chaos_schedules_hold_the_robustness_contract() {
     let report = run_chaos_suite(&fixture, 0xC4A05, 12);
     assert!(report.is_clean(), "{report}");
     assert_eq!(report.queries, 12);
-    // 2 thread settings x (4 engines x 2 schedules + 1 recovery probe).
-    assert_eq!(report.runs, 12 * 2 * 9);
+    // 2 thread settings x (5 engine modes x 2 schedules + 1 recovery probe).
+    assert_eq!(report.runs, 12 * 2 * 11);
     // The lane is not vacuous: schedules actually fired faults and
     // cancellations, and plenty of runs still matched the baseline.
     assert!(report.faults_fired > 0, "{report}");

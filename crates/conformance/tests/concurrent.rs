@@ -32,6 +32,44 @@ fn engine_for(index: usize) -> Engine {
     Engine::ALL[index % Engine::ALL.len()]
 }
 
+/// The cache-key regression gate: a point-lookup workload — one query
+/// template replayed with a varying constant — used to miss the
+/// literal-preserving plan cache on every single request.  Keyed on the
+/// shape class, every replay after the first must hit (rebinding the
+/// pooled bytecode template to the new constants), and the answers must
+/// match the paper's engine evaluating each query from scratch.
+#[test]
+fn literal_varying_replays_hit_the_class_keyed_cache() {
+    let catalog = hique_tpch::generate_into_catalog(SF).unwrap();
+    let server = Server::new(catalog, ServerConfig::default()).unwrap();
+    let mut session = server.session();
+    let mut reference = server.session();
+    for qty in [5, 10, 15, 20, 25, 30, 35, 40] {
+        let sql = format!(
+            "select l_returnflag, count(*) as n, sum(l_extendedprice) as rev \
+             from lineitem where l_quantity < {qty} \
+             group by l_returnflag order by l_returnflag"
+        );
+        let vm = session.execute_on(&sql, Engine::Vm).unwrap();
+        let holistic = reference.execute_on(&sql, Engine::Holistic).unwrap();
+        assert_eq!(
+            canonicalize(&vm).to_text(),
+            canonicalize(&holistic).to_text(),
+            "rebound bytecode diverged on qty < {qty}"
+        );
+    }
+    let stats = server.cache_stats();
+    assert_eq!(
+        stats.misses, 1,
+        "only the first replay pays a full preparation: {stats:?}"
+    );
+    assert_eq!(stats.template_hits, 7, "{stats:?}");
+    assert!(
+        stats.hits > stats.template_hits,
+        "the reference session's exact repeats must also hit: {stats:?}"
+    );
+}
+
 #[test]
 fn concurrent_sessions_match_serial_replay_bit_for_bit() {
     let mut catalog = hique_tpch::generate_into_catalog(SF).unwrap();

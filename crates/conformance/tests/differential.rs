@@ -1,5 +1,5 @@
 //! The conformance gate: a fixed budget of seeded random queries, each
-//! planned once and executed through all four engine modes (generic
+//! planned once and executed through all five engine modes (generic
 //! iterators, optimized iterators, DSM, holistic), with canonicalized
 //! results required to agree exactly (modulo float accumulation tolerance).
 //!
@@ -35,7 +35,7 @@ fn random_queries_agree_across_all_engines() {
 fn random_queries_agree_on_an_empty_catalog() {
     // Same schemas, zero rows everywhere, statistics collected: the planner
     // knows every table is empty (post-filter estimates of 0 rows) and all
-    // four engines must still agree — on zero-row results — through every
+    // five engines must still agree — on zero-row results — through every
     // staging strategy, join algorithm and aggregation path the generator
     // randomizes.  Probes the zero-cardinality code paths that a populated
     // catalog rarely exercises.

@@ -3,7 +3,7 @@
 //! The partition-parallel executor promises that every generated query
 //! produces identical canonicalized results whatever the pool width.  This
 //! suite plans each random query twice — once serial, once with four
-//! workers — and runs *all four engine modes* under both plans: the
+//! workers — and runs *all five engine modes* under both plans: the
 //! iterator and DSM engines ignore the knob (a trivial identity that guards
 //! against the knob leaking into planning), while the holistic engine
 //! exercises the parallel staging, join and aggregation paths for real.

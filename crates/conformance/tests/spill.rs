@@ -3,7 +3,7 @@
 //!
 //! A paged fixture puts every base table behind an LRU buffer pool whose
 //! frame budget is far below the SF 0.01 working set, and every query runs
-//! across the full matrix the pipeline substrate promises: all four engine
+//! across the full matrix the pipeline substrate promises: all five engine
 //! modes × `threads ∈ {1, 4}` × budget ∈ {64 pages, unbounded}.  Every cell
 //! must return canonicalized results bit-identical to the unbounded
 //! memory-resident fixture — and the pool must show real evictions, or the

@@ -69,6 +69,13 @@ impl GeneratedQuery {
         self.prep
     }
 
+    /// The compiled output kernels, one per output column.  Exposed so
+    /// alternative back ends (the bytecode VM) can lower the *same*
+    /// instantiated kernels instead of re-deriving them from the plan.
+    pub fn outputs(&self) -> &[OutputKernel] {
+        &self.outputs
+    }
+
     /// Execute the generated program against the catalog's data.
     pub fn execute(&self, catalog: &Catalog) -> Result<QueryResult> {
         exec::execute(self, catalog, &ExecOptions::default())

@@ -36,7 +36,7 @@ pub mod spill;
 pub mod staging;
 
 pub use exec::ExecOptions;
-pub use generator::{generate, GeneratedQuery, PreparationCost};
+pub use generator::{generate, GeneratedQuery, OutputKernel, PreparationCost};
 pub use relation::StagedRelation;
 pub use source::GeneratedSource;
 

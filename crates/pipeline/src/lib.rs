@@ -1,6 +1,6 @@
 //! # hique-pipeline
 //!
-//! The partition-pipeline substrate shared by all four engine modes.
+//! The partition-pipeline substrate shared by all five engine modes.
 //!
 //! The paper stages every input into cache-resident partitions and evaluates
 //! each partition with a tight kernel; under a memory budget those staged

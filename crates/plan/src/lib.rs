@@ -20,9 +20,9 @@
 //! * the final ordering, limit and output expressions rebound over the
 //!   joined record layout.
 //!
-//! All three engines (iterator, DSM, holistic) execute this same plan, so
-//! measured differences come from the execution model, not plan quality —
-//! the comparison the paper is designed around.
+//! All engines (iterator, DSM, holistic, bytecode VM) execute this same
+//! plan, so measured differences come from the execution model, not plan
+//! quality — the comparison the paper is designed around.
 
 pub mod config;
 pub mod explain;
@@ -41,4 +41,4 @@ pub use physical::{
     StagingStrategy,
 };
 pub use provider::CatalogProvider;
-pub use shape::{shape_class, shape_key};
+pub use shape::{shape_class, shape_class_and_consts, shape_key};

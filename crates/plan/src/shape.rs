@@ -69,40 +69,60 @@ pub fn shape_key(sql: &str) -> String {
 }
 
 /// The query's *shape class*: its [`shape_key`] with string and numeric
-/// literals masked as `?`.  Used to label cache statistics by query
-/// template, never as the cache key itself.
+/// literals masked as `?`.  The class labels cache statistics by query
+/// template, and — paired with the extracted constant vector from
+/// [`shape_class_and_consts`] — keys the server's plan cache so
+/// literal-varying repeats of one template share a compiled program.
 pub fn shape_class(sql: &str) -> String {
+    shape_class_and_consts(sql).0
+}
+
+/// Split a query into its shape class and the literal texts masked out of
+/// it, in left-to-right order.  The pair is a lossless decomposition of
+/// [`shape_key`]: two queries have equal `(class, consts)` exactly when
+/// their shape keys are equal, so a cache keyed on the class with the
+/// constant vector checked per entry distinguishes every query the old
+/// literal-preserving key distinguished — while recognizing classmates
+/// that differ only in constants (the VM's pooled-template rebind case).
+pub fn shape_class_and_consts(sql: &str) -> (String, Vec<String>) {
     let key = shape_key(sql);
     let mut out = String::with_capacity(key.len());
+    let mut consts = Vec::new();
     let mut chars = key.chars().peekable();
     let mut prev: Option<char> = None;
     while let Some(c) = chars.next() {
         if c == '\'' {
             // Swallow the literal (including '' escapes) and emit one ?.
+            let mut lit = String::from("'");
             loop {
                 match chars.next() {
                     Some('\'') => {
+                        lit.push('\'');
                         if chars.peek() == Some(&'\'') {
-                            chars.next();
+                            lit.push(chars.next().expect("peeked"));
                         } else {
                             break;
                         }
                     }
-                    Some(_) => {}
+                    Some(c) => lit.push(c),
                     None => break,
                 }
             }
+            consts.push(lit);
             out.push('?');
             prev = Some('?');
         } else if c.is_ascii_digit() && !prev.is_some_and(|p| p.is_alphanumeric() || p == '_') {
             // A numeric literal (not part of an identifier like `l_tax` or
             // `t1`): swallow digits, one decimal point and an exponent.
+            let mut lit = String::new();
+            lit.push(c);
             while chars
                 .peek()
                 .is_some_and(|&n| n.is_ascii_digit() || n == '.')
             {
-                chars.next();
+                lit.push(chars.next().expect("peeked"));
             }
+            consts.push(lit);
             out.push('?');
             prev = Some('?');
         } else {
@@ -110,7 +130,7 @@ pub fn shape_class(sql: &str) -> String {
             prev = Some(c);
         }
     }
-    out
+    (out, consts)
 }
 
 #[cfg(test)]
@@ -144,6 +164,19 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(shape_class(&a), shape_class(&b));
         assert_eq!(shape_class(&a), "select v from r where k = ?");
+    }
+
+    #[test]
+    fn class_and_consts_losslessly_split_the_key() {
+        let (class, consts) =
+            shape_class_and_consts("select v from r where k = 42 and tag = 'It''s A' and v < 2.5");
+        assert_eq!(class, "select v from r where k = ? and tag = ? and v < ?");
+        assert_eq!(consts, vec!["42", "'It''s A'", "2.5"]);
+        // Same class, different constant vector: distinguishable, shareable.
+        let (class2, consts2) =
+            shape_class_and_consts("SELECT v FROM r WHERE k = 7 AND tag = 'x' AND v < 9.0;");
+        assert_eq!(class, class2);
+        assert_ne!(consts, consts2);
     }
 
     #[test]

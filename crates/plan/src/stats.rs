@@ -434,6 +434,45 @@ mod tests {
     }
 
     #[test]
+    fn zero_row_distribution_selectivities_are_finite_not_nan() {
+        // Regression: a zero-row distribution must estimate through the
+        // guarded ratio — a bare `matched / rows` division would hand the
+        // planner NaN, and a NaN selectivity propagates into every cost
+        // product, where `NaN < x` being always-false silently degenerates
+        // the greedy join-order search.  This covers both the analyzed-empty
+        // shape and a stale one (leftover MCV entries with rows reset).
+        use hique_types::Bucket;
+        let stale = ColumnDistribution {
+            rows: 0,
+            distinct: 5,
+            mcv: vec![(Value::Int32(1), 3)],
+            buckets: vec![Bucket {
+                lo: Value::Int32(0),
+                hi: Value::Int32(9),
+                rows: 4,
+                distinct: 4,
+            }],
+        };
+        let s = TableStats::from_columns(0, vec![stale]);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
+            let sel = filter_selectivity(&filter(op, Value::Int32(1)), &s);
+            assert!(sel.is_finite(), "{op:?} estimated {sel}");
+        }
+        let f = filter(CmpOp::Eq, Value::Int32(1));
+        assert_eq!(estimate_filtered_rows(&s, &[&f]), 0);
+        let lo = filter(CmpOp::GtEq, Value::Int32(0));
+        let hi = filter(CmpOp::Lt, Value::Int32(9));
+        assert_eq!(estimate_filtered_rows(&s, &[&lo, &hi]), 0);
+    }
+
+    #[test]
     fn range_interpolates_within_histogram() {
         let s = analyzed_stats();
         let sel = filter_selectivity(&filter(CmpOp::Lt, Value::Int32(25)), &s);

@@ -14,7 +14,7 @@
 //!   ([`hique_plan::shape_key`]);
 //! * [`Session`] is one client's handle: it prepares through the shared
 //!   cache (first request of a shape pays the Table III cost, every repeat
-//!   is a cache hit) and executes on any of the four engine modes;
+//!   is a cache hit) and executes on any of the five engine modes;
 //! * [`wire`] is the std-only line-based TCP protocol (`hique-server`
 //!   binary), usable with nothing but `nc`.
 //!

@@ -6,15 +6,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hique_dsm::DsmDatabase;
-use hique_holistic::ExecOptions;
-use hique_plan::{plan_query, shape_class, shape_key, CatalogProvider, PlannerConfig};
+use hique_holistic::{ExecOptions, GeneratedQuery};
+use hique_plan::{plan_query, shape_class_and_consts, shape_key, CatalogProvider, PlannerConfig};
 use hique_storage::Catalog;
 use hique_types::{CancelToken, HiqueError, QueryResult, Result};
+use hique_vm::VmProgram;
 use parking_lot::Mutex;
 
-use crate::cache::{CacheStats, PlanCache, PreparedQuery};
+use crate::cache::{CacheStats, Lookup, PlanCache, PreparedQuery};
 
-/// Which engine mode a session executes on.  All four share the catalog,
+/// Which engine mode a session executes on.  All five share the catalog,
 /// the cached plan and the spill/peak-window contracts; the differential
 /// harness relies on their results being canonically identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,15 +28,18 @@ pub enum Engine {
     IterOptimized,
     /// Column-at-a-time DSM engine.
     Dsm,
+    /// Query-time-compiled bytecode interpreted by the register VM.
+    Vm,
 }
 
 impl Engine {
     /// Every engine mode, in the canonical differential-test order.
-    pub const ALL: [Engine; 4] = [
+    pub const ALL: [Engine; 5] = [
         Engine::Holistic,
         Engine::IterGeneric,
         Engine::IterOptimized,
         Engine::Dsm,
+        Engine::Vm,
     ];
 
     /// Stable lowercase name (wire protocol `.engine` argument).
@@ -45,6 +49,7 @@ impl Engine {
             Engine::IterGeneric => "iter-generic",
             Engine::IterOptimized => "iter-optimized",
             Engine::Dsm => "dsm",
+            Engine::Vm => "vm",
         }
     }
 
@@ -56,7 +61,7 @@ impl Engine {
             .ok_or_else(|| {
                 HiqueError::Unsupported(format!(
                     "unknown engine '{name}' (expected one of: holistic, iter-generic, \
-                     iter-optimized, dsm)"
+                     iter-optimized, dsm, vm)"
                 ))
             })
     }
@@ -248,25 +253,40 @@ impl Session {
     }
 
     /// Prepare `sql` through the shared cache: returns the prepared
-    /// artifact and whether it was a cache hit.  A miss pays the full
-    /// parse → analyze → plan → generate cost (the paper's Table III
-    /// preparation) and publishes the result for every other session.
+    /// artifact and whether it was a cache hit.  An exact hit (same class,
+    /// same constants) reuses the cached artifact outright.  A template
+    /// hit (literal-varying classmate) re-plans with this query's exact
+    /// constants but rebinds the cached pooled bytecode template instead
+    /// of lowering from scratch.  A miss pays the full parse → analyze →
+    /// plan → generate → compile cost (the paper's Table III preparation)
+    /// and publishes the result for every other session.
     pub fn prepare(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
-        let shape = shape_key(sql);
-        if let Some(prepared) = self.shared.cache.get(&shape) {
-            return Ok((prepared, true));
-        }
+        let (class, consts) = shape_class_and_consts(sql);
+        let template = match self.shared.cache.lookup(&class, &consts) {
+            Lookup::Exact(prepared) => return Ok((prepared, true)),
+            Lookup::Template(prepared) => Some(prepared),
+            Lookup::Miss => None,
+        };
         let query = hique_sql::parse_query(sql)?;
         let bound = hique_sql::analyze(&query, &CatalogProvider::new(&self.shared.catalog))?;
         let plan = plan_query(&bound, &self.shared.catalog, &self.shared.planner)?;
         let generated = hique_holistic::generate(&plan)?;
+        let (vm, vm_template) = compile_vm(
+            &generated,
+            &self.shared.catalog,
+            template.as_ref().and_then(|t| t.vm_template.as_ref()),
+        );
+        let hit = template.is_some();
         let prepared = Arc::new(PreparedQuery {
-            shape,
-            class: shape_class(sql),
+            shape: shape_key(sql),
+            class,
+            consts,
             generated,
+            vm,
+            vm_template,
         });
         self.shared.cache.insert(Arc::clone(&prepared));
-        Ok((prepared, false))
+        Ok((prepared, hit))
     }
 
     /// Prepare (through the cache) and execute on the session's engine.
@@ -317,9 +337,24 @@ impl Session {
                 true,
                 cancel.clone(),
             ),
-            Engine::Dsm => {
-                hique_dsm::execute_plan_cancellable(prepared.plan(), &self.shared.dsm, cancel)
-            }
+            Engine::Dsm => hique_dsm::execute_plan_cancellable(
+                prepared.plan(),
+                &self.shared.dsm,
+                cancel.clone(),
+            ),
+            Engine::Vm => match prepared.vm.as_ref() {
+                Some(program) => program.execute(
+                    &prepared.generated,
+                    &self.shared.catalog,
+                    &ExecOptions {
+                        cancel: cancel.clone(),
+                        ..ExecOptions::default()
+                    },
+                ),
+                None => Err(HiqueError::Unsupported(
+                    "query has no bytecode lowering (vm engine)".into(),
+                )),
+            },
         };
         match result {
             Ok(result) => {
@@ -335,6 +370,32 @@ impl Session {
                 Err(e)
             }
         }
+    }
+}
+
+/// Lower `generated` to bytecode for the `vm` engine.  When a classmate's
+/// pooled template is available, rebinding it (swap the constant pool,
+/// fold to immediates) replaces the full lowering; if the rebind reports a
+/// shape mismatch — a literal shifted the chosen join order — we fall back
+/// to a fresh compile.  Bytecode is an engine mode, not a prerequisite:
+/// a plan without a lowering still prepares (`vm: None`) and executes on
+/// the other four engines.
+fn compile_vm(
+    generated: &GeneratedQuery,
+    catalog: &Catalog,
+    template: Option<&Arc<VmProgram>>,
+) -> (Option<VmProgram>, Option<Arc<VmProgram>>) {
+    if let Some(template) = template {
+        if let Ok(vm) = template.bind(generated, catalog) {
+            return (Some(vm), Some(Arc::clone(template)));
+        }
+    }
+    match hique_vm::compile(generated, catalog, hique_vm::CompileMode::Pooled) {
+        Ok(pooled) => {
+            let vm = pooled.bind(generated, catalog).ok();
+            (vm, Some(Arc::new(pooled)))
+        }
+        Err(_) => (None, None),
     }
 }
 
@@ -410,6 +471,27 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(r, &results[0]);
         }
+    }
+
+    #[test]
+    fn literal_varying_repeats_are_template_hits_that_rebind_bytecode() {
+        let server = Server::new(catalog(200), ServerConfig::default()).unwrap();
+        let mut s = server.session();
+        s.set_engine(Engine::Vm);
+        let sql_a = "select k, count(*) as n from r where v < 150 group by k order by k";
+        let sql_b = "select k, count(*) as n from r where v < 170 group by k order by k";
+        s.execute(sql_a).unwrap();
+        let b = s.execute(sql_b).unwrap();
+        // Same template, different constant: a template hit (the pooled
+        // bytecode rebinds), not a second full preparation.
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.template_hits, 1, "{stats:?}");
+        // The rebound program computes the same answer as the paper's
+        // engine evaluating the new query from scratch.
+        let mut s2 = server.session();
+        let reference = s2.execute_on(sql_b, Engine::Holistic).unwrap();
+        assert_eq!(b.rows, reference.rows);
     }
 
     #[test]

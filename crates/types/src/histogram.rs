@@ -174,20 +174,31 @@ impl ColumnDistribution {
         }
     }
 
+    /// The guarded selectivity ratio `matched / rows`, clamped to `[0, 1]`.
+    /// Every estimator path divides by the observed row count through this
+    /// one helper: a zero-row distribution (analyzed-empty column, or stale
+    /// statistics whose row count was reset) estimates `0.0` instead of the
+    /// `NaN` a bare division would produce.  A NaN selectivity would poison
+    /// every downstream cost comparison — `NaN < x` is false for all `x`,
+    /// so the greedy join-order search would silently degenerate.
+    fn ratio(&self, matched: f64) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        (matched / self.rows as f64).clamp(0.0, 1.0)
+    }
+
     /// Fraction of rows equal to `v` (MCV first, then the containing
     /// histogram bucket under a uniform-within-bucket assumption).  An
     /// analyzed-empty column and constants outside the observed value set
     /// both estimate `0.0`.
     pub fn eq_fraction(&self, v: &Value) -> f64 {
-        if self.rows == 0 {
-            return 0.0;
-        }
         if let Some((_, count)) = self.mcv.iter().find(|(m, _)| m.sql_eq(v)) {
-            return *count as f64 / self.rows as f64;
+            return self.ratio(*count as f64);
         }
         for b in &self.buckets {
             if b.lo.total_cmp(v).is_le() && b.hi.total_cmp(v).is_ge() {
-                return b.rows as f64 / b.distinct.max(1) as f64 / self.rows as f64;
+                return self.ratio(b.rows as f64 / b.distinct.max(1) as f64);
             }
         }
         // Not an MCV and in no bucket: the value was not observed.
@@ -197,9 +208,6 @@ impl ColumnDistribution {
     /// Fraction of rows strictly below (`inclusive = false`) or at-or-below
     /// (`inclusive = true`) `v`.
     pub fn le_fraction(&self, v: &Value, inclusive: bool) -> f64 {
-        if self.rows == 0 {
-            return 0.0;
-        }
         let mut matched = 0.0f64;
         for (m, count) in &self.mcv {
             let ord = m.total_cmp(v);
@@ -214,7 +222,7 @@ impl ColumnDistribution {
                 matched += b.rows as f64 * bucket_fraction_below(b, v, inclusive);
             }
         }
-        (matched / self.rows as f64).clamp(0.0, 1.0)
+        self.ratio(matched)
     }
 
     /// Fraction of rows satisfying `column <op> v`, following the same
@@ -239,11 +247,9 @@ impl ColumnDistribution {
     /// predicates reduce to one interval.  Contradictory conjunctions like
     /// `x < 10 AND x > 20` therefore estimate exactly zero.
     pub fn conjunction_fraction(&self, preds: &[(CmpKind, &Value)]) -> f64 {
-        if self.rows == 0 {
-            return 0.0;
-        }
         if preds.is_empty() {
-            return 1.0;
+            // All rows qualify: 1.0, or 0.0 for a zero-row distribution.
+            return self.ratio(self.rows as f64);
         }
         let mut matched = 0.0f64;
         for (v, count) in &self.mcv {
@@ -254,7 +260,7 @@ impl ColumnDistribution {
         for b in &self.buckets {
             matched += b.rows as f64 * bucket_conjunction_fraction(b, preds);
         }
-        (matched / self.rows as f64).clamp(0.0, 1.0)
+        self.ratio(matched)
     }
 }
 
@@ -359,6 +365,49 @@ mod tests {
         assert!(d.min().is_none() && d.max().is_none());
         assert_eq!(d.eq_fraction(&Value::Int32(5)), 0.0);
         assert_eq!(d.cmp_fraction(CmpKind::Lt, &Value::Int32(5)), 0.0);
+    }
+
+    #[test]
+    fn zero_row_distributions_never_divide_to_nan() {
+        let c = Value::Int32(5);
+        // An analyzed-empty column: every comparison kind stays finite and
+        // selects nothing (NotEq is 1 - eq by definition).
+        let empty = ColumnDistribution::build(Vec::new());
+        for op in [
+            CmpKind::Eq,
+            CmpKind::NotEq,
+            CmpKind::Lt,
+            CmpKind::LtEq,
+            CmpKind::Gt,
+            CmpKind::GtEq,
+        ] {
+            let f = empty.cmp_fraction(op, &c);
+            assert!(f.is_finite(), "{op:?} estimated {f}");
+        }
+        assert_eq!(empty.conjunction_fraction(&[]), 0.0);
+        assert_eq!(empty.conjunction_fraction(&[(CmpKind::Lt, &c)]), 0.0);
+        // A stale shape — row count reset to zero but leftover MCV and
+        // bucket entries.  Every division routes through the guarded ratio,
+        // so the estimate is 0.0, never NaN (a NaN selectivity makes every
+        // cost comparison false and degenerates the greedy join order).
+        let stale = ColumnDistribution {
+            rows: 0,
+            distinct: 5,
+            mcv: vec![(Value::Int32(5), 3)],
+            buckets: vec![Bucket {
+                lo: Value::Int32(0),
+                hi: Value::Int32(9),
+                rows: 4,
+                distinct: 4,
+            }],
+        };
+        assert_eq!(stale.eq_fraction(&c), 0.0);
+        assert_eq!(stale.le_fraction(&c, true), 0.0);
+        assert_eq!(stale.le_fraction(&c, false), 0.0);
+        assert_eq!(stale.conjunction_fraction(&[(CmpKind::GtEq, &c)]), 0.0);
+        for op in [CmpKind::Eq, CmpKind::Lt, CmpKind::Gt] {
+            assert!(stale.cmp_fraction(op, &c).is_finite());
+        }
     }
 
     #[test]

@@ -334,15 +334,30 @@ mod tests {
     fn spill_counters_merge_sum_and_peak_merges_by_max() {
         let mut a = ExecStats::new();
         a.spilled_temporaries = 2;
+        a.spill_claim_denied = 1;
         a.peak_resident_pages = 40;
+        a.spill_consumer_peak_pages = 7;
         let mut b = ExecStats::new();
         b.spilled_temporaries = 3;
+        b.spill_claim_denied = 4;
         b.peak_resident_pages = 25;
+        b.spill_consumer_peak_pages = 12;
         a.merge(&b);
+        // Event counters accumulate across workers.
         assert_eq!(a.spilled_temporaries, 5);
-        // The high-water mark is a max, not a sum: two workers sharing one
-        // pool do not double its residency.
+        assert_eq!(a.spill_claim_denied, 5);
+        // High-water marks are maxes, not sums: two workers sharing one
+        // pool (or one spill consumer window) do not double its residency.
         assert_eq!(a.peak_resident_pages, 40);
+        assert_eq!(a.spill_consumer_peak_pages, 12);
+        // Merging in the other direction agrees (max is symmetric even
+        // when the larger peak sits on the right-hand side).
+        let mut c = ExecStats::new();
+        c.spill_consumer_peak_pages = 3;
+        c.peak_resident_pages = 10;
+        c.merge(&a);
+        assert_eq!(c.peak_resident_pages, 40);
+        assert_eq!(c.spill_consumer_peak_pages, 12);
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! The bytecode ISA and its interpreter.
+//!
+//! The instruction set is shaped by the kernels the generator emits
+//! (DESIGN.md §2): predicate *tests* with baked-in offsets and constants,
+//! byte-range *copies* for staging projections, a small register machine
+//! for arithmetic expressions, and key-*image* loads producing the same
+//! order-preserving `i64` images the statically compiled kernels use for
+//! hashing and partitioning.  A program is one flat `Vec<Op>`; the
+//! compiler hands out [`Frag`] ranges (filter fragment, projection
+//! fragment, per-aggregate argument fragment, …) into it.
+//!
+//! Constants appear in two forms.  In [`CompileMode::Specialized`]
+//! programs numeric constants are immediates folded into the instruction —
+//! the specialization the paper obtains by running `gcc` on per-query C
+//! source.  In [`CompileMode::Pooled`] programs they are slots of a
+//! [`ConstPool`], so one compiled program can be rebound to any query of
+//! the same shape class by swapping the pool (plan-cache template
+//! sharing).  String constants always live in the pool: they are compared
+//! by reference, never loaded into a register.
+//!
+//! [`CompileMode::Specialized`]: crate::CompileMode::Specialized
+//! [`CompileMode::Pooled`]: crate::CompileMode::Pooled
+
+use hique_sql::ast::{BinOp, CmpOp};
+use hique_types::tuple::{read_f64_at, read_i32_at, read_i64_at};
+
+/// Integer right-hand operand: an immediate (specialized) or a constant
+/// pool slot (shared template).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RhsI {
+    /// Constant folded into the instruction.
+    Imm(i64),
+    /// Index into [`ConstPool::ints`].
+    Pool(u32),
+}
+
+/// Float right-hand operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RhsF {
+    /// Constant folded into the instruction.
+    Imm(f64),
+    /// Index into [`ConstPool::floats`].
+    Pool(u32),
+}
+
+/// One bytecode instruction.
+///
+/// Register indexes address the per-thread `f64` bank sized by
+/// [`crate::VmProgram::float_registers`]; key images and test results do
+/// not use registers (tests short-circuit the fragment, images return
+/// their value directly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Predicate: `i32` column at `offset` compared with `rhs` (also used
+    /// for dates, which are day-number `i32`s on disk).
+    TestI32 { offset: u32, op: CmpOp, rhs: RhsI },
+    /// Predicate: `i64` column at `offset` compared with `rhs`.
+    TestI64 { offset: u32, op: CmpOp, rhs: RhsI },
+    /// Predicate: `f64` column at `offset` compared with `rhs` under IEEE
+    /// total order (matching the static kernels).
+    TestF64 { offset: u32, op: CmpOp, rhs: RhsF },
+    /// Predicate: fixed-width string at `offset` compared bytewise with
+    /// the space-padded constant in [`ConstPool::bytes`] slot `pool`.
+    TestBytes {
+        offset: u32,
+        width: u32,
+        op: CmpOp,
+        pool: u32,
+    },
+    /// Projection: copy `width` record bytes from `src` to output `dst`.
+    Copy { src: u32, width: u32, dst: u32 },
+    /// Load the `f64` column at `offset` into register `dst`.
+    LoadF { dst: u8, offset: u32 },
+    /// Load the `i32`/date column at `offset` into register `dst` as `f64`.
+    LoadI32F { dst: u8, offset: u32 },
+    /// Load the `i64` column at `offset` into register `dst` as `f64`.
+    LoadI64F { dst: u8, offset: u32 },
+    /// Load an immediate into register `dst`.
+    ConstF { dst: u8, value: f64 },
+    /// Load [`ConstPool::floats`] slot `idx` into register `dst`.
+    PoolF { dst: u8, idx: u32 },
+    /// `dst = a <op> b` over the float bank.
+    Arith { op: BinOp, dst: u8, a: u8, b: u8 },
+    /// Key image of the `i32`/date column at `offset`.
+    ImageI32 { offset: u32 },
+    /// Key image of the `i64` column at `offset`.
+    ImageI64 { offset: u32 },
+    /// Key image of the `f64` column at `offset` (order-preserving map of
+    /// the IEEE bits, identical to the static kernels').
+    ImageF64 { offset: u32 },
+    /// Key image of the fixed-width string at `offset`: first
+    /// `min(width, 8)` bytes, big-endian.
+    ImageChar { offset: u32, width: u32 },
+}
+
+/// The constant pool of a compiled program: every literal the query text
+/// carried, in the canonical extraction order.  Two queries of one shape
+/// class compile to identical code and differ only in this pool.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstPool {
+    /// Integer constants (filter operands for `i32`/`i64`/date columns).
+    pub ints: Vec<i64>,
+    /// Float constants (filter operands and expression literals).
+    pub floats: Vec<f64>,
+    /// String constants, space-padded to their column width.
+    pub bytes: Vec<Vec<u8>>,
+}
+
+impl ConstPool {
+    /// Append an integer constant, returning its slot.
+    pub fn push_int(&mut self, v: i64) -> u32 {
+        self.ints.push(v);
+        (self.ints.len() - 1) as u32
+    }
+
+    /// Append a float constant, returning its slot.
+    pub fn push_float(&mut self, v: f64) -> u32 {
+        self.floats.push(v);
+        (self.floats.len() - 1) as u32
+    }
+
+    /// Append a byte-string constant, returning its slot.
+    pub fn push_bytes(&mut self, v: Vec<u8>) -> u32 {
+        self.bytes.push(v);
+        (self.bytes.len() - 1) as u32
+    }
+
+    /// Whether `other` has the same slot counts (and byte widths) — the
+    /// precondition for rebinding a pooled template to `other`'s values.
+    pub fn same_shape(&self, other: &ConstPool) -> bool {
+        self.ints.len() == other.ints.len()
+            && self.floats.len() == other.floats.len()
+            && self.bytes.len() == other.bytes.len()
+            && self
+                .bytes
+                .iter()
+                .zip(&other.bytes)
+                .all(|(a, b)| a.len() == b.len())
+    }
+}
+
+/// A fragment: a half-open range of instructions in the shared code array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Frag {
+    /// First instruction.
+    pub start: u32,
+    /// One past the last instruction.
+    pub end: u32,
+}
+
+impl Frag {
+    /// The instructions of this fragment within `code`.
+    #[inline]
+    pub fn ops<'a>(&self, code: &'a [Op]) -> &'a [Op] {
+        &code[self.start as usize..self.end as usize]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the fragment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[inline(always)]
+fn rhs_i(rhs: RhsI, pool: &ConstPool) -> i64 {
+    match rhs {
+        RhsI::Imm(v) => v,
+        RhsI::Pool(i) => pool.ints[i as usize],
+    }
+}
+
+#[inline(always)]
+fn rhs_f(rhs: RhsF, pool: &ConstPool) -> f64 {
+    match rhs {
+        RhsF::Imm(v) => v,
+        RhsF::Pool(i) => pool.floats[i as usize],
+    }
+}
+
+/// Run a filter fragment over one record: every test must pass.
+/// `comparisons` counts the tests executed (the generated code's
+/// short-circuit `continue` skips the rest, exactly like the static
+/// kernels' filter loop).
+#[inline]
+pub fn run_filter(ops: &[Op], pool: &ConstPool, record: &[u8], comparisons: &mut u64) -> bool {
+    for op in ops {
+        *comparisons += 1;
+        let pass = match *op {
+            Op::TestI32 { offset, op, rhs } => {
+                op.matches((read_i32_at(record, offset as usize) as i64).cmp(&rhs_i(rhs, pool)))
+            }
+            Op::TestI64 { offset, op, rhs } => {
+                op.matches(read_i64_at(record, offset as usize).cmp(&rhs_i(rhs, pool)))
+            }
+            Op::TestF64 { offset, op, rhs } => {
+                op.matches(read_f64_at(record, offset as usize).total_cmp(&rhs_f(rhs, pool)))
+            }
+            Op::TestBytes {
+                offset,
+                width,
+                op,
+                pool: slot,
+            } => {
+                let field = &record[offset as usize..(offset + width) as usize];
+                op.matches(field.cmp(pool.bytes[slot as usize].as_slice()))
+            }
+            _ => unreachable!("non-test op in filter fragment"),
+        };
+        if !pass {
+            return false;
+        }
+    }
+    true
+}
+
+/// Run a projection fragment: copy the kept byte ranges of `record` into
+/// `out` (sized to the projected width by the caller).
+#[inline]
+pub fn run_project(ops: &[Op], record: &[u8], out: &mut [u8]) {
+    for op in ops {
+        match *op {
+            Op::Copy { src, width, dst } => {
+                out[dst as usize..(dst + width) as usize]
+                    .copy_from_slice(&record[src as usize..(src + width) as usize]);
+            }
+            _ => unreachable!("non-copy op in projection fragment"),
+        }
+    }
+}
+
+/// Run an expression fragment; the result is the value of the last
+/// instruction's destination register.
+#[inline]
+pub fn run_expr(ops: &[Op], pool: &ConstPool, record: &[u8], regs: &mut [f64]) -> f64 {
+    let mut result = 0.0;
+    for op in ops {
+        result = match *op {
+            Op::LoadF { dst, offset } => {
+                regs[dst as usize] = read_f64_at(record, offset as usize);
+                regs[dst as usize]
+            }
+            Op::LoadI32F { dst, offset } => {
+                regs[dst as usize] = read_i32_at(record, offset as usize) as f64;
+                regs[dst as usize]
+            }
+            Op::LoadI64F { dst, offset } => {
+                regs[dst as usize] = read_i64_at(record, offset as usize) as f64;
+                regs[dst as usize]
+            }
+            Op::ConstF { dst, value } => {
+                regs[dst as usize] = value;
+                regs[dst as usize]
+            }
+            Op::PoolF { dst, idx } => {
+                regs[dst as usize] = pool.floats[idx as usize];
+                regs[dst as usize]
+            }
+            Op::Arith { op, dst, a, b } => {
+                let (l, r) = (regs[a as usize], regs[b as usize]);
+                regs[dst as usize] = match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => l / r,
+                };
+                regs[dst as usize]
+            }
+            _ => unreachable!("non-expression op in expression fragment"),
+        };
+    }
+    result
+}
+
+/// Run a (single-instruction) key-image fragment, returning the key's
+/// `i64` image — bit-compatible with the static kernels'
+/// `CompiledKey::as_i64`, so hash placement agrees across engine modes.
+#[inline]
+pub fn run_image(ops: &[Op], record: &[u8]) -> i64 {
+    let mut image = 0i64;
+    for op in ops {
+        image = match *op {
+            Op::ImageI32 { offset } => read_i32_at(record, offset as usize) as i64,
+            Op::ImageI64 { offset } => read_i64_at(record, offset as usize),
+            Op::ImageF64 { offset } => {
+                let bits = read_f64_at(record, offset as usize).to_bits() as i64;
+                bits ^ (((bits >> 63) as u64) >> 1) as i64
+            }
+            Op::ImageChar { offset, width } => {
+                let take = (width as usize).min(8);
+                let bytes = &record[offset as usize..offset as usize + take];
+                let mut buf = [0u8; 8];
+                buf[..take].copy_from_slice(bytes);
+                i64::from_be_bytes(buf)
+            }
+            _ => unreachable!("non-image op in image fragment"),
+        };
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hique_types::tuple::encode_record;
+    use hique_types::{Column, DataType, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("i", DataType::Int32),
+            Column::new("f", DataType::Float64),
+            Column::new("s", DataType::Char(6)),
+            Column::new("l", DataType::Int64),
+        ])
+    }
+
+    fn record(i: i32, f: f64, s: &str, l: i64) -> Vec<u8> {
+        encode_record(
+            &schema(),
+            &[
+                Value::Int32(i),
+                Value::Float64(f),
+                Value::Str(s.into()),
+                Value::Int64(l),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_fragment_short_circuits_and_counts() {
+        let s = schema();
+        let rec = record(5, 2.5, "abc", 77);
+        let mut pool = ConstPool::default();
+        let slot = pool.push_bytes(b"abc   ".to_vec());
+        let ops = [
+            Op::TestI32 {
+                offset: s.offset(0) as u32,
+                op: CmpOp::Eq,
+                rhs: RhsI::Imm(5),
+            },
+            Op::TestF64 {
+                offset: s.offset(1) as u32,
+                op: CmpOp::Lt,
+                rhs: RhsF::Imm(3.0),
+            },
+            Op::TestBytes {
+                offset: s.offset(2) as u32,
+                width: 6,
+                op: CmpOp::Eq,
+                pool: slot,
+            },
+        ];
+        let mut cmp = 0u64;
+        assert!(run_filter(&ops, &pool, &rec, &mut cmp));
+        assert_eq!(cmp, 3);
+        // First test fails: the rest are skipped.
+        let miss = record(6, 2.5, "abc", 77);
+        cmp = 0;
+        assert!(!run_filter(&ops, &pool, &miss, &mut cmp));
+        assert_eq!(cmp, 1);
+    }
+
+    #[test]
+    fn pooled_and_immediate_operands_agree() {
+        let s = schema();
+        let rec = record(5, 2.5, "abc", 77);
+        let mut pool = ConstPool::default();
+        let islot = pool.push_int(5);
+        let mut cmp = 0u64;
+        let pooled = [Op::TestI32 {
+            offset: s.offset(0) as u32,
+            op: CmpOp::Eq,
+            rhs: RhsI::Pool(islot),
+        }];
+        let imm = [Op::TestI32 {
+            offset: s.offset(0) as u32,
+            op: CmpOp::Eq,
+            rhs: RhsI::Imm(5),
+        }];
+        assert_eq!(
+            run_filter(&pooled, &pool, &rec, &mut cmp),
+            run_filter(&imm, &pool, &rec, &mut cmp)
+        );
+    }
+
+    #[test]
+    fn expression_fragment_evaluates_registers() {
+        let s = schema();
+        let rec = record(4, 0.25, "zz", 8);
+        let pool = ConstPool::default();
+        // f * (1 - i) + l  ==  0.25 * (1 - 4) + 8  ==  7.25
+        let ops = [
+            Op::LoadF {
+                dst: 0,
+                offset: s.offset(1) as u32,
+            },
+            Op::ConstF { dst: 1, value: 1.0 },
+            Op::LoadI32F {
+                dst: 2,
+                offset: s.offset(0) as u32,
+            },
+            Op::Arith {
+                op: BinOp::Sub,
+                dst: 1,
+                a: 1,
+                b: 2,
+            },
+            Op::Arith {
+                op: BinOp::Mul,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+            Op::LoadI64F {
+                dst: 1,
+                offset: s.offset(3) as u32,
+            },
+            Op::Arith {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+        ];
+        let mut regs = [0.0; 4];
+        assert!((run_expr(&ops, &pool, &rec, &mut regs) - 7.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_images_match_static_kernels() {
+        use hique_holistic::kernel::CompiledKey;
+        let s = schema();
+        let recs = [
+            record(-3, -0.0, "ab", i64::MIN + 1),
+            record(7, 3.75, "zzzzzz", 42),
+        ];
+        for (col, op) in [
+            (
+                0usize,
+                Op::ImageI32 {
+                    offset: s.offset(0) as u32,
+                },
+            ),
+            (
+                1,
+                Op::ImageF64 {
+                    offset: s.offset(1) as u32,
+                },
+            ),
+            (
+                2,
+                Op::ImageChar {
+                    offset: s.offset(2) as u32,
+                    width: 6,
+                },
+            ),
+            (
+                3,
+                Op::ImageI64 {
+                    offset: s.offset(3) as u32,
+                },
+            ),
+        ] {
+            let key = CompiledKey::compile(&s, col);
+            for rec in &recs {
+                assert_eq!(run_image(&[op], rec), key.as_i64(rec), "column {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_fragment_copies_ranges() {
+        let s = schema();
+        let rec = record(9, 1.5, "xy", 33);
+        let ops = [
+            Op::Copy {
+                src: s.offset(3) as u32,
+                width: 8,
+                dst: 0,
+            },
+            Op::Copy {
+                src: s.offset(0) as u32,
+                width: 4,
+                dst: 8,
+            },
+        ];
+        let mut out = vec![0u8; 12];
+        run_project(&ops, &rec, &mut out);
+        assert_eq!(read_i64_at(&out, 0), 33);
+        assert_eq!(read_i32_at(&out, 8), 9);
+    }
+}

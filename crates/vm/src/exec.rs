@@ -1,0 +1,580 @@
+//! Executing a compiled bytecode program.
+//!
+//! The executor walks the same evaluate-query shape as the holistic
+//! engine's composed program (stage every input → join cascade →
+//! aggregation → output, DESIGN.md §2) but every per-record kernel —
+//! filter, projection, key image, argument expression, output decode — is
+//! interpreted bytecode from the [`VmProgram`] instead of a statically
+//! compiled Rust kernel.  Join steps and aggregation run as deterministic
+//! hash algorithms over the same order-preserving `i64` key images the
+//! static kernels use: build the right input in staging order, probe the
+//! left input in staging order, emit left-major — one fixed order for
+//! every thread count and budget, which is what keeps results
+//! bit-identical across the conformance matrix.
+//!
+//! The execution contract is the engine contract everywhere else
+//! (DESIGN.md §7/§9/§12): [`ExecOptions`] threads/budget/cancel,
+//! page-at-a-time heap scans through pin guards, staged inputs spilled
+//! through the catalog's [`SpillContext`] namespace and consumed
+//! page-at-a-time when streaming, full [`ExecStats`] with the same merge
+//! semantics, and cooperative cancellation checked at page granularity.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use hique_holistic::kernel::CompiledKey;
+use hique_holistic::spill::StagedSlot;
+use hique_holistic::staging::StagedInput;
+use hique_holistic::{ExecOptions, GeneratedQuery, StagedRelation};
+use hique_par::{chunk_ranges, ScopedPool};
+use hique_pipeline::SpillContext;
+use hique_plan::{JoinAlgorithm, StagedTable};
+use hique_sql::ast::AggFunc;
+use hique_storage::{Catalog, TableHeap};
+use hique_types::{
+    result::finalize_rows, CancelToken, DataType, ExecStats, HiqueError, PhaseTimings, QueryResult,
+    Result, Row, Value,
+};
+
+use crate::bytecode::{run_expr, run_filter, run_image, run_project, ConstPool, Frag, Op};
+use crate::program::{OutputOp, TableFrags, VmProgram};
+
+/// Probe-side records between cancellation checks in a hash join.
+const CANCEL_BATCH: usize = 4096;
+
+impl VmProgram {
+    /// Execute this program; see [`execute`].
+    pub fn execute(
+        &self,
+        generated: &GeneratedQuery,
+        catalog: &Catalog,
+        options: &ExecOptions,
+    ) -> Result<QueryResult> {
+        execute(self, generated, catalog, options)
+    }
+}
+
+/// Execute a compiled program.
+///
+/// `generated` must be the query the program was compiled for (or rebound
+/// to via [`VmProgram::bind`]): the plan-shape signature is re-derived and
+/// checked, so executing bytecode against a foreign plan is a typed error
+/// instead of garbage decoding.
+pub fn execute(
+    program: &VmProgram,
+    generated: &GeneratedQuery,
+    catalog: &Catalog,
+    options: &ExecOptions,
+) -> Result<QueryResult> {
+    if crate::program::plan_signature(generated, catalog)? != program.signature {
+        return Err(HiqueError::Execution(
+            "bytecode program does not match the prepared plan shape".into(),
+        ));
+    }
+    let plan = generated.plan();
+    let code = &program.code[..];
+    let consts = &program.pool;
+    let mut stats = ExecStats::new();
+    let mut timings = PhaseTimings::new();
+    let pool = ScopedPool::new(if options.threads == 0 {
+        plan.threads
+    } else {
+        options.threads
+    });
+    let budget_pages = if options.memory_budget_pages == 0 {
+        plan.memory_budget_pages
+    } else {
+        options.memory_budget_pages
+    };
+    let cancel = &options.cancel;
+    let spill_ctx: Option<SpillContext> = match (budget_pages, catalog.storage()) {
+        (pages, Some(runtime)) if pages > 0 => Some(SpillContext::acquire_cancellable(
+            runtime.temp(),
+            pages,
+            cancel.clone(),
+        )?),
+        _ => None,
+    };
+    let spill = spill_ctx.as_ref();
+    let io_base = catalog.pool_stats();
+    let faults_base = catalog.faults_injected();
+    let peak_window = catalog.buffer_pool().map(|p| p.begin_peak_window());
+
+    // ---- Staging -----------------------------------------------------------
+    let t0 = Instant::now();
+    let mut staged: Vec<Option<StagedSlot>> = (0..plan.staged.len()).map(|_| None).collect();
+    for &t in &plan.join_order {
+        cancel.check()?;
+        let info = catalog.table(&plan.staged[t].table_name)?;
+        let input = stage_table(
+            &info.heap,
+            &plan.staged[t],
+            &program.tables[t],
+            code,
+            consts,
+            &mut stats,
+            &pool,
+            cancel,
+        )?;
+        staged[t] = Some(StagedSlot::stage(input, spill)?);
+    }
+    timings.record("staging", t0.elapsed());
+
+    // ---- Joins -------------------------------------------------------------
+    let t1 = Instant::now();
+    let streams_to_sink = plan.aggregate.is_none();
+    let mut sink = if options.collect_rows {
+        OutputSink::Collect {
+            outputs: &program.outputs,
+            code,
+            consts,
+            regs: vec![0.0; program.float_registers],
+            rows: Vec::new(),
+        }
+    } else {
+        OutputSink::Count(0)
+    };
+    let mut final_slot: Option<StagedSlot> = None;
+
+    // The join cascade, unified over binary steps and join teams: a team
+    // over a shared key is a cascade of hash joins where the left key is
+    // always member 0's key column (its offset is stable — member 0 stays
+    // the record prefix as the intermediate grows).
+    struct CascadeStep {
+        right: usize,
+        left_image: Frag,
+        right_image: Frag,
+        algorithm: JoinAlgorithm,
+    }
+    let steps: Vec<CascadeStep> = if let Some(team) = &plan.join_team {
+        team.members[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| CascadeStep {
+                right: m,
+                left_image: program.team_images[0],
+                right_image: program.team_images[i + 1],
+                algorithm: team.algorithm,
+            })
+            .collect()
+    } else {
+        plan.joins
+            .iter()
+            .zip(&program.joins)
+            .map(|(step, frags)| CascadeStep {
+                right: step.right,
+                left_image: frags.left_image,
+                right_image: frags.right_image,
+                algorithm: step.algorithm,
+            })
+            .collect()
+    };
+    let first = if let Some(team) = &plan.join_team {
+        team.members[0]
+    } else {
+        plan.join_order[0]
+    };
+
+    if steps.is_empty() {
+        final_slot = Some(staged[first].take().expect("single input staged"));
+    } else {
+        let mut current_slot = staged[first].take().expect("first input staged");
+        let mut current_schema = plan.staged[first].schema.clone();
+        for (i, step) in steps.iter().enumerate() {
+            cancel.check()?;
+            if step.algorithm == JoinAlgorithm::NestedLoops {
+                return Err(HiqueError::Unsupported(
+                    "nested-loops cross products are not generated".into(),
+                ));
+            }
+            let current = current_slot.into_input(spill)?;
+            let right_desc = &plan.staged[step.right];
+            let right = staged[step.right]
+                .take()
+                .expect("right input staged")
+                .into_input(spill)?;
+            let out_schema = current_schema.join(&right_desc.schema);
+            let last = i == steps.len() - 1;
+            let stream_this = last && streams_to_sink;
+
+            let mut out = StagedRelation::new(out_schema.clone());
+            let mut buf = vec![0u8; out_schema.tuple_size()];
+            hash_join(
+                &current.relation,
+                &right.relation,
+                step.left_image.ops(code),
+                step.right_image.ops(code),
+                &mut stats,
+                cancel,
+                &mut |lrec, rrec| {
+                    buf[..lrec.len()].copy_from_slice(lrec);
+                    buf[lrec.len()..].copy_from_slice(rrec);
+                    if stream_this {
+                        sink.consume(&buf);
+                    } else {
+                        out.push(&buf);
+                    }
+                },
+            )?;
+            if !stream_this {
+                stats.add_materialized(out.data_bytes());
+                current_slot = StagedSlot::stage(StagedInput::unpartitioned(out), spill)?;
+            } else {
+                current_slot = StagedSlot::Mem(StagedInput::unpartitioned(StagedRelation::new(
+                    out_schema.clone(),
+                )));
+            }
+            current_schema = out_schema;
+        }
+        if !streams_to_sink {
+            final_slot = Some(current_slot);
+        }
+    }
+    timings.record("join", t1.elapsed());
+
+    // ---- Aggregation -------------------------------------------------------
+    let mut rows: Vec<Row> = Vec::new();
+    if let Some(spec) = &plan.aggregate {
+        let t2 = Instant::now();
+        cancel.check()?;
+        let frags = program
+            .agg
+            .as_ref()
+            .expect("aggregation fragments compiled");
+        let slot = final_slot
+            .take()
+            .ok_or_else(|| HiqueError::Execution("aggregation input missing".into()))?;
+        let group_keys: Vec<CompiledKey> = spec
+            .group_columns
+            .iter()
+            .map(|&c| CompiledKey::compile(&plan.joined_schema, c))
+            .collect();
+        let tuple_size = plan.joined_schema.tuple_size();
+        let n_aggs = frags.args.len();
+        let mut regs = vec![0.0f64; program.float_registers];
+        // Hash aggregation in first-occurrence order: group identity is the
+        // tuple of key images (the same identity the static kernels use for
+        // directories and sort grouping).
+        let mut index: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Value>, Vec<Accum>)> = Vec::new();
+        {
+            let mut process = |rec: &[u8]| {
+                stats.add_tuple(tuple_size);
+                stats.add_hashes(1);
+                let key: Vec<i64> = frags
+                    .group_images
+                    .iter()
+                    .map(|f| run_image(f.ops(code), rec))
+                    .collect();
+                let gi = match index.get(&key) {
+                    Some(&gi) => gi,
+                    None => {
+                        let values = group_keys.iter().map(|k| k.value(rec)).collect();
+                        groups.push((values, vec![Accum::new(); n_aggs]));
+                        index.insert(key, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                let accums = &mut groups[gi].1;
+                for (a, arg) in frags.args.iter().enumerate() {
+                    match arg {
+                        Some(f) => accums[a].update(run_expr(f.ops(code), consts, rec, &mut regs)),
+                        None => accums[a].update_count_only(),
+                    }
+                }
+            };
+            if slot.is_spilled() {
+                // Page-at-a-time: aggregate straight off pinned pool pages.
+                let set = slot.partitions(spill)?;
+                set.for_each_record(&mut process)?;
+            } else {
+                let input = slot.into_input(spill)?;
+                for rec in input.relation.records() {
+                    process(rec);
+                }
+            }
+        }
+        for (values, accums) in &groups {
+            let row: Vec<Value> = program
+                .outputs
+                .iter()
+                .map(|o| match o {
+                    OutputOp::Group(p) => values[*p].clone(),
+                    OutputOp::Aggregate(i) => {
+                        let a = &spec.aggregates[*i];
+                        accums[*i].finish(a.func, a.dtype)
+                    }
+                    _ => unreachable!("scalar output in aggregate query"),
+                })
+                .collect();
+            rows.push(Row::new(row));
+        }
+        timings.record("aggregation", t2.elapsed());
+    } else if let Some(slot) = final_slot.take() {
+        let t3 = Instant::now();
+        cancel.check()?;
+        if slot.is_spilled() {
+            // Page-at-a-time decode off pinned pool pages; the spilled
+            // relation is never re-materialized on its way to the sink.
+            let set = slot.partitions(spill)?;
+            set.for_each_record(|rec| sink.consume(rec))?;
+        } else {
+            let input = slot.into_input(spill)?;
+            for rec in input.relation.records() {
+                sink.consume(rec);
+            }
+        }
+        timings.record("output", t3.elapsed());
+    }
+
+    // ---- Finalize ----------------------------------------------------------
+    let t4 = Instant::now();
+    match sink {
+        OutputSink::Collect {
+            rows: sink_rows, ..
+        } if plan.aggregate.is_none() => {
+            rows = sink_rows;
+        }
+        OutputSink::Count(n) if plan.aggregate.is_none() => {
+            stats.rows_out = n;
+        }
+        _ => {}
+    }
+    finalize_rows(&mut rows, &plan.order_by, plan.limit);
+    if options.collect_rows || plan.aggregate.is_some() {
+        stats.rows_out = rows.len() as u64;
+    }
+    timings.record("output", t4.elapsed());
+
+    stats.io = catalog.pool_stats().since(&io_base);
+    if let Some(ctx) = &spill_ctx {
+        stats.spilled_temporaries = ctx.spill_count();
+        stats.spill_claim_denied = ctx.claim_denied();
+        stats.spill_consumer_peak_pages = ctx.meter().peak() as u64;
+    }
+    stats.peak_resident_pages = peak_window.map(|w| w.end() as u64).unwrap_or(0);
+    stats.faults_injected = catalog.faults_injected().saturating_sub(faults_base);
+
+    Ok(QueryResult {
+        schema: plan.output_schema.clone(),
+        rows,
+        stats,
+        timings,
+    })
+}
+
+/// Scan one base table through its bytecode filter/projection fragments,
+/// dividing the heap pages across the pool.  Page chunks are merged in
+/// chunk order, so the staged relation is byte-identical for every thread
+/// count; workers observe the shared cancellation token once per page.
+fn stage_table(
+    heap: &TableHeap,
+    desc: &StagedTable,
+    frags: &TableFrags,
+    code: &[Op],
+    consts: &ConstPool,
+    stats: &mut ExecStats,
+    pool: &ScopedPool,
+    cancel: &CancelToken,
+) -> Result<StagedInput> {
+    let base_ts = heap.schema().tuple_size();
+    let out_width = desc.schema.tuple_size();
+    let chunks = chunk_ranges(heap.num_pages(), pool.threads());
+    // One operator invocation: the compiled staging fragment is one call.
+    stats.add_calls(1);
+    let worker_outputs: Vec<Result<(Vec<u8>, ExecStats)>> = pool.map_items(&chunks, |_, pages| {
+        let mut local = ExecStats::new();
+        let mut out: Vec<u8> = Vec::new();
+        let mut buf = vec![0u8; out_width];
+        for p in pages.clone() {
+            cancel.check()?;
+            let page = heap.page_guard(p)?;
+            for record in page.records() {
+                local.add_tuple(base_ts);
+                if !run_filter(
+                    frags.filter.ops(code),
+                    consts,
+                    record,
+                    &mut local.comparisons,
+                ) {
+                    continue;
+                }
+                run_project(frags.project.ops(code), record, &mut buf);
+                out.extend_from_slice(&buf);
+            }
+        }
+        Ok((out, local))
+    });
+    let mut data: Vec<u8> = Vec::new();
+    for r in worker_outputs {
+        let (chunk, local) = r?;
+        data.extend_from_slice(&chunk);
+        stats.merge(&local);
+    }
+    let rel = StagedRelation::from_partitions(desc.schema.clone(), vec![data]);
+    stats.add_materialized(rel.data_bytes());
+    Ok(StagedInput::unpartitioned(rel))
+}
+
+/// Deterministic hash join over key images: build the right input in its
+/// staging order, probe the left input in its staging order, emit matches
+/// left-major with build-order ties — one fixed emission order regardless
+/// of thread count or partitioning, matching every staging strategy the
+/// planner may have chosen for the inputs (the images are the keys the
+/// strategies organise by).
+fn hash_join(
+    left: &StagedRelation,
+    right: &StagedRelation,
+    left_image: &[Op],
+    right_image: &[Op],
+    stats: &mut ExecStats,
+    cancel: &CancelToken,
+    emit: &mut impl FnMut(&[u8], &[u8]),
+) -> Result<()> {
+    // One generated join function per step.
+    stats.add_calls(1);
+    let rrecs: Vec<&[u8]> = right.records().collect();
+    let mut table: HashMap<i64, Vec<u32>> = HashMap::new();
+    for (i, rec) in rrecs.iter().enumerate() {
+        stats.add_tuple(rec.len());
+        stats.add_hashes(1);
+        table
+            .entry(run_image(right_image, rec))
+            .or_default()
+            .push(i as u32);
+    }
+    let mut since_check = 0usize;
+    for lrec in left.records() {
+        since_check += 1;
+        if since_check >= CANCEL_BATCH {
+            since_check = 0;
+            cancel.check()?;
+        }
+        stats.add_tuple(lrec.len());
+        stats.add_hashes(1);
+        if let Some(matches) = table.get(&run_image(left_image, lrec)) {
+            stats.add_comparisons(matches.len() as u64);
+            for &ri in matches {
+                emit(lrec, rrecs[ri as usize]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A sink receiving final (non-aggregated) output tuples.
+enum OutputSink<'a> {
+    Collect {
+        outputs: &'a [OutputOp],
+        code: &'a [Op],
+        consts: &'a ConstPool,
+        regs: Vec<f64>,
+        rows: Vec<Row>,
+    },
+    Count(u64),
+}
+
+impl OutputSink<'_> {
+    #[inline]
+    fn consume(&mut self, record: &[u8]) {
+        match self {
+            OutputSink::Collect {
+                outputs,
+                code,
+                consts,
+                regs,
+                rows,
+            } => {
+                rows.push(decode_output_row(outputs, code, consts, regs, record));
+            }
+            OutputSink::Count(n) => *n += 1,
+        }
+    }
+}
+
+/// Decode one record through the bytecode output kernels (the VM analogue
+/// of the holistic executor's `decode_output_row`, including its numeric
+/// cast table).
+fn decode_output_row(
+    outputs: &[OutputOp],
+    code: &[Op],
+    consts: &ConstPool,
+    regs: &mut [f64],
+    record: &[u8],
+) -> Row {
+    let values: Vec<Value> = outputs
+        .iter()
+        .map(|o| match o {
+            OutputOp::Column(key) => key.value(record),
+            OutputOp::Expr(frag, dtype) => {
+                let v = run_expr(frag.ops(code), consts, record, regs);
+                match dtype {
+                    DataType::Int32 => Value::Int32(v as i32),
+                    DataType::Int64 => Value::Int64(v as i64),
+                    DataType::Date => Value::Date(v as i32),
+                    _ => Value::Float64(v),
+                }
+            }
+            OutputOp::Group(_) | OutputOp::Aggregate(_) => {
+                unreachable!("aggregate kernels in a non-aggregate sink")
+            }
+        })
+        .collect();
+    Row::new(values)
+}
+
+/// Aggregate accumulator with the exact semantics of the static kernels'
+/// (`sum`/`count`/`min`/`max` over `f64`, typed finish per function).
+#[derive(Debug, Clone, Copy)]
+struct Accum {
+    sum: f64,
+    count: i64,
+    min: f64,
+    max: f64,
+}
+
+impl Accum {
+    fn new() -> Self {
+        Accum {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline(always)]
+    fn update(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    #[inline(always)]
+    fn update_count_only(&mut self) {
+        self.count += 1;
+    }
+
+    fn finish(&self, func: AggFunc, dtype: DataType) -> Value {
+        match func {
+            AggFunc::Count => Value::Int64(self.count),
+            AggFunc::Sum => match dtype {
+                DataType::Int64 => Value::Int64(self.sum as i64),
+                DataType::Int32 => Value::Int32(self.sum as i32),
+                _ => Value::Float64(self.sum),
+            },
+            AggFunc::Avg => Value::Float64(if self.count == 0 {
+                f64::NAN
+            } else {
+                self.sum / self.count as f64
+            }),
+            AggFunc::Min => Value::Float64(self.min),
+            AggFunc::Max => Value::Float64(self.max),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Query-time kernel compilation: the bytecode VM engine mode.
+//!
+//! The paper's holistic model generates C source per query and compiles it
+//! with `gcc` at prepare time; this workspace's `hique-holistic` crate
+//! *renders* that source but executes statically pre-instantiated Rust
+//! kernels (DESIGN.md §2).  This crate closes the gap with compilation
+//! that really happens at query time: [`compile`] lowers the rendered
+//! kernel program into compact register-machine bytecode
+//! ([`bytecode::Op`]), and [`exec::execute`] runs it as the fifth engine
+//! mode (`vm`) under the same execution contract as the others — threads,
+//! memory budget, spill namespaces, cancellation, full [`ExecStats`]
+//! parity (DESIGN.md §13).
+//!
+//! Constant specialization is the paper's headline trick and the axis this
+//! crate makes explicit: a [`CompileMode::Specialized`] program folds the
+//! query's predicate constants into the instructions as immediates, while
+//! a [`CompileMode::Pooled`] program keeps them in a [`ConstPool`] so the
+//! compiled code is a template for its entire `shape_class` — the server's
+//! plan cache stores both, serving repeat queries the specialized program
+//! and literal-varying classmates a cheap [`VmProgram::bind`] (signature
+//! checked, pool swapped, constants folded) instead of a full prepare.
+//!
+//! [`ExecStats`]: hique_types::ExecStats
+
+pub mod bytecode;
+pub mod exec;
+pub mod program;
+
+pub use bytecode::{ConstPool, Frag, Op};
+pub use exec::execute;
+pub use program::{collect_pool, compile, plan_signature, CompileMode, VmProgram};

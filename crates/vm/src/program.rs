@@ -1,0 +1,684 @@
+//! Lowering a generated kernel program to bytecode.
+//!
+//! [`compile`] walks the rendered program ([`GeneratedQuery`]) exactly the
+//! way the executor will run it — staging filters and projections per
+//! table, key images per join step and team member, argument expressions
+//! per aggregate, decode kernels per output column — and emits one flat
+//! code array with a fragment table over it.  The walk is canonical: the
+//! same plan shape always produces the same instruction sequence and the
+//! same constant-pool extraction order, which is what makes a
+//! [`CompileMode::Pooled`] program a rebindable template for its whole
+//! `shape_class`.
+//!
+//! Rebinding ([`VmProgram::bind`]) is guarded by a *plan-shape signature*:
+//! a structural hash of everything the bytecode's offsets and fragment
+//! layout depend on (schemas, kept columns, join order and key columns,
+//! aggregate and output structure) and nothing they do not (constant
+//! values, cardinality estimates, algorithm choices).  Two queries of one
+//! shape class that re-plan to the same structure share one compiled
+//! program; a class-mate whose constants change the join order simply
+//! falls back to a fresh compile.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+use hique_holistic::kernel::{CompiledExpr, CompiledKey};
+use hique_holistic::{GeneratedQuery, OutputKernel};
+use hique_sql::analyze::ScalarExpr;
+use hique_storage::Catalog;
+use hique_types::{DataType, HiqueError, Result, Schema};
+
+use crate::bytecode::{ConstPool, Frag, Op, RhsF, RhsI};
+
+/// Constant-handling strategy of a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileMode {
+    /// Numeric constants folded into the instructions as immediates — the
+    /// paper's per-query specialization (string constants stay pooled;
+    /// they are compared by reference).
+    Specialized,
+    /// All constants in the pool: the program is a template shared by its
+    /// shape class and rebound per query via [`VmProgram::bind`].
+    Pooled,
+}
+
+/// Staging fragments of one input table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableFrags {
+    /// Conjunctive predicate tests over the base record.
+    pub filter: Frag,
+    /// Byte-range copies building the projected record.
+    pub project: Frag,
+}
+
+/// Key-image fragments of one binary join step.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinFrags {
+    /// Image of the left (accumulated intermediate) key column.
+    pub left_image: Frag,
+    /// Image of the right (staged input) key column.
+    pub right_image: Frag,
+}
+
+/// Aggregation fragments.
+#[derive(Debug, Clone, Default)]
+pub struct AggFrags {
+    /// One image fragment per grouping column (over the joined schema).
+    pub group_images: Vec<Frag>,
+    /// One argument expression per aggregate; `None` for `COUNT(*)`.
+    pub args: Vec<Option<Frag>>,
+}
+
+/// How one output column is decoded.
+#[derive(Debug, Clone)]
+pub enum OutputOp {
+    /// Decode the column at the key's offset (any type).
+    Column(CompiledKey),
+    /// Evaluate a bytecode expression and cast to the output type.
+    Expr(Frag, DataType),
+    /// The `i`-th grouping column of the aggregation output.
+    Group(usize),
+    /// The `i`-th aggregate of the aggregation output.
+    Aggregate(usize),
+}
+
+/// A compiled bytecode program: code, constants and the fragment table.
+///
+/// The program is pure code — it holds no plan. Execution takes the
+/// [`GeneratedQuery`] it was compiled from (or any shape-compatible one
+/// after [`VmProgram::bind`]); the signature check at execution time makes
+/// a mismatch a typed error instead of undefined decoding.
+#[derive(Debug, Clone)]
+pub struct VmProgram {
+    pub(crate) mode: CompileMode,
+    pub(crate) code: Vec<Op>,
+    pub(crate) pool: ConstPool,
+    /// Indexed by staged-table position in the plan.
+    pub(crate) tables: Vec<TableFrags>,
+    /// Indexed by join-step position.
+    pub(crate) joins: Vec<JoinFrags>,
+    /// One image fragment per join-team member (empty without a team).
+    pub(crate) team_images: Vec<Frag>,
+    pub(crate) agg: Option<AggFrags>,
+    pub(crate) outputs: Vec<OutputOp>,
+    pub(crate) float_registers: usize,
+    pub(crate) signature: u64,
+    pub(crate) compile_cost: Duration,
+}
+
+impl VmProgram {
+    /// The constant-handling mode this program was compiled in.
+    pub fn mode(&self) -> CompileMode {
+        self.mode
+    }
+
+    /// The plan-shape signature this program is bound to.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Wall time spent compiling (or rebinding) this program — the
+    /// bytecode share of the paper's Table III preparation cost.
+    pub fn compile_cost(&self) -> Duration {
+        self.compile_cost
+    }
+
+    /// Total instructions in the code array.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Float registers one evaluation frame needs.
+    pub fn float_registers(&self) -> usize {
+        self.float_registers
+    }
+
+    /// Whether any instruction still references the constant pool (always
+    /// `true` for pooled programs with constants; `false` for specialized
+    /// programs unless they carry string constants, which stay pooled).
+    pub fn has_pool_refs(&self) -> bool {
+        self.code.iter().any(|op| {
+            matches!(
+                op,
+                Op::TestI32 {
+                    rhs: RhsI::Pool(_),
+                    ..
+                } | Op::TestI64 {
+                    rhs: RhsI::Pool(_),
+                    ..
+                } | Op::TestF64 {
+                    rhs: RhsF::Pool(_),
+                    ..
+                } | Op::PoolF { .. }
+            )
+        })
+    }
+
+    /// Rebind a pooled template to another query of the same plan shape:
+    /// swap in `generated`'s constants and fold them to immediates.  The
+    /// result is a [`CompileMode::Specialized`] program for `generated`,
+    /// produced without re-lowering any code.  Typed errors when `self` is
+    /// not a template or the plan shapes diverge.
+    pub fn bind(&self, generated: &GeneratedQuery, catalog: &Catalog) -> Result<VmProgram> {
+        let started = Instant::now();
+        if self.mode != CompileMode::Pooled {
+            return Err(HiqueError::Codegen(
+                "only pooled templates can be rebound".into(),
+            ));
+        }
+        let sig = plan_signature(generated, catalog)?;
+        if sig != self.signature {
+            return Err(HiqueError::Unsupported(
+                "plan shape diverged from the cached template; full compile required".into(),
+            ));
+        }
+        let pool = collect_pool(generated, catalog)?;
+        if !self.pool.same_shape(&pool) {
+            return Err(HiqueError::Unsupported(
+                "constant vector shape diverged from the cached template".into(),
+            ));
+        }
+        let mut rebound = self.clone();
+        rebound.mode = CompileMode::Specialized;
+        rebound.pool = pool;
+        fold_constants(&mut rebound.code, &rebound.pool);
+        rebound.compile_cost = started.elapsed();
+        Ok(rebound)
+    }
+}
+
+/// Compile the rendered kernel program into bytecode.
+///
+/// The catalog supplies base-table schemas (filters run over base records,
+/// before projection, exactly like the static staging kernels).
+pub fn compile(
+    generated: &GeneratedQuery,
+    catalog: &Catalog,
+    mode: CompileMode,
+) -> Result<VmProgram> {
+    let started = Instant::now();
+    let plan = generated.plan();
+    let mut b = Builder::default();
+
+    // Staging fragments, in staged-table order (canonical, independent of
+    // the join order the executor stages in).
+    let mut tables = Vec::with_capacity(plan.staged.len());
+    for staged in &plan.staged {
+        let base = catalog.table(&staged.table_name)?.heap.schema().clone();
+        let filter_start = b.pc();
+        for f in &staged.filters {
+            b.emit_test(&base, f)?;
+        }
+        let filter = b.frag(filter_start);
+        let project_start = b.pc();
+        let mut dst = 0u32;
+        for &c in &staged.keep {
+            let width = base.column(c).dtype.width() as u32;
+            b.code.push(Op::Copy {
+                src: base.offset(c) as u32,
+                width,
+                dst,
+            });
+            dst += width;
+        }
+        let project = b.frag(project_start);
+        tables.push(TableFrags { filter, project });
+    }
+
+    // Join-step key images over the accumulating intermediate schema.
+    let mut joins = Vec::with_capacity(plan.joins.len());
+    if !plan.joins.is_empty() {
+        let mut current = plan.staged[plan.join_order[0]].schema.clone();
+        for step in &plan.joins {
+            let right = &plan.staged[step.right].schema;
+            let left_image = b.emit_image(&current, step.left_key);
+            let right_image = b.emit_image(right, step.right_key);
+            joins.push(JoinFrags {
+                left_image,
+                right_image,
+            });
+            current = current.join(right);
+        }
+    }
+
+    // Team-member key images (the executor synthesizes the team as a
+    // cascade of hash joins on the shared key).
+    let mut team_images = Vec::new();
+    if let Some(team) = &plan.join_team {
+        for (&m, &kc) in team.members.iter().zip(&team.key_columns) {
+            team_images.push(b.emit_image(&plan.staged[m].schema, kc));
+        }
+    }
+
+    // Aggregation fragments over the joined schema.
+    let agg = match &plan.aggregate {
+        Some(spec) => {
+            let mut frags = AggFrags::default();
+            for &g in &spec.group_columns {
+                frags
+                    .group_images
+                    .push(b.emit_image(&plan.joined_schema, g));
+            }
+            for a in &spec.aggregates {
+                frags.args.push(match &a.arg {
+                    Some(e) => Some(b.emit_scalar_expr(e, &plan.joined_schema)?),
+                    None => None,
+                });
+            }
+            Some(frags)
+        }
+        None => None,
+    };
+
+    // Output decode kernels, lowered from the generator's output kernels.
+    let mut outputs = Vec::with_capacity(generated.outputs().len());
+    for kernel in generated.outputs() {
+        outputs.push(match kernel {
+            OutputKernel::Column(key) => OutputOp::Column(*key),
+            OutputKernel::Expr(expr, dtype) => {
+                let frag = b.emit_compiled_expr(expr)?;
+                OutputOp::Expr(frag, *dtype)
+            }
+            OutputKernel::GroupPosition(p) => OutputOp::Group(*p),
+            OutputKernel::AggregatePosition(i) => OutputOp::Aggregate(*i),
+        });
+    }
+
+    let mut program = VmProgram {
+        mode,
+        code: b.code,
+        pool: b.pool,
+        tables,
+        joins,
+        team_images,
+        agg,
+        outputs,
+        float_registers: b.max_regs.max(1),
+        signature: plan_signature(generated, catalog)?,
+        compile_cost: Duration::ZERO,
+    };
+    if mode == CompileMode::Specialized {
+        fold_constants(&mut program.code, &program.pool);
+    }
+    program.compile_cost = started.elapsed();
+    Ok(program)
+}
+
+/// Rewrite pooled numeric operands into immediates (string constants stay
+/// pooled — they are compared by reference, never copied into code).
+fn fold_constants(code: &mut [Op], pool: &ConstPool) {
+    for op in code.iter_mut() {
+        match op {
+            Op::TestI32 { rhs, .. } | Op::TestI64 { rhs, .. } => {
+                if let RhsI::Pool(i) = *rhs {
+                    *rhs = RhsI::Imm(pool.ints[i as usize]);
+                }
+            }
+            Op::TestF64 { rhs, .. } => {
+                if let RhsF::Pool(i) = *rhs {
+                    *rhs = RhsF::Imm(pool.floats[i as usize]);
+                }
+            }
+            Op::PoolF { dst, idx } => {
+                *op = Op::ConstF {
+                    dst: *dst,
+                    value: pool.floats[*idx as usize],
+                };
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Emission state: the growing code array, pool, and register high-water.
+#[derive(Default)]
+struct Builder {
+    code: Vec<Op>,
+    pool: ConstPool,
+    max_regs: usize,
+}
+
+impl Builder {
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn frag(&self, start: u32) -> Frag {
+        Frag {
+            start,
+            end: self.pc(),
+        }
+    }
+
+    /// One predicate test, typed by the base column (mirrors the static
+    /// `CompiledFilter::compile` constant conversions exactly).
+    fn emit_test(&mut self, base: &Schema, f: &hique_sql::analyze::ColumnFilter) -> Result<()> {
+        let offset = base.offset(f.column) as u32;
+        let op = match base.column(f.column).dtype {
+            DataType::Int32 | DataType::Date => Op::TestI32 {
+                offset,
+                op: f.op,
+                rhs: RhsI::Pool(self.pool.push_int(f.value.as_i64()? as i32 as i64)),
+            },
+            DataType::Int64 => Op::TestI64 {
+                offset,
+                op: f.op,
+                rhs: RhsI::Pool(self.pool.push_int(f.value.as_i64()?)),
+            },
+            DataType::Float64 => Op::TestF64 {
+                offset,
+                op: f.op,
+                rhs: RhsF::Pool(self.pool.push_float(f.value.as_f64()?)),
+            },
+            DataType::Char(w) => {
+                let s = f.value.as_str().ok_or_else(|| {
+                    HiqueError::Codegen("string filter on non-string constant".into())
+                })?;
+                let mut bytes = s.as_bytes().to_vec();
+                bytes.resize(w as usize, b' ');
+                Op::TestBytes {
+                    offset,
+                    width: w as u32,
+                    op: f.op,
+                    pool: self.pool.push_bytes(bytes),
+                }
+            }
+        };
+        self.code.push(op);
+        Ok(())
+    }
+
+    /// One key-image instruction for `column` of `schema`.
+    fn emit_image(&mut self, schema: &Schema, column: usize) -> Frag {
+        let start = self.pc();
+        let offset = schema.offset(column) as u32;
+        let col = schema.column(column);
+        self.code.push(match col.dtype {
+            DataType::Int32 | DataType::Date => Op::ImageI32 { offset },
+            DataType::Int64 => Op::ImageI64 { offset },
+            DataType::Float64 => Op::ImageF64 { offset },
+            DataType::Char(w) => Op::ImageChar {
+                offset,
+                width: w as u32,
+            },
+        });
+        self.frag(start)
+    }
+
+    /// Lower an analyzed scalar expression (aggregate arguments).
+    fn emit_scalar_expr(&mut self, expr: &ScalarExpr, schema: &Schema) -> Result<Frag> {
+        let start = self.pc();
+        self.lower_scalar(expr, schema, 0)?;
+        Ok(self.frag(start))
+    }
+
+    fn lower_scalar(&mut self, expr: &ScalarExpr, schema: &Schema, reg: u8) -> Result<()> {
+        self.max_regs = self.max_regs.max(reg as usize + 1);
+        match expr {
+            ScalarExpr::Column { index, dtype } => {
+                let offset = schema.offset(*index) as u32;
+                self.code.push(match dtype {
+                    DataType::Int32 | DataType::Date => Op::LoadI32F { dst: reg, offset },
+                    DataType::Int64 => Op::LoadI64F { dst: reg, offset },
+                    DataType::Float64 => Op::LoadF { dst: reg, offset },
+                    DataType::Char(_) => {
+                        return Err(HiqueError::Codegen(
+                            "string column in arithmetic expression".into(),
+                        ))
+                    }
+                });
+            }
+            ScalarExpr::Literal(v) => {
+                let idx = self.pool.push_float(v.as_f64()?);
+                self.code.push(Op::PoolF { dst: reg, idx });
+            }
+            ScalarExpr::Binary {
+                op, left, right, ..
+            } => {
+                self.lower_scalar(left, schema, reg)?;
+                self.lower_scalar(right, schema, reg + 1)?;
+                self.code.push(Op::Arith {
+                    op: *op,
+                    dst: reg,
+                    a: reg,
+                    b: reg + 1,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower an already-instantiated kernel expression (output kernels).
+    fn emit_compiled_expr(&mut self, expr: &CompiledExpr) -> Result<Frag> {
+        let start = self.pc();
+        self.lower_compiled(expr, 0)?;
+        Ok(self.frag(start))
+    }
+
+    fn lower_compiled(&mut self, expr: &CompiledExpr, reg: u8) -> Result<()> {
+        self.max_regs = self.max_regs.max(reg as usize + 1);
+        match expr {
+            CompiledExpr::ColI32(off) => self.code.push(Op::LoadI32F {
+                dst: reg,
+                offset: *off as u32,
+            }),
+            CompiledExpr::ColI64(off) => self.code.push(Op::LoadI64F {
+                dst: reg,
+                offset: *off as u32,
+            }),
+            CompiledExpr::ColF64(off) => self.code.push(Op::LoadF {
+                dst: reg,
+                offset: *off as u32,
+            }),
+            CompiledExpr::Const(c) => {
+                let idx = self.pool.push_float(*c);
+                self.code.push(Op::PoolF { dst: reg, idx });
+            }
+            CompiledExpr::Bin { op, left, right } => {
+                self.lower_compiled(left, reg)?;
+                self.lower_compiled(right, reg + 1)?;
+                self.code.push(Op::Arith {
+                    op: *op,
+                    dst: reg,
+                    a: reg,
+                    b: reg + 1,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Extract the constant pool `generated` would compile to, following the
+/// exact emission walk of [`compile`] — the canonical constant vector of
+/// the query within its shape class.
+pub fn collect_pool(generated: &GeneratedQuery, catalog: &Catalog) -> Result<ConstPool> {
+    let plan = generated.plan();
+    let mut pool = ConstPool::default();
+    for staged in &plan.staged {
+        let info = catalog.table(&staged.table_name)?;
+        let base = info.heap.schema();
+        for f in &staged.filters {
+            match base.column(f.column).dtype {
+                DataType::Int32 | DataType::Date => {
+                    pool.push_int(f.value.as_i64()? as i32 as i64);
+                }
+                DataType::Int64 => {
+                    pool.push_int(f.value.as_i64()?);
+                }
+                DataType::Float64 => {
+                    pool.push_float(f.value.as_f64()?);
+                }
+                DataType::Char(w) => {
+                    let s = f.value.as_str().ok_or_else(|| {
+                        HiqueError::Codegen("string filter on non-string constant".into())
+                    })?;
+                    let mut bytes = s.as_bytes().to_vec();
+                    bytes.resize(w as usize, b' ');
+                    pool.push_bytes(bytes);
+                }
+            }
+        }
+    }
+    if let Some(spec) = &plan.aggregate {
+        for a in &spec.aggregates {
+            if let Some(e) = &a.arg {
+                collect_scalar_literals(e, &mut pool)?;
+            }
+        }
+    }
+    for kernel in generated.outputs() {
+        if let OutputKernel::Expr(expr, _) = kernel {
+            collect_compiled_literals(expr, &mut pool);
+        }
+    }
+    Ok(pool)
+}
+
+fn collect_scalar_literals(expr: &ScalarExpr, pool: &mut ConstPool) -> Result<()> {
+    match expr {
+        ScalarExpr::Column { .. } => {}
+        ScalarExpr::Literal(v) => {
+            pool.push_float(v.as_f64()?);
+        }
+        ScalarExpr::Binary { left, right, .. } => {
+            collect_scalar_literals(left, pool)?;
+            collect_scalar_literals(right, pool)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_compiled_literals(expr: &CompiledExpr, pool: &mut ConstPool) {
+    match expr {
+        CompiledExpr::Const(c) => {
+            pool.push_float(*c);
+        }
+        CompiledExpr::Bin { left, right, .. } => {
+            collect_compiled_literals(left, pool);
+            collect_compiled_literals(right, pool);
+        }
+        _ => {}
+    }
+}
+
+fn dtype_tag(d: DataType) -> (u8, u32) {
+    match d {
+        DataType::Int32 => (0, 0),
+        DataType::Int64 => (1, 0),
+        DataType::Float64 => (2, 0),
+        DataType::Date => (3, 0),
+        DataType::Char(w) => (4, w as u32),
+    }
+}
+
+fn hash_scalar_structure(expr: &ScalarExpr, h: &mut DefaultHasher) {
+    match expr {
+        ScalarExpr::Column { index, dtype } => {
+            0u8.hash(h);
+            index.hash(h);
+            dtype_tag(*dtype).hash(h);
+        }
+        // Literal *presence* is structural; the value is a pool constant.
+        ScalarExpr::Literal(_) => 1u8.hash(h),
+        ScalarExpr::Binary {
+            op, left, right, ..
+        } => {
+            2u8.hash(h);
+            (*op as u8).hash(h);
+            hash_scalar_structure(left, h);
+            hash_scalar_structure(right, h);
+        }
+    }
+}
+
+fn hash_compiled_structure(expr: &CompiledExpr, h: &mut DefaultHasher) {
+    match expr {
+        CompiledExpr::ColI32(off) => (0u8, *off).hash(h),
+        CompiledExpr::ColI64(off) => (1u8, *off).hash(h),
+        CompiledExpr::ColF64(off) => (2u8, *off).hash(h),
+        CompiledExpr::Const(_) => 3u8.hash(h),
+        CompiledExpr::Bin { op, left, right } => {
+            4u8.hash(h);
+            (*op as u8).hash(h);
+            hash_compiled_structure(left, h);
+            hash_compiled_structure(right, h);
+        }
+    }
+}
+
+/// The plan-shape signature: a structural hash of everything the compiled
+/// bytecode's offsets and fragment layout depend on — base and staged
+/// schemas, kept columns, filter structure (column/operator, not values),
+/// join order and key columns, team layout, aggregate and output
+/// structure.  Deliberately excludes constant values, cardinality
+/// estimates, staging strategies and algorithm choices: those vary within
+/// a shape class without invalidating the code.
+pub fn plan_signature(generated: &GeneratedQuery, catalog: &Catalog) -> Result<u64> {
+    let plan = generated.plan();
+    let mut h = DefaultHasher::new();
+    plan.staged.len().hash(&mut h);
+    for staged in &plan.staged {
+        staged.table_name.hash(&mut h);
+        staged.keep.hash(&mut h);
+        let base = catalog.table(&staged.table_name)?.heap.schema().clone();
+        for col in base.columns() {
+            dtype_tag(col.dtype).hash(&mut h);
+        }
+        staged.filters.len().hash(&mut h);
+        for f in &staged.filters {
+            f.column.hash(&mut h);
+            (f.op as u8).hash(&mut h);
+        }
+    }
+    plan.join_order.hash(&mut h);
+    plan.joins.len().hash(&mut h);
+    for step in &plan.joins {
+        (step.right, step.left_key, step.right_key).hash(&mut h);
+    }
+    match &plan.join_team {
+        Some(team) => {
+            1u8.hash(&mut h);
+            team.members.hash(&mut h);
+            team.key_columns.hash(&mut h);
+        }
+        None => 0u8.hash(&mut h),
+    }
+    match &plan.aggregate {
+        Some(spec) => {
+            1u8.hash(&mut h);
+            spec.group_columns.hash(&mut h);
+            spec.aggregates.len().hash(&mut h);
+            for a in &spec.aggregates {
+                (a.func as u8).hash(&mut h);
+                dtype_tag(a.dtype).hash(&mut h);
+                match &a.arg {
+                    Some(e) => {
+                        1u8.hash(&mut h);
+                        hash_scalar_structure(e, &mut h);
+                    }
+                    None => 0u8.hash(&mut h),
+                }
+            }
+        }
+        None => 0u8.hash(&mut h),
+    }
+    generated.outputs().len().hash(&mut h);
+    for kernel in generated.outputs() {
+        match kernel {
+            OutputKernel::Column(key) => {
+                (0u8, key.offset, key.width).hash(&mut h);
+                dtype_tag(key.dtype).hash(&mut h);
+            }
+            OutputKernel::Expr(expr, dtype) => {
+                1u8.hash(&mut h);
+                dtype_tag(*dtype).hash(&mut h);
+                hash_compiled_structure(expr, &mut h);
+            }
+            OutputKernel::GroupPosition(p) => (2u8, *p).hash(&mut h),
+            OutputKernel::AggregatePosition(i) => (3u8, *i).hash(&mut h),
+        }
+    }
+    Ok(h.finish())
+}
