@@ -14,6 +14,8 @@
 //! never fails the job — shared-runner timings are too noisy for a hard
 //! gate; the artifact trail is the record.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use hique_bench::runner::plan_sql;

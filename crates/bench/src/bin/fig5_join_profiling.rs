@@ -8,6 +8,8 @@
 //! Sizes scale with `HIQUE_BENCH_SCALE` (1.0 = quick defaults; ~5.0
 //! approaches the paper's 10,000×10,000 / 1,000,000×1,000,000 workloads).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use hique_bench::handcoded::{hybrid_join_count, merge_join_count, HandVariant};

@@ -5,6 +5,8 @@
 //! aggregation.  Aggregation Query #2: 10 distinct groups → map
 //! aggregation.  Two SUM functions over 72-byte tuples, as in the paper.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use hique_bench::handcoded::{aggregate, HandVariant};

@@ -4,6 +4,8 @@
 //! inner tuples.  Series: merge join and hybrid hash-sort-merge join, each
 //! on the iterator engine and on HIQUE.
 
+#![forbid(unsafe_code)]
+
 use hique_bench::runner::{bench_scale, plan_sql, render_series_table, run_engine, Engine};
 use hique_bench::workload::{join_query_sql, join_workload};
 use hique_plan::{JoinAlgorithm, PlannerConfig};

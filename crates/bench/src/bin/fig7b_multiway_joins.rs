@@ -5,6 +5,8 @@
 //! joins on the iterator engine, binary merge joins on HIQUE, and HIQUE join
 //! teams (merge and hybrid staging).
 
+#![forbid(unsafe_code)]
+
 use hique_bench::runner::{bench_scale, plan_sql, render_series_table, run_engine, Engine};
 use hique_bench::workload::{multiway_query_sql, multiway_workload};
 use hique_plan::{JoinAlgorithm, PlannerConfig};

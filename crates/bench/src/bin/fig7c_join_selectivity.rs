@@ -4,6 +4,8 @@
 //! tuple sweeps 1 → 1,000, inflating the join output.  Series: merge and
 //! hybrid joins on the iterator engine and on HIQUE.
 
+#![forbid(unsafe_code)]
+
 use hique_bench::runner::{bench_scale, plan_sql, render_series_table, run_engine, Engine};
 use hique_bench::workload::{join_query_sql, join_workload};
 use hique_plan::{JoinAlgorithm, PlannerConfig};

@@ -7,6 +7,8 @@
 //! arrays fit in the L2 cache, staged aggregation wins beyond — should
 //! reproduce as a crossover between the map and hybrid columns.
 
+#![forbid(unsafe_code)]
+
 use hique_bench::runner::{bench_scale, plan_sql, render_series_table, run_engine, Engine};
 use hique_bench::workload::{agg_query_sql, agg_workload};
 use hique_plan::{AggAlgorithm, PlannerConfig};

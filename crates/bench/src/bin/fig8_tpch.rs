@@ -14,6 +14,8 @@
 //! `HIQUE_TPCH_SF=1.0` (and several GiB of RAM + a few minutes) for the
 //! paper's scale factor.
 
+#![forbid(unsafe_code)]
+
 use hique_bench::runner::{plan_sql, run_engine, Engine};
 use hique_dsm::DsmDatabase;
 use hique_plan::PlannerConfig;

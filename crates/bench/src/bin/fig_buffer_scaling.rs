@@ -14,6 +14,8 @@
 //!     --sf 0.01 --budgets 4096,1024,256,64
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use hique_bench::runner::plan_sql;

@@ -19,6 +19,8 @@
 //!     --sf 0.1 --min-speedup 2.0 --at-threads 4
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use hique_bench::runner::plan_sql;

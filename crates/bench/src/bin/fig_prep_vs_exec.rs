@@ -26,6 +26,8 @@
 //! warmed-cache rebind is not at least that much cheaper than a cold
 //! compile — the economy the class-keyed plan cache exists to buy.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use hique_holistic::{ExecOptions, GeneratedQuery};
@@ -89,6 +91,7 @@ struct Line {
     name: &'static str,
     prepare: Duration,
     compile: Duration,
+    verify: Duration,
     rebind: Duration,
     exec_holistic: Duration,
     exec_vm: Duration,
@@ -96,14 +99,17 @@ struct Line {
 
 fn measure(name: &'static str, sql: &str, catalog: &Catalog, repeats: usize) -> Line {
     // Cold preparation: the whole parse -> optimize -> generate -> compile
-    // path, plus the compile slice alone (the program records its own cost).
+    // path, plus the compile slice alone (the program records its own cost)
+    // and the static-verifier share inside that compile slice.
     let mut compile_cost = Duration::MAX;
+    let mut verify_cost = Duration::MAX;
     let prepare_cost = best_of(repeats, || {
         let t = Instant::now();
         let generated = prepare(sql, catalog);
         let program = compile(&generated, catalog, CompileMode::Specialized).expect("compile");
         let total = t.elapsed();
         compile_cost = compile_cost.min(program.compile_cost());
+        verify_cost = verify_cost.min(program.verify_cost());
         total
     });
 
@@ -136,6 +142,7 @@ fn measure(name: &'static str, sql: &str, catalog: &Catalog, repeats: usize) -> 
         name,
         prepare: prepare_cost,
         compile: compile_cost,
+        verify: verify_cost,
         rebind: rebind_cost,
         exec_holistic,
         exec_vm,
@@ -157,10 +164,11 @@ fn main() {
         args.sf
     );
     println!(
-        "{:<6} {:>13} {:>13} {:>12} {:>15} {:>12} {:>11}",
+        "{:<6} {:>13} {:>13} {:>12} {:>12} {:>15} {:>12} {:>11}",
         "query",
         "prepare (µs)",
         "compile (µs)",
+        "verify (µs)",
         "rebind (µs)",
         "holistic (ms)",
         "vm (ms)",
@@ -168,6 +176,7 @@ fn main() {
     );
 
     let mut worst_speedup = f64::INFINITY;
+    let mut worst_verify_share = 0f64;
     for (name, sql) in [
         ("Q1", hique_tpch::queries::Q1_SQL),
         ("Q3", hique_tpch::queries::Q3_SQL),
@@ -179,11 +188,14 @@ fn main() {
         let break_even = (line.prepare.as_secs_f64() / line.exec_vm.as_secs_f64().max(1e-9)).ceil();
         let speedup = line.compile.as_secs_f64() / line.rebind.as_secs_f64().max(1e-9);
         worst_speedup = worst_speedup.min(speedup);
+        let verify_share = line.verify.as_secs_f64() / line.prepare.as_secs_f64().max(1e-9);
+        worst_verify_share = worst_verify_share.max(verify_share);
         println!(
-            "{:<6} {:>13} {:>13} {:>12} {:>15.3} {:>12.3} {:>11}",
+            "{:<6} {:>13} {:>13} {:>12} {:>12} {:>15.3} {:>12.3} {:>11}",
             line.name,
             line.prepare.as_micros(),
             line.compile.as_micros(),
+            line.verify.as_micros(),
             line.rebind.as_micros(),
             line.exec_holistic.as_secs_f64() * 1e3,
             line.exec_vm.as_secs_f64() * 1e3,
@@ -192,7 +204,11 @@ fn main() {
     }
 
     println!(
-        "\nwarmed-cache rebind speedup vs cold compile: {worst_speedup:.1}x (gate: {:.1}x)",
+        "\nstatic verifier share of cold preparation: at most {:.2}% across queries",
+        worst_verify_share * 100.0
+    );
+    println!(
+        "warmed-cache rebind speedup vs cold compile: {worst_speedup:.1}x (gate: {:.1}x)",
         args.min_rebind_speedup
     );
     if worst_speedup < args.min_rebind_speedup {

@@ -21,6 +21,8 @@
 //!     --sf 0.01 --min-scaling 1.0 --at-sessions 4
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use hique_par::available_threads;

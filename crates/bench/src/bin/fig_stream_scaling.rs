@@ -18,6 +18,8 @@
 //!     --sf 0.01 --budgets 256,64 --threads 1,2,4
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hique_bench::runner::{plan_sql, run_engine, Engine};
 use hique_dsm::DsmDatabase;
 use hique_plan::PlannerConfig;

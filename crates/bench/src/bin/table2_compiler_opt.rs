@@ -9,6 +9,8 @@
 //! of the `-O0`/`-O2` speedup.  The build profile in effect is printed with
 //! each table.
 
+#![forbid(unsafe_code)]
+
 use hique_bench::runner::{bench_scale, plan_sql, render_profile_table, run_engine, Engine};
 use hique_bench::workload::{agg_query_sql, agg_workload, join_query_sql, join_workload};
 use hique_plan::{AggAlgorithm, JoinAlgorithm, PlannerConfig};

@@ -6,6 +6,8 @@
 //! shared-library sizes; this reproduction executes specialized kernels
 //! in-process, so those two columns do not apply — see `DESIGN.md`.)
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use hique_plan::{plan_query, CatalogProvider, PlannerConfig};

@@ -11,6 +11,8 @@
 //! * [`runner`] — planning/execution/timing helpers and the table renderers
 //!   used by the `fig*`/`table*` harness binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod handcoded;
 pub mod runner;
 pub mod trend;

@@ -8,6 +8,8 @@
 //! cargo run --release -p hique-conformance --bin conformance -- --replay 0xdeadbeef
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hique_conformance::genquery::{replay_seed, scan_query_for_seed};
 use hique_conformance::planquality::{measure_actuals, QualityReport};
 use hique_conformance::runner::plan_sql;
@@ -30,6 +32,10 @@ struct Args {
     /// cancellation schedules on all five engines × threads {1, 4}, gating
     /// on bit-identical-or-typed-error with zero leaks.
     chaos: bool,
+    /// Mutation lane: apply N seeded single-op corruptions to compiled
+    /// bytecode programs, gating on ≥ 95% verifier-rejected and the rest
+    /// failing typed — never a panic or a silent wrong answer.
+    mutate_bytecode: Option<usize>,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -50,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         budget_pages: None,
         force_plan_budget: false,
         chaos: false,
+        mutate_bytecode: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -87,10 +94,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--force-plan-budget" => args.force_plan_budget = true,
             "--chaos" => args.chaos = true,
+            "--mutate-bytecode" => {
+                args.mutate_bytecode = Some(
+                    value("--mutate-bytecode")?
+                        .parse()
+                        .map_err(|e| format!("--mutate-bytecode: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: conformance [--queries N] [--seed S] [--sf F] [--replay SEED] \
-                     [--plan-quality N] [--budget-pages P] [--force-plan-budget] [--chaos]"
+                     [--plan-quality N] [--budget-pages P] [--force-plan-budget] [--chaos] \
+                     [--mutate-bytecode N]"
                         .to_string(),
                 )
             }
@@ -142,6 +157,29 @@ fn main() {
             }
             std::process::exit(1);
         }
+        return;
+    }
+
+    if let Some(target) = args.mutate_bytecode {
+        println!(
+            "mutation lane: {target} seeded single-op bytecode corruptions \
+             (seed {:#x}) against the VM verifier ...",
+            args.seed
+        );
+        let report = hique_conformance::run_mutation_suite(&fixture, args.seed, target);
+        print!("{report}");
+        if !report.is_clean() {
+            eprintln!(
+                "mutation gate FAILED (needs ≥ {:.0}% verifier-rejected, zero silent \
+                 survivors, zero false positives)",
+                hique_conformance::MIN_REJECTION_RATE * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "mutation gate passed: {:.1}% verifier-rejected",
+            report.rejection_rate() * 100.0
+        );
         return;
     }
 

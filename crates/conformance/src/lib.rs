@@ -26,21 +26,30 @@
 //! * [`chaos`] — the robustness lane: replays seeded queries under seeded
 //!   storage-fault and cancellation schedules, asserting every run is
 //!   bit-identical to its fault-free baseline or a typed retryable error,
-//!   with zero leaked spill claims, pins or temp files afterwards.
+//!   with zero leaked spill claims, pins or temp files afterwards;
+//! * [`mutate`] — the verifier negative-test lane: seeded single-op
+//!   corruptions of compiled bytecode programs, each of which must be
+//!   rejected by the static verifier (≥ 95%) or fail with a typed error —
+//!   never a panic, never a silently wrong answer — with the unmutated
+//!   templates doubling as the zero-false-positive check.
 //!
 //! The `conformance` binary runs an arbitrary-size fuzz budget; the crate's
 //! integration tests run a fixed suite (100+ queries) plus golden-file
 //! checks pinning TPC-H Q1/Q3/Q10 results.
 
+#![forbid(unsafe_code)]
+
 pub mod canon;
 pub mod chaos;
 pub mod genquery;
+pub mod mutate;
 pub mod planquality;
 pub mod runner;
 
 pub use canon::{canonicalize, compare, CanonicalResult, Mismatch};
 pub use chaos::{run_chaos_suite, ChaosFailure, ChaosReport, CHAOS_BUDGET_PAGES, CHAOS_THREADS};
 pub use genquery::{query_for_seed, replay_seed, scan_query_for_seed, QueryGenerator, RandomQuery};
+pub use mutate::{run_mutation_suite, MutationReport, MIN_REJECTION_RATE};
 pub use planquality::{measure_actuals, q_error, CardSample, QualityReport};
 pub use runner::{
     run_suite, run_suite_with_budget, CheckOutcome, Divergence, EngineId, Fixture, SuiteReport,

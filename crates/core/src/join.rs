@@ -181,6 +181,8 @@ pub fn merge_join_pooled(
 
 /// Merge two sorted packed buffers (the inner loops of the template, with
 /// the merge-join bound updates of Listing 2).
+// The paper's merge template takes both runs plus four bound cursors; a
+// params struct would just rename the arguments.
 #[allow(clippy::too_many_arguments)]
 fn merge_buffers(
     lbuf: &[u8],
@@ -256,6 +258,7 @@ fn merge_buffers(
 /// the side that does not match is repartitioned here (the generated code
 /// would have staged it correctly in the first place — this keeps the kernel
 /// robust for intermediate results).
+// Mirrors the generated kernel's parameter list one-for-one.
 #[allow(clippy::too_many_arguments)]
 pub fn hybrid_join(
     left: &mut StagedRelation,
@@ -303,6 +306,7 @@ pub fn hybrid_join(
 /// not match) stays serial — it is a single memcpy-bound scatter pass — so
 /// its counters and partition contents are trivially identical to the
 /// serial kernel's.
+// Same signature as the serial kernel plus the worker pool.
 #[allow(clippy::too_many_arguments)]
 pub fn hybrid_join_pooled(
     left: &mut StagedRelation,
@@ -463,6 +467,8 @@ pub fn fine_partition_join_pooled(
 /// The fine directory of a staged input, building one on the fly (plus the
 /// backing partition buffers) when the input was not fine-partitioned by
 /// staging (e.g. an intermediate join result).
+// The (directory, backing buffers) pair is internal to this module; a
+// named struct would outlive its single call site.
 #[allow(clippy::type_complexity)]
 fn fine_directory_of(
     input: &StagedInput,

@@ -25,6 +25,8 @@
 //! interpretation overhead, which is what the paper measures against the
 //! iterator engine.
 
+#![forbid(unsafe_code)]
+
 pub mod agg;
 pub mod exec;
 pub mod generator;

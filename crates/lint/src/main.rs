@@ -1,0 +1,159 @@
+//! `hique-lint`: walk the workspace, apply the source-level invariant
+//! rules, reconcile findings against `lint-allow.toml`.
+//!
+//! ```bash
+//! cargo run -p hique-lint            # from the workspace root
+//! cargo run -p hique-lint -- --root /path/to/repo --allow custom-allow.toml
+//! cargo run -p hique-lint -- --list  # print raw findings, ignore allowlist
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations, 2 usage/IO/allowlist-parse error.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hique_lint::{apply_allowlist, check_crate_root, parse_allowlist, scan_source, Finding};
+
+/// Shim crates are exempt from every rule: they exist to mirror external
+/// APIs verbatim (including, e.g., parking_lot's unsafe-free façade) and
+/// are not engine code.
+fn is_shim(path: &Path) -> bool {
+    path.components()
+        .any(|c| c.as_os_str().to_str() == Some("shims"))
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hique-lint: {msg}");
+    ExitCode::from(2)
+}
+
+/// Collect every `.rs` file under `dir`, recursively, sorted for stable
+/// output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut list_only = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return fail("--root requires a value"),
+            },
+            "--allow" => match it.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return fail("--allow requires a value"),
+            },
+            "--list" => list_only = true,
+            "--help" | "-h" => {
+                eprintln!("usage: hique-lint [--root DIR] [--allow FILE] [--list]");
+                return ExitCode::from(2);
+            }
+            other => return fail(&format!("unknown flag {other}")),
+        }
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+
+    // The scan scope: `src/` of every crate under crates/ (minus shims)
+    // plus the facade crate's own src/.  Integration tests and benches
+    // live outside src/ and are deliberately out of scope.
+    let crates_dir = root.join("crates");
+    let mut scan_dirs = Vec::new();
+    match fs::read_dir(&crates_dir) {
+        Ok(entries) => {
+            let mut dirs: Vec<_> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+            dirs.sort();
+            for dir in dirs {
+                if dir.is_dir() && !is_shim(&dir) && dir.join("src").is_dir() {
+                    scan_dirs.push(dir.join("src"));
+                }
+            }
+        }
+        Err(e) => return fail(&format!("cannot read {}: {e}", crates_dir.display())),
+    }
+    if root.join("src").is_dir() {
+        scan_dirs.push(root.join("src"));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    for dir in &scan_dirs {
+        let mut files = Vec::new();
+        if let Err(e) = rust_files(dir, &mut files) {
+            return fail(&format!("walking {}: {e}", dir.display()));
+        }
+        for file in files {
+            let text = match fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("reading {}: {e}", file.display())),
+            };
+            let label = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files_scanned += 1;
+            findings.extend(scan_source(&label, &text));
+            // Crate roots: lib.rs/main.rs directly under src/, and every
+            // bin target root under src/bin/.
+            let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let parent = file
+                .parent()
+                .and_then(|p| p.file_name())
+                .and_then(|n| n.to_str());
+            let is_root = (parent == Some("src") && (name == "lib.rs" || name == "main.rs"))
+                || parent == Some("bin");
+            if is_root {
+                findings.extend(check_crate_root(&label, &text));
+            }
+        }
+    }
+
+    if list_only {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "hique-lint: {} findings over {files_scanned} files",
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allow_text = match fs::read_to_string(&allow_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {}: {e}", allow_path.display())),
+    };
+    let entries = match parse_allowlist(&allow_text) {
+        Ok(entries) => entries,
+        Err(e) => return fail(&format!("{}: {e}", allow_path.display())),
+    };
+    let report = apply_allowlist(&findings, &entries);
+    print!("{report}");
+    println!(
+        "hique-lint: scanned {files_scanned} files in {} trees",
+        scan_dirs.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

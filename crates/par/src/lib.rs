@@ -29,6 +29,8 @@
 //! per-call spawn ever shows up in profiles, the replacement is a parked
 //! worker set behind the same `map` contract.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -25,6 +25,8 @@
 //!   PR-2 holistic kernels), so `threads = 1 ≡ threads = N` holds for every
 //!   engine that drives its per-partition work through it.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 

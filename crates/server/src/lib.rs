@@ -25,6 +25,8 @@
 //! `peak_resident_pages` is its own high-water mark, not a shared
 //! clobberable watermark).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod session;
 pub mod wire;

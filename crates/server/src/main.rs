@@ -17,6 +17,8 @@
 //! cache counters, shuts the server down cleanly, and exits nonzero on
 //! any failure.
 
+#![forbid(unsafe_code)]
+
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};

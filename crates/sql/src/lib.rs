@@ -12,6 +12,8 @@
 //! provider (the catalog), classifying predicates into per-table filters and
 //! equi-join conditions and type-checking every expression.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod ast;
 pub mod lexer;

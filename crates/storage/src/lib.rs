@@ -15,6 +15,8 @@
 //!   four per physical page, following the paper's fractal-B+-tree layout
 //!   parameters (without the prefetching, which we do not model).
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod buffer;
 pub mod catalog;

@@ -170,7 +170,14 @@ impl Frag {
 fn rhs_i(rhs: RhsI, pool: &ConstPool) -> i64 {
     match rhs {
         RhsI::Imm(v) => v,
-        RhsI::Pool(i) => pool.ints[i as usize],
+        RhsI::Pool(i) => {
+            debug_assert!(
+                (i as usize) < pool.ints.len(),
+                "verified program cannot reference int pool slot {i} of {}",
+                pool.ints.len()
+            );
+            pool.ints[i as usize]
+        }
     }
 }
 
@@ -178,8 +185,26 @@ fn rhs_i(rhs: RhsI, pool: &ConstPool) -> i64 {
 fn rhs_f(rhs: RhsF, pool: &ConstPool) -> f64 {
     match rhs {
         RhsF::Imm(v) => v,
-        RhsF::Pool(i) => pool.floats[i as usize],
+        RhsF::Pool(i) => {
+            debug_assert!(
+                (i as usize) < pool.floats.len(),
+                "verified program cannot reference float pool slot {i} of {}",
+                pool.floats.len()
+            );
+            pool.floats[i as usize]
+        }
     }
+}
+
+/// Cross-check (debug builds only) that a column access the verifier
+/// proved in-bounds really is: `width` bytes at `offset` inside `record`.
+#[inline(always)]
+fn debug_check_read(record: &[u8], offset: u32, width: u32) {
+    debug_assert!(
+        offset as usize + width as usize <= record.len(),
+        "verified program cannot read [{offset}, {offset}+{width}) of a {}-byte record",
+        record.len()
+    );
 }
 
 /// Run a filter fragment over one record: every test must pass.
@@ -192,12 +217,15 @@ pub fn run_filter(ops: &[Op], pool: &ConstPool, record: &[u8], comparisons: &mut
         *comparisons += 1;
         let pass = match *op {
             Op::TestI32 { offset, op, rhs } => {
+                debug_check_read(record, offset, 4);
                 op.matches((read_i32_at(record, offset as usize) as i64).cmp(&rhs_i(rhs, pool)))
             }
             Op::TestI64 { offset, op, rhs } => {
+                debug_check_read(record, offset, 8);
                 op.matches(read_i64_at(record, offset as usize).cmp(&rhs_i(rhs, pool)))
             }
             Op::TestF64 { offset, op, rhs } => {
+                debug_check_read(record, offset, 8);
                 op.matches(read_f64_at(record, offset as usize).total_cmp(&rhs_f(rhs, pool)))
             }
             Op::TestBytes {
@@ -206,6 +234,12 @@ pub fn run_filter(ops: &[Op], pool: &ConstPool, record: &[u8], comparisons: &mut
                 op,
                 pool: slot,
             } => {
+                debug_check_read(record, offset, width);
+                debug_assert!(
+                    (slot as usize) < pool.bytes.len(),
+                    "verified program cannot reference bytes pool slot {slot} of {}",
+                    pool.bytes.len()
+                );
                 let field = &record[offset as usize..(offset + width) as usize];
                 op.matches(field.cmp(pool.bytes[slot as usize].as_slice()))
             }
@@ -225,6 +259,12 @@ pub fn run_project(ops: &[Op], record: &[u8], out: &mut [u8]) {
     for op in ops {
         match *op {
             Op::Copy { src, width, dst } => {
+                debug_check_read(record, src, width);
+                debug_assert!(
+                    dst as usize + width as usize <= out.len(),
+                    "verified program cannot write [{dst}, {dst}+{width}) of a {}-byte output",
+                    out.len()
+                );
                 out[dst as usize..(dst + width) as usize]
                     .copy_from_slice(&record[src as usize..(src + width) as usize]);
             }
@@ -239,16 +279,33 @@ pub fn run_project(ops: &[Op], record: &[u8], out: &mut [u8]) {
 pub fn run_expr(ops: &[Op], pool: &ConstPool, record: &[u8], regs: &mut [f64]) -> f64 {
     let mut result = 0.0;
     for op in ops {
+        #[cfg(debug_assertions)]
+        if let Op::LoadF { dst, .. }
+        | Op::LoadI32F { dst, .. }
+        | Op::LoadI64F { dst, .. }
+        | Op::ConstF { dst, .. }
+        | Op::PoolF { dst, .. }
+        | Op::Arith { dst, .. } = *op
+        {
+            debug_assert!(
+                (dst as usize) < regs.len(),
+                "verified program cannot address register r{dst} of a {}-register bank",
+                regs.len()
+            );
+        }
         result = match *op {
             Op::LoadF { dst, offset } => {
+                debug_check_read(record, offset, 8);
                 regs[dst as usize] = read_f64_at(record, offset as usize);
                 regs[dst as usize]
             }
             Op::LoadI32F { dst, offset } => {
+                debug_check_read(record, offset, 4);
                 regs[dst as usize] = read_i32_at(record, offset as usize) as f64;
                 regs[dst as usize]
             }
             Op::LoadI64F { dst, offset } => {
+                debug_check_read(record, offset, 8);
                 regs[dst as usize] = read_i64_at(record, offset as usize) as f64;
                 regs[dst as usize]
             }
@@ -257,10 +314,20 @@ pub fn run_expr(ops: &[Op], pool: &ConstPool, record: &[u8], regs: &mut [f64]) -
                 regs[dst as usize]
             }
             Op::PoolF { dst, idx } => {
+                debug_assert!(
+                    (idx as usize) < pool.floats.len(),
+                    "verified program cannot reference float pool slot {idx} of {}",
+                    pool.floats.len()
+                );
                 regs[dst as usize] = pool.floats[idx as usize];
                 regs[dst as usize]
             }
             Op::Arith { op, dst, a, b } => {
+                debug_assert!(
+                    (a as usize) < regs.len() && (b as usize) < regs.len(),
+                    "verified program cannot read registers r{a}/r{b} of a {}-register bank",
+                    regs.len()
+                );
                 let (l, r) = (regs[a as usize], regs[b as usize]);
                 regs[dst as usize] = match op {
                     BinOp::Add => l + r,
@@ -284,14 +351,22 @@ pub fn run_image(ops: &[Op], record: &[u8]) -> i64 {
     let mut image = 0i64;
     for op in ops {
         image = match *op {
-            Op::ImageI32 { offset } => read_i32_at(record, offset as usize) as i64,
-            Op::ImageI64 { offset } => read_i64_at(record, offset as usize),
+            Op::ImageI32 { offset } => {
+                debug_check_read(record, offset, 4);
+                read_i32_at(record, offset as usize) as i64
+            }
+            Op::ImageI64 { offset } => {
+                debug_check_read(record, offset, 8);
+                read_i64_at(record, offset as usize)
+            }
             Op::ImageF64 { offset } => {
+                debug_check_read(record, offset, 8);
                 let bits = read_f64_at(record, offset as usize).to_bits() as i64;
                 bits ^ (((bits >> 63) as u64) >> 1) as i64
             }
             Op::ImageChar { offset, width } => {
                 let take = (width as usize).min(8);
+                debug_check_read(record, offset, take as u32);
                 let bytes = &record[offset as usize..offset as usize + take];
                 let mut buf = [0u8; 8];
                 buf[..take].copy_from_slice(bytes);

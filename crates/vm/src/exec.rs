@@ -390,6 +390,13 @@ fn stage_table(
             cancel.check()?;
             let page = heap.page_guard(p)?;
             for record in page.records() {
+                // The verifier proved every fragment access in-bounds for
+                // the base schema; the record must really have that width.
+                debug_assert_eq!(
+                    record.len(),
+                    base_ts,
+                    "heap record width diverges from the schema the program was verified against"
+                );
                 local.add_tuple(base_ts);
                 if !run_filter(
                     frags.filter.ops(code),

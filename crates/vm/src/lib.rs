@@ -20,12 +20,27 @@
 //! and literal-varying classmates a cheap [`VmProgram::bind`] (signature
 //! checked, pool swapped, constants folded) instead of a full prepare.
 //!
+//! Every compiled or rebound program passes a static verifier
+//! ([`verify::verify`]) before it can reach the interpreter: abstract
+//! interpretation proving register def-before-use, operand/field type
+//! agreement, pool and fragment bounds, plan agreement and output arity
+//! (DESIGN.md §14).  [`mutate`] generates seeded single-op corruptions of
+//! verified programs for the conformance mutation lane — negative tests
+//! that the verifier (or, failing that, a typed runtime error) catches
+//! every one.
+//!
 //! [`ExecStats`]: hique_types::ExecStats
+
+#![forbid(unsafe_code)]
 
 pub mod bytecode;
 pub mod exec;
+pub mod mutate;
 pub mod program;
+pub mod verify;
 
 pub use bytecode::{ConstPool, Frag, Op};
 pub use exec::execute;
-pub use program::{collect_pool, compile, plan_signature, CompileMode, VmProgram};
+pub use mutate::{mutants, Mutant};
+pub use program::{collect_pool, compile, plan_signature, plan_structure, CompileMode, VmProgram};
+pub use verify::{verify, VerifyError};

@@ -104,7 +104,12 @@ pub struct VmProgram {
     pub(crate) outputs: Vec<OutputOp>,
     pub(crate) float_registers: usize,
     pub(crate) signature: u64,
+    /// Human-readable structural components behind `signature`, in hash
+    /// order — kept so a rebind against a diverged plan can name the first
+    /// component that differs instead of reporting a bare hash mismatch.
+    pub(crate) structure: Vec<String>,
     pub(crate) compile_cost: Duration,
+    pub(crate) verify_cost: Duration,
 }
 
 impl VmProgram {
@@ -122,6 +127,25 @@ impl VmProgram {
     /// bytecode share of the paper's Table III preparation cost.
     pub fn compile_cost(&self) -> Duration {
         self.compile_cost
+    }
+
+    /// Wall time spent statically verifying this program (included in
+    /// [`VmProgram::compile_cost`]; reported separately so the prepare-cost
+    /// figures can show the verifier's share).
+    pub fn verify_cost(&self) -> Duration {
+        self.verify_cost
+    }
+
+    /// Re-run the static verifier against the query this program claims to
+    /// implement.  [`compile`] and [`VmProgram::bind`] already verify
+    /// unconditionally; this re-check exists for external callers (plan
+    /// caches, the conformance mutation lane).
+    pub fn verify(
+        &self,
+        generated: &GeneratedQuery,
+        catalog: &Catalog,
+    ) -> std::result::Result<(), crate::verify::VerifyError> {
+        crate::verify::verify(self, generated, catalog)
     }
 
     /// Total instructions in the code array.
@@ -169,8 +193,9 @@ impl VmProgram {
         }
         let sig = plan_signature(generated, catalog)?;
         if sig != self.signature {
-            return Err(HiqueError::Unsupported(
-                "plan shape diverged from the cached template; full compile required".into(),
+            return Err(structure_divergence(
+                &self.structure,
+                &plan_structure(generated, catalog)?,
             ));
         }
         let pool = collect_pool(generated, catalog)?;
@@ -183,6 +208,9 @@ impl VmProgram {
         rebound.mode = CompileMode::Specialized;
         rebound.pool = pool;
         fold_constants(&mut rebound.code, &rebound.pool);
+        let verify_started = Instant::now();
+        crate::verify::verify(&rebound, generated, catalog)?;
+        rebound.verify_cost = verify_started.elapsed();
         rebound.compile_cost = started.elapsed();
         Ok(rebound)
     }
@@ -296,13 +324,47 @@ pub fn compile(
         outputs,
         float_registers: b.max_regs.max(1),
         signature: plan_signature(generated, catalog)?,
+        structure: plan_structure(generated, catalog)?,
         compile_cost: Duration::ZERO,
+        verify_cost: Duration::ZERO,
     };
     if mode == CompileMode::Specialized {
         fold_constants(&mut program.code, &program.pool);
     }
+    let verify_started = Instant::now();
+    crate::verify::verify(&program, generated, catalog)?;
+    program.verify_cost = verify_started.elapsed();
     program.compile_cost = started.elapsed();
     Ok(program)
+}
+
+/// The typed divergence error for a rebind whose plan-shape signature does
+/// not match the template: name the first structural component that
+/// differs (by hash-order index) instead of reporting a bare mismatch.
+fn structure_divergence(template: &[String], candidate: &[String]) -> HiqueError {
+    for (i, (a, b)) in template.iter().zip(candidate).enumerate() {
+        if a != b {
+            return HiqueError::Unsupported(format!(
+                "plan shape diverged from the cached template at component {i}: \
+                 template has [{a}], query has [{b}]; full compile required"
+            ));
+        }
+    }
+    if template.len() != candidate.len() {
+        let i = template.len().min(candidate.len());
+        return HiqueError::Unsupported(format!(
+            "plan shape diverged from the cached template at component {i}: \
+             template has {} components, query has {}; full compile required",
+            template.len(),
+            candidate.len()
+        ));
+    }
+    // Signatures differ but every component label agrees — the divergence
+    // is below the label granularity (e.g. a base-schema change the labels
+    // summarize); fall back to the generic message.
+    HiqueError::Unsupported(
+        "plan shape diverged from the cached template; full compile required".into(),
+    )
 }
 
 /// Rewrite pooled numeric operands into immediates (string constants stay
@@ -606,6 +668,107 @@ fn hash_compiled_structure(expr: &CompiledExpr, h: &mut DefaultHasher) {
             hash_compiled_structure(right, h);
         }
     }
+}
+
+fn scalar_shape(expr: &ScalarExpr) -> String {
+    match expr {
+        ScalarExpr::Column { index, dtype } => format!("col{index}:{dtype:?}"),
+        ScalarExpr::Literal(_) => "lit".into(),
+        ScalarExpr::Binary {
+            op, left, right, ..
+        } => format!("({} {op:?} {})", scalar_shape(left), scalar_shape(right)),
+    }
+}
+
+fn compiled_shape(expr: &CompiledExpr) -> String {
+    match expr {
+        CompiledExpr::ColI32(off) => format!("i32@{off}"),
+        CompiledExpr::ColI64(off) => format!("i64@{off}"),
+        CompiledExpr::ColF64(off) => format!("f64@{off}"),
+        CompiledExpr::Const(_) => "const".into(),
+        CompiledExpr::Bin { op, left, right } => {
+            format!(
+                "({} {op:?} {})",
+                compiled_shape(left),
+                compiled_shape(right)
+            )
+        }
+    }
+}
+
+/// The human-readable components of the plan-shape signature, in hash
+/// order — one label per structural element [`plan_signature`] hashes
+/// (and nothing it does not).  Two plans with equal signatures produce
+/// equal component lists; a diverged rebind diffs the lists to name the
+/// first mismatching component.
+pub fn plan_structure(generated: &GeneratedQuery, catalog: &Catalog) -> Result<Vec<String>> {
+    let plan = generated.plan();
+    let mut parts = Vec::new();
+    for (t, staged) in plan.staged.iter().enumerate() {
+        let base = catalog.table(&staged.table_name)?.heap.schema().clone();
+        let cols: Vec<String> = base
+            .columns()
+            .iter()
+            .map(|c| format!("{:?}", c.dtype))
+            .collect();
+        let filters: Vec<String> = staged
+            .filters
+            .iter()
+            .map(|f| format!("col{} {:?}", f.column, f.op))
+            .collect();
+        parts.push(format!(
+            "staged[{t}]: table={} keep={:?} base=[{}] filters=[{}]",
+            staged.table_name,
+            staged.keep,
+            cols.join(", "),
+            filters.join(", ")
+        ));
+    }
+    parts.push(format!("join order: {:?}", plan.join_order));
+    for (i, step) in plan.joins.iter().enumerate() {
+        parts.push(format!(
+            "join[{i}]: right={} left_key={} right_key={}",
+            step.right, step.left_key, step.right_key
+        ));
+    }
+    parts.push(match &plan.join_team {
+        Some(team) => format!(
+            "team: members={:?} keys={:?}",
+            team.members, team.key_columns
+        ),
+        None => "team: none".into(),
+    });
+    match &plan.aggregate {
+        Some(spec) => {
+            parts.push(format!("group columns: {:?}", spec.group_columns));
+            for (i, a) in spec.aggregates.iter().enumerate() {
+                parts.push(format!(
+                    "aggregate[{i}]: {:?}:{:?} arg={}",
+                    a.func,
+                    a.dtype,
+                    a.arg
+                        .as_ref()
+                        .map(scalar_shape)
+                        .unwrap_or_else(|| "*".into())
+                ));
+            }
+        }
+        None => parts.push("aggregate: none".into()),
+    }
+    for (k, kernel) in generated.outputs().iter().enumerate() {
+        parts.push(match kernel {
+            OutputKernel::Column(key) => format!(
+                "output[{k}]: column {:?} at offset {} width {}",
+                key.dtype, key.offset, key.width
+            ),
+            OutputKernel::Expr(expr, dtype) => {
+                format!("output[{k}]: expr {} as {dtype:?}", compiled_shape(expr))
+            }
+            OutputKernel::GroupPosition(p) => format!("output[{k}]: group {p}"),
+            OutputKernel::AggregatePosition(i) => format!("output[{k}]: aggregate {i}"),
+        });
+    }
+    Ok(parts)
 }
 
 /// The plan-shape signature: a structural hash of everything the compiled

@@ -169,10 +169,21 @@ fn binding_a_structurally_different_query_is_a_typed_error() {
         CompileMode::Pooled,
     )
     .unwrap();
-    // Different projection → different plan signature → refuse to rebind.
+    // Different projection → different plan signature → refuse to rebind,
+    // and the error must name the first structural component that diverged
+    // (not just report a bare hash mismatch).
     let other = prepare("select v from r where k < 5 order by v", &cat);
     match template.bind(&other, &cat) {
-        Err(HiqueError::Unsupported(_)) => {}
+        Err(HiqueError::Unsupported(msg)) => {
+            assert!(
+                msg.contains("component"),
+                "divergence error must name the first mismatched component, got: {msg}"
+            );
+            assert!(
+                msg.contains("template has") && msg.contains("query has"),
+                "divergence error must show both sides, got: {msg}"
+            );
+        }
         Err(e) => panic!("expected a typed signature error, got {e}"),
         Ok(_) => panic!("bind must refuse a structurally different query"),
     }
