@@ -8,11 +8,14 @@
 //! ```
 //!
 //! The workload is small on purpose (seconds, not minutes): TPC-H Q1/Q3/Q10
-//! through the holistic engine, the two micro-benchmarks, and a pool-backed
-//! Q1 under a tight memory budget so buffer-pool-path regressions are
-//! tracked too.  Comparison warns (GitHub `::warning::` annotations) and
-//! never fails the job — shared-runner timings are too noisy for a hard
-//! gate; the artifact trail is the record.
+//! through the holistic engine, the bytecode VM on both interpreter tiers,
+//! the two micro-benchmarks, and a pool-backed Q1 under a tight memory
+//! budget so buffer-pool-path regressions are tracked too.  Comparison
+//! warns (GitHub `::warning::` annotations) and never fails the job —
+//! shared-runner timings are too noisy for a hard gate; the artifact trail
+//! is the record.  `--dashboard DIR` additionally renders every
+//! `BENCH_*.json` under DIR (plus the fresh snapshot) into a static
+//! `DIR/dashboard.html` sparkline table for the CI artifact.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +35,7 @@ struct Args {
     out: Option<String>,
     compare: Option<String>,
     threshold: f64,
+    dashboard: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         compare: None,
         threshold: 0.2,
+        dashboard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,9 +66,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threshold: {e}"))?
             }
+            "--dashboard" => args.dashboard = Some(value("--dashboard")?),
             "--help" | "-h" => {
                 return Err("usage: bench_trend [--sf F] [--repeats N] [--sha SHA] \
-                            [--out PATH] [--compare PREV.json] [--threshold 0.2]"
+                            [--out PATH] [--compare PREV.json] [--threshold 0.2] \
+                            [--dashboard DIR]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -92,10 +99,16 @@ fn measure_ms(sql: &str, catalog: &Catalog, config: &PlannerConfig, repeats: usi
     best
 }
 
-/// Best-of-`repeats` bytecode-VM wall milliseconds (compilation excluded —
-/// the trend tracks interpretation speed, `fig_prep_vs_exec` tracks the
-/// preparation bill).
-fn measure_vm_ms(sql: &str, catalog: &Catalog, config: &PlannerConfig, repeats: usize) -> f64 {
+/// Best-of-`repeats` bytecode-VM wall milliseconds on an explicit
+/// interpreter tier (compilation excluded — the trend tracks
+/// interpretation speed, `fig_prep_vs_exec` tracks the preparation bill).
+fn measure_vm_ms(
+    sql: &str,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+    repeats: usize,
+    tier: hique_vm::Tier,
+) -> f64 {
     let plan = plan_sql(sql, catalog, config).expect("plan");
     let generated = hique_holistic::generate(&plan).expect("generate");
     let program = hique_vm::compile(&generated, catalog, hique_vm::CompileMode::Specialized)
@@ -108,11 +121,52 @@ fn measure_vm_ms(sql: &str, catalog: &Catalog, config: &PlannerConfig, repeats: 
     for _ in 0..repeats {
         let t = Instant::now();
         program
-            .execute(&generated, catalog, &options)
+            .execute_with_tier(&generated, catalog, &options, tier)
             .expect("execute");
         best = best.min(t.elapsed().as_secs_f64() * 1000.0);
     }
     best
+}
+
+/// Render every `BENCH_*.json` under `dir` (ordered oldest-modified first)
+/// into `dir/dashboard.html`.
+fn write_dashboard(dir: &str, current: Option<(&str, &[BenchResult])>) -> std::io::Result<()> {
+    let mut files: Vec<(std::time::SystemTime, String, String)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        let json = std::fs::read_to_string(entry.path())?;
+        files.push((modified, name, json));
+    }
+    files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let mut history: Vec<(String, Vec<BenchResult>)> = files
+        .into_iter()
+        .map(|(_, name, json)| {
+            let sha = name
+                .trim_start_matches("BENCH_")
+                .trim_end_matches(".json")
+                .to_string();
+            (sha, parse_results(&json))
+        })
+        .collect();
+    // The just-measured snapshot is the newest point even when --out wrote
+    // it somewhere else (or nowhere).
+    if let Some((sha, results)) = current {
+        if !history.iter().any(|(s, _)| s == sha) {
+            history.push((sha.to_string(), results.to_vec()));
+        }
+    }
+    let path = format!("{dir}/dashboard.html");
+    std::fs::write(&path, hique_bench::trend::render_dashboard(&history))?;
+    println!("wrote {path} ({} snapshots)", history.len());
+    Ok(())
 }
 
 fn main() {
@@ -148,7 +202,9 @@ fn main() {
     }
 
     // Q1 interpreted by the bytecode VM: tracks the fifth engine mode's
-    // execution speed next to the holistic kernels above.
+    // execution speed next to the holistic kernels above.  `q1_vm_ms`
+    // pins the scalar tier (its historical meaning predates the
+    // vectorized interpreter); the `_vec_` cases track the batch tier.
     record(
         "q1_vm_ms",
         measure_vm_ms(
@@ -156,8 +212,24 @@ fn main() {
             &catalog,
             &default_config,
             args.repeats,
+            hique_vm::Tier::Scalar,
         ),
     );
+    for (name, sql) in [
+        ("q1_vm_vec_ms", hique_tpch::queries::Q1_SQL),
+        ("q3_vm_vec_ms", hique_tpch::queries::Q3_SQL),
+    ] {
+        record(
+            name,
+            measure_vm_ms(
+                sql,
+                &catalog,
+                &default_config,
+                args.repeats,
+                hique_vm::Tier::Vectorized,
+            ),
+        );
+    }
 
     // The paper's micro-benchmarks.
     let join_catalog = join_workload(
@@ -224,6 +296,13 @@ fn main() {
         println!("wrote {out}");
     } else {
         print!("{json}");
+    }
+
+    if let Some(dir) = &args.dashboard {
+        if let Err(e) = write_dashboard(dir, Some((&args.sha, &results))) {
+            eprintln!("failed to render dashboard under {dir}: {e}");
+            std::process::exit(1);
+        }
     }
 
     if let Some(prev_path) = &args.compare {

@@ -80,6 +80,116 @@ pub fn parse_results(json: &str) -> Vec<BenchResult> {
     out
 }
 
+/// Render a snapshot history (oldest first, one `(sha, results)` pair per
+/// `BENCH_<sha>.json` artifact) into a static, dependency-free
+/// `dashboard.html`: one table row per benchmark with its newest time,
+/// best/worst over the history, and an inline SVG sparkline.  Hand-rolled
+/// like the JSON codec — the offline workspace has no templating engine.
+pub fn render_dashboard(history: &[(String, Vec<BenchResult>)]) -> String {
+    let mut out = String::from(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>hique bench trend</title>\n<style>\n\
+         body{font-family:monospace;margin:2em;background:#fafafa}\n\
+         table{border-collapse:collapse}\n\
+         th,td{padding:4px 12px;border-bottom:1px solid #ddd;text-align:right}\n\
+         th{text-align:left}td:first-child{text-align:left}\n\
+         svg{vertical-align:middle}\n\
+         </style></head><body>\n<h1>bench trend</h1>\n",
+    );
+    if history.is_empty() {
+        out.push_str("<p>no snapshots</p>\n</body></html>\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "<p>{} snapshots, oldest first: {} &rarr; {}</p>",
+        history.len(),
+        escape_html(&history[0].0),
+        escape_html(&history[history.len() - 1].0)
+    );
+    // Benchmarks in order of first appearance across the history, so rows
+    // are stable as cases are added over time.
+    let mut names: Vec<&str> = Vec::new();
+    for (_, results) in history {
+        for r in results {
+            if !names.iter().any(|n| *n == r.name) {
+                names.push(&r.name);
+            }
+        }
+    }
+    out.push_str(
+        "<table>\n<tr><th>benchmark</th><th>trend</th>\
+         <th>latest (ms)</th><th>best</th><th>worst</th></tr>\n",
+    );
+    for name in names {
+        let series: Vec<Option<f64>> = history
+            .iter()
+            .map(|(_, rs)| rs.iter().find(|r| r.name == name).map(|r| r.millis))
+            .collect();
+        let seen: Vec<f64> = series.iter().flatten().copied().collect();
+        let latest = series.iter().rev().flatten().next().copied().unwrap_or(0.0);
+        let best = seen.iter().copied().fold(f64::INFINITY, f64::min);
+        let worst = seen.iter().copied().fold(0.0f64, f64::max);
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{latest:.3}</td>\
+             <td>{best:.3}</td><td>{worst:.3}</td></tr>",
+            escape_html(name),
+            sparkline(&series)
+        );
+    }
+    out.push_str("</table>\n</body></html>\n");
+    out
+}
+
+/// Inline SVG sparkline over one benchmark's per-snapshot times (`None`
+/// where a snapshot predates the benchmark).  Lower is better, so smaller
+/// values draw higher.
+fn sparkline(series: &[Option<f64>]) -> String {
+    const W: f64 = 140.0;
+    const H: f64 = 28.0;
+    const PAD: f64 = 3.0;
+    let seen: Vec<f64> = series.iter().flatten().copied().collect();
+    if seen.is_empty() {
+        return String::new();
+    }
+    let min = seen.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = seen.iter().copied().fold(0.0f64, f64::max);
+    let span = (max - min).max(1e-9);
+    let step = if series.len() > 1 {
+        (W - 2.0 * PAD) / (series.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let mut points = String::new();
+    for (i, v) in series.iter().enumerate() {
+        let Some(v) = v else { continue };
+        let x = PAD + step * i as f64;
+        let y = PAD + (H - 2.0 * PAD) * (v - min) / span;
+        let _ = write!(points, "{x:.1},{y:.1} ");
+    }
+    format!(
+        "<svg width=\"{W:.0}\" height=\"{H:.0}\">\
+         <polyline points=\"{}\" fill=\"none\" stroke=\"#2a6\" stroke-width=\"1.5\"/>\
+         </svg>",
+        points.trim_end()
+    )
+}
+
+fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// One benchmark that slowed down beyond the threshold.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -162,6 +272,38 @@ mod tests {
         let parsed = parse_results(partial);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].name, "ok_ms");
+    }
+
+    #[test]
+    fn dashboard_renders_sparkline_rows_over_the_history() {
+        let mut newer = snapshot();
+        newer[0].millis = 10.0;
+        // A benchmark added mid-history gets a row (and a shorter line).
+        newer.push(BenchResult {
+            name: "q1_vm_vec_ms".into(),
+            millis: 8.5,
+        });
+        let history = vec![("old<sha>".to_string(), snapshot()), ("new".into(), newer)];
+        let html = render_dashboard(&history);
+        for needle in [
+            "q1_holistic_ms",
+            "q3_holistic_ms",
+            "q1_vm_vec_ms",
+            "<polyline",
+            "10.000",
+            "8.500",
+            "old&lt;sha&gt;",
+        ] {
+            assert!(html.contains(needle), "missing {needle:?} in {html}");
+        }
+        // q1 improved 12.345 -> 10.0: best is the newer value, worst the older.
+        let row = html.lines().find(|l| l.contains("q1_holistic_ms")).unwrap();
+        assert!(row.contains("<td>10.000</td>"), "{row}");
+        assert!(row.contains("<td>12.345</td>"), "{row}");
+
+        let empty = render_dashboard(&[]);
+        assert!(empty.contains("no snapshots"));
+        assert!(empty.ends_with("</body></html>\n"));
     }
 
     #[test]

@@ -19,7 +19,8 @@ use hique_types::{
 
 use crate::generator::{GeneratedQuery, OutputKernel};
 use crate::join::{
-    fine_partition_join_pooled, hybrid_join_pooled, merge_join_pooled, team_join, JoinSink,
+    fine_partition_join_pooled, hybrid_join_pooled, merge_join_pooled, nested_loops_join,
+    team_join, JoinSink,
 };
 use crate::kernel::CompiledKey;
 use crate::relation::StagedRelation;
@@ -319,9 +320,27 @@ pub fn execute(
                         );
                     }
                     JoinAlgorithm::NestedLoops => {
-                        return Err(HiqueError::Unsupported(
-                            "nested-loops cross products are not generated".into(),
-                        ))
+                        // Forced degradation only (the optimizer never
+                        // picks it): serial blocked nested loops, matching
+                        // the kernel text source.rs renders for it.
+                        let mut run = |consumer: &mut dyn FnMut(&[u8], &[u8])| {
+                            nested_loops_join(
+                                &current.relation,
+                                &right.relation,
+                                left_key,
+                                right_key,
+                                &mut stats,
+                                consumer,
+                            )
+                        };
+                        match &mut join_sink {
+                            JoinSink::Pairs(consumer) => run(consumer),
+                            JoinSink::Count(total) => {
+                                let mut n = 0u64;
+                                run(&mut |_, _| n += 1);
+                                **total += n;
+                            }
+                        }
                     }
                 }
             }

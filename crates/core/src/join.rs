@@ -250,6 +250,42 @@ fn merge_buffers(
     let _ = matches;
 }
 
+/// Blocked nested loops (the paper's Listing 2 template with no staging
+/// help at all): every outer record scans every inner record, keys
+/// compared per pair.  The optimizer never chooses this — it exists for
+/// forced-degradation experiments (`force_join_algorithm`) — so the
+/// kernel is serial and unapologetically O(|L|·|R|); the quadratic cost
+/// shows up in `comparisons`, while tuples/bytes count each input once
+/// like the staged kernels.
+pub fn nested_loops_join(
+    left: &StagedRelation,
+    right: &StagedRelation,
+    left_key: CompiledKey,
+    right_key: CompiledKey,
+    stats: &mut ExecStats,
+    consumer: &mut dyn FnMut(&[u8], &[u8]),
+) {
+    stats.add_calls(1);
+    let (lts, rts) = (left.tuple_size(), right.tuple_size());
+    let mut comparisons: u64 = 0;
+    for lp in 0..left.num_partitions() {
+        for lrec in left.partition(lp).chunks_exact(lts) {
+            let lkey = left_key.as_i64(lrec);
+            for rp in 0..right.num_partitions() {
+                for rrec in right.partition(rp).chunks_exact(rts) {
+                    comparisons += 1;
+                    if right_key.as_i64(rrec) == lkey {
+                        consumer(lrec, rrec);
+                    }
+                }
+            }
+        }
+    }
+    stats.add_comparisons(comparisons);
+    stats.tuples_processed += (left.num_records() + right.num_records()) as u64;
+    stats.bytes_touched += (left.data_bytes() + right.data_bytes()) as u64;
+}
+
 /// Hybrid hash-sort-merge join (paper §V-B): both inputs coarsely
 /// partitioned with the same hash function and partition count, each pair of
 /// corresponding partitions sorted just before being merge-joined.

@@ -84,6 +84,10 @@ pub struct ServerConfig {
     pub memory_budget_pages: usize,
     /// Prepared-plan cache entries.
     pub plan_cache_capacity: usize,
+    /// Force every join to this algorithm (benchmarks and tests only —
+    /// e.g. `NestedLoops`, which the bytecode VM refuses with a typed
+    /// `Unsupported`, exercises the vm engine's holistic fallback).
+    pub force_join_algorithm: Option<hique_plan::JoinAlgorithm>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +97,7 @@ impl Default for ServerConfig {
             threads: 1,
             memory_budget_pages: 0,
             plan_cache_capacity: 256,
+            force_join_algorithm: None,
         }
     }
 }
@@ -106,6 +111,11 @@ pub(crate) struct Shared {
     session_seq: AtomicU64,
     queries_served: AtomicU64,
     queries_cancelled: AtomicU64,
+    /// `engine=vm` statements that transparently executed on the holistic
+    /// engine because the plan has no bytecode lowering (or the VM refused
+    /// it at runtime).  The reply is identical either way; this counter is
+    /// the only externally visible trace of the degradation.
+    vm_fallbacks: AtomicU64,
     /// Cancellation tokens of queries currently executing, keyed by session
     /// id (one in-flight statement per session).  [`Server::cancel_all`]
     /// fires every one of them, which is how drain-on-shutdown stops
@@ -149,9 +159,10 @@ impl Server {
             runtime.temp().set_max_claims(config.max_sessions.max(1));
         }
         let dsm = DsmDatabase::from_catalog(&catalog)?;
-        let planner = PlannerConfig::default()
+        let mut planner = PlannerConfig::default()
             .with_threads(config.threads.max(1))
             .with_memory_budget_pages(budget);
+        planner.force_join_algorithm = config.force_join_algorithm;
         Ok(Server {
             shared: Arc::new(Shared {
                 catalog,
@@ -162,6 +173,7 @@ impl Server {
                 session_seq: AtomicU64::new(0),
                 queries_served: AtomicU64::new(0),
                 queries_cancelled: AtomicU64::new(0),
+                vm_fallbacks: AtomicU64::new(0),
                 inflight: Mutex::new(HashMap::new()),
             }),
         })
@@ -210,6 +222,12 @@ impl Server {
     /// Queries executed across all sessions since startup.
     pub fn queries_served(&self) -> u64 {
         self.shared.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// `engine=vm` statements that transparently degraded to the holistic
+    /// engine (no bytecode lowering for the plan).
+    pub fn vm_fallbacks(&self) -> u64 {
+        self.shared.vm_fallbacks.load(Ordering::Relaxed)
     }
 }
 
@@ -342,19 +360,33 @@ impl Session {
                 &self.shared.dsm,
                 cancel.clone(),
             ),
-            Engine::Vm => match prepared.vm.as_ref() {
-                Some(program) => program.execute(
-                    &prepared.generated,
-                    &self.shared.catalog,
-                    &ExecOptions {
-                        cancel: cancel.clone(),
-                        ..ExecOptions::default()
-                    },
-                ),
-                None => Err(HiqueError::Unsupported(
-                    "query has no bytecode lowering (vm engine)".into(),
-                )),
-            },
+            // Bytecode when the plan lowered; otherwise degrade gracefully
+            // to the holistic engine the bytecode was rendered from — the
+            // reply is identical (the differential harness proves it), and
+            // the degradation is visible only as `vm_fallbacks` in `.stats`.
+            Engine::Vm => {
+                let options = ExecOptions {
+                    cancel: cancel.clone(),
+                    ..ExecOptions::default()
+                };
+                let fallback = |e: HiqueError| match e {
+                    HiqueError::Unsupported(_) => {
+                        self.shared.vm_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        prepared
+                            .generated
+                            .execute_with(&self.shared.catalog, &options)
+                    }
+                    other => Err(other),
+                };
+                match prepared.vm.as_ref() {
+                    Some(program) => program
+                        .execute(&prepared.generated, &self.shared.catalog, &options)
+                        .or_else(fallback),
+                    None => fallback(HiqueError::Unsupported(
+                        "query has no bytecode lowering (vm engine)".into(),
+                    )),
+                }
+            }
         };
         match result {
             Ok(result) => {
@@ -492,6 +524,39 @@ mod tests {
         let mut s2 = server.session();
         let reference = s2.execute_on(sql_b, Engine::Holistic).unwrap();
         assert_eq!(b.rows, reference.rows);
+    }
+
+    #[test]
+    fn vm_engine_degrades_to_holistic_when_bytecode_cannot_lower() {
+        // The VM refuses forced nested-loops joins with a typed
+        // `Unsupported`, so `engine=vm` must transparently answer through
+        // the holistic engine and count the degradation.
+        let mut cat = catalog(60);
+        cat.create_table("s", Schema::new(vec![Column::new("k", DataType::Int32)]))
+            .unwrap();
+        for i in 0..6 {
+            cat.table_mut("s")
+                .unwrap()
+                .heap
+                .append_row(&Row::new(vec![Value::Int32(i)]))
+                .unwrap();
+        }
+        cat.analyze_table("s").unwrap();
+        let config = ServerConfig {
+            force_join_algorithm: Some(hique_plan::JoinAlgorithm::NestedLoops),
+            ..ServerConfig::default()
+        };
+        let server = Server::new(cat, config).unwrap();
+        let sql = "select r.k, count(*) as n from r, s where r.k = s.k \
+                   group by r.k order by r.k";
+        let mut vm = server.session();
+        vm.set_engine(Engine::Vm);
+        let degraded = vm.execute(sql).unwrap();
+        let mut reference = server.session();
+        let reference = reference.execute_on(sql, Engine::Holistic).unwrap();
+        assert_eq!(degraded.rows, reference.rows);
+        assert_eq!(server.vm_fallbacks(), 1);
+        assert_eq!(server.queries_served(), 2);
     }
 
     #[test]

@@ -131,6 +131,15 @@ pub struct ExecStats {
     /// `FaultPlan` while this execution ran (failed/short reads, failed
     /// writes, disk-full spill allocations).  Zero outside chaos testing.
     pub faults_injected: u64,
+    /// Tuple batches dispatched by the bytecode VM's vectorized tier
+    /// (one per heap page staged, per pinned spill page consumed, or per
+    /// in-memory chunk of at most the batch width).  Zero when the scalar
+    /// row-at-a-time interpreter ran — which tier executed is visible in
+    /// EXPLAIN through this counter.
+    pub vm_batches: u64,
+    /// Fused superinstruction dispatches executed by the vectorized tier
+    /// (one per fused step per batch, not per tuple).
+    pub vm_fused_ops: u64,
     /// Buffer-pool and disk I/O of the execution (zero for memory-resident
     /// catalogs; see [`IoStats`] for the interleaving caveat under
     /// `threads > 1`).
@@ -212,6 +221,8 @@ impl AddAssign for ExecStats {
         self.spill_claim_denied += rhs.spill_claim_denied;
         self.cancelled += rhs.cancelled;
         self.faults_injected += rhs.faults_injected;
+        self.vm_batches += rhs.vm_batches;
+        self.vm_fused_ops += rhs.vm_fused_ops;
         // High-water marks combine by max, not by sum: merging worker
         // counter sets must not inflate peak residency.
         self.peak_resident_pages = self.peak_resident_pages.max(rhs.peak_resident_pages);
@@ -226,7 +237,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} spilled={} spill_claim_denied={} peak_resident={} spill_consumer_peak={} cancelled={} faults_injected={} {}",
+            "calls={} tuples={} bytes={} cmps={} hashes={} mat_bytes={} part_passes={} sort_passes={} rows_out={} spilled={} spill_claim_denied={} peak_resident={} spill_consumer_peak={} cancelled={} faults_injected={} vm_batches={} vm_fused_ops={} {}",
             self.function_calls,
             self.tuples_processed,
             self.bytes_touched,
@@ -242,6 +253,8 @@ impl fmt::Display for ExecStats {
             self.spill_consumer_peak_pages,
             self.cancelled,
             self.faults_injected,
+            self.vm_batches,
+            self.vm_fused_ops,
             self.io
         )
     }
@@ -320,6 +333,8 @@ mod tests {
             "spill_consumer_peak=",
             "cancelled=",
             "faults_injected=",
+            "vm_batches=",
+            "vm_fused_ops=",
             "pool_hits=",
             "pool_misses=",
             "pool_evictions=",

@@ -167,7 +167,7 @@ impl Frag {
 }
 
 #[inline(always)]
-fn rhs_i(rhs: RhsI, pool: &ConstPool) -> i64 {
+pub(crate) fn rhs_i(rhs: RhsI, pool: &ConstPool) -> i64 {
     match rhs {
         RhsI::Imm(v) => v,
         RhsI::Pool(i) => {
@@ -182,7 +182,7 @@ fn rhs_i(rhs: RhsI, pool: &ConstPool) -> i64 {
 }
 
 #[inline(always)]
-fn rhs_f(rhs: RhsF, pool: &ConstPool) -> f64 {
+pub(crate) fn rhs_f(rhs: RhsF, pool: &ConstPool) -> f64 {
     match rhs {
         RhsF::Imm(v) => v,
         RhsF::Pool(i) => {
@@ -207,6 +207,42 @@ fn debug_check_read(record: &[u8], offset: u32, width: u32) {
     );
 }
 
+/// Evaluate one predicate test against one record.  Shared by the scalar
+/// filter loop and the vectorized tier's fused conjunction steps.
+#[inline(always)]
+pub(crate) fn test_op(op: &Op, pool: &ConstPool, record: &[u8]) -> bool {
+    match *op {
+        Op::TestI32 { offset, op, rhs } => {
+            debug_check_read(record, offset, 4);
+            op.matches((read_i32_at(record, offset as usize) as i64).cmp(&rhs_i(rhs, pool)))
+        }
+        Op::TestI64 { offset, op, rhs } => {
+            debug_check_read(record, offset, 8);
+            op.matches(read_i64_at(record, offset as usize).cmp(&rhs_i(rhs, pool)))
+        }
+        Op::TestF64 { offset, op, rhs } => {
+            debug_check_read(record, offset, 8);
+            op.matches(read_f64_at(record, offset as usize).total_cmp(&rhs_f(rhs, pool)))
+        }
+        Op::TestBytes {
+            offset,
+            width,
+            op,
+            pool: slot,
+        } => {
+            debug_check_read(record, offset, width);
+            debug_assert!(
+                (slot as usize) < pool.bytes.len(),
+                "verified program cannot reference bytes pool slot {slot} of {}",
+                pool.bytes.len()
+            );
+            let field = &record[offset as usize..(offset + width) as usize];
+            op.matches(field.cmp(pool.bytes[slot as usize].as_slice()))
+        }
+        _ => unreachable!("non-test op in filter fragment"),
+    }
+}
+
 /// Run a filter fragment over one record: every test must pass.
 /// `comparisons` counts the tests executed (the generated code's
 /// short-circuit `continue` skips the rest, exactly like the static
@@ -215,37 +251,7 @@ fn debug_check_read(record: &[u8], offset: u32, width: u32) {
 pub fn run_filter(ops: &[Op], pool: &ConstPool, record: &[u8], comparisons: &mut u64) -> bool {
     for op in ops {
         *comparisons += 1;
-        let pass = match *op {
-            Op::TestI32 { offset, op, rhs } => {
-                debug_check_read(record, offset, 4);
-                op.matches((read_i32_at(record, offset as usize) as i64).cmp(&rhs_i(rhs, pool)))
-            }
-            Op::TestI64 { offset, op, rhs } => {
-                debug_check_read(record, offset, 8);
-                op.matches(read_i64_at(record, offset as usize).cmp(&rhs_i(rhs, pool)))
-            }
-            Op::TestF64 { offset, op, rhs } => {
-                debug_check_read(record, offset, 8);
-                op.matches(read_f64_at(record, offset as usize).total_cmp(&rhs_f(rhs, pool)))
-            }
-            Op::TestBytes {
-                offset,
-                width,
-                op,
-                pool: slot,
-            } => {
-                debug_check_read(record, offset, width);
-                debug_assert!(
-                    (slot as usize) < pool.bytes.len(),
-                    "verified program cannot reference bytes pool slot {slot} of {}",
-                    pool.bytes.len()
-                );
-                let field = &record[offset as usize..(offset + width) as usize];
-                op.matches(field.cmp(pool.bytes[slot as usize].as_slice()))
-            }
-            _ => unreachable!("non-test op in filter fragment"),
-        };
-        if !pass {
+        if !test_op(op, pool, record) {
             return false;
         }
     }

@@ -38,23 +38,98 @@ use hique_types::{
 
 use crate::bytecode::{run_expr, run_filter, run_image, run_project, ConstPool, Frag, Op};
 use crate::program::{OutputOp, TableFrags, VmProgram};
+use crate::vector::{
+    for_each_ref_batch, run_expr_batch, run_filter_batch, run_image_batch, run_project_batch,
+    Batch, VecStep, BATCH,
+};
 
 /// Probe-side records between cancellation checks in a hash join.
 const CANCEL_BATCH: usize = 4096;
 
+/// FxHash-style multiply hasher for the `i64` key-image maps (join tables
+/// and group directories).  The images are already order-preserving values,
+/// not adversarial input, so the std SipHash default buys nothing here and
+/// costs measurably on large build sides; a rotate-xor-multiply over each
+/// written word is the standard interner hash for exactly this shape.
+#[derive(Default)]
+struct ImageHasher(u64);
+
+impl ImageHasher {
+    #[inline(always)]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for ImageHasher {
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline(always)]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline(always)]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+    #[inline(always)]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type ImageMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<ImageHasher>>;
+
+/// Which interpreter dispatches the bytecode (DESIGN.md §15).
+///
+/// Both tiers produce bit-identical results and [`hique_types::ExecStats`]
+/// work counters; they differ only in dispatch cost (and in the
+/// `vm_batches`/`vm_fused_ops` counters recording which tier ran).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Batch interpretation: each op dispatched once per batch of tuples,
+    /// filters narrowing a selection vector, fused superinstructions
+    /// covering hot op pairs.  Fragments without a vectorized lowering
+    /// fall back to the scalar loops per fragment, never per row.  The
+    /// default tier.
+    #[default]
+    Vectorized,
+    /// The original row-at-a-time reference interpreter.
+    Scalar,
+}
+
 impl VmProgram {
-    /// Execute this program; see [`execute`].
+    /// Execute this program on the default (vectorized) tier; see
+    /// [`execute`].
     pub fn execute(
         &self,
         generated: &GeneratedQuery,
         catalog: &Catalog,
         options: &ExecOptions,
     ) -> Result<QueryResult> {
-        execute(self, generated, catalog, options)
+        execute_tiered(self, generated, catalog, options, Tier::default())
+    }
+
+    /// Execute this program on an explicit tier; see [`execute_tiered`].
+    pub fn execute_with_tier(
+        &self,
+        generated: &GeneratedQuery,
+        catalog: &Catalog,
+        options: &ExecOptions,
+        tier: Tier,
+    ) -> Result<QueryResult> {
+        execute_tiered(self, generated, catalog, options, tier)
     }
 }
 
-/// Execute a compiled program.
+/// Execute a compiled program on the default (vectorized) tier.
 ///
 /// `generated` must be the query the program was compiled for (or rebound
 /// to via [`VmProgram::bind`]): the plan-shape signature is re-derived and
@@ -65,6 +140,18 @@ pub fn execute(
     generated: &GeneratedQuery,
     catalog: &Catalog,
     options: &ExecOptions,
+) -> Result<QueryResult> {
+    execute_tiered(program, generated, catalog, options, Tier::default())
+}
+
+/// Execute a compiled program on an explicit interpreter tier; see
+/// [`execute`] for the contract.
+pub fn execute_tiered(
+    program: &VmProgram,
+    generated: &GeneratedQuery,
+    catalog: &Catalog,
+    options: &ExecOptions,
+    tier: Tier,
 ) -> Result<QueryResult> {
     if crate::program::plan_signature(generated, catalog)? != program.signature {
         return Err(HiqueError::Execution(
@@ -110,6 +197,8 @@ pub fn execute(
             &info.heap,
             &plan.staged[t],
             &program.tables[t],
+            program.vec.filters.get(t).and_then(|f| f.as_deref()),
+            tier,
             code,
             consts,
             &mut stats,
@@ -204,6 +293,7 @@ pub fn execute(
                 &right.relation,
                 step.left_image.ops(code),
                 step.right_image.ops(code),
+                tier,
                 &mut stats,
                 cancel,
                 &mut |lrec, rrec| {
@@ -255,9 +345,86 @@ pub fn execute(
         // Hash aggregation in first-occurrence order: group identity is the
         // tuple of key images (the same identity the static kernels use for
         // directories and sort grouping).
-        let mut index: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut index: ImageMap<Vec<i64>, usize> = ImageMap::default();
         let mut groups: Vec<(Vec<Value>, Vec<Accum>)> = Vec::new();
-        {
+        if tier == Tier::Vectorized {
+            // Page-batched aggregation: the batch is one page's packed
+            // record area — for spilled inputs one *pinned* page at a time
+            // (through the same guard the scalar consumer uses, so
+            // `spill_consumer_peak_pages` stays 1), for in-memory inputs
+            // the same page-shaped chunks.  Group-key images and argument
+            // expressions evaluate into columnar lanes once per batch;
+            // groups then update row-major in input order, reusing one
+            // scratch key so only first occurrences allocate.
+            let set = slot.partitions(spill)?;
+            let n_groups = frags.group_images.len();
+            let mut gimgs: Vec<Vec<i64>> = vec![Vec::new(); n_groups];
+            let mut vals: Vec<Vec<f64>> = vec![Vec::new(); n_aggs];
+            let mut lanes: Vec<Vec<f64>> = vec![Vec::new(); program.float_registers];
+            let mut key: Vec<i64> = vec![0; n_groups];
+            for stream in set.streams() {
+                stream.for_each_page(|data| {
+                    let batch = Batch::Packed {
+                        data,
+                        width: tuple_size,
+                    };
+                    let n = batch.len();
+                    stats.vm_batches += 1;
+                    for (g, f) in frags.group_images.iter().enumerate() {
+                        run_image_batch(f.ops(code), &batch, &mut gimgs[g]);
+                    }
+                    for (a, arg) in frags.args.iter().enumerate() {
+                        let Some(f) = arg else { continue };
+                        match program.vec.agg_args.get(a).and_then(|s| s.as_deref()) {
+                            Some(steps) => run_expr_batch(
+                                steps,
+                                consts,
+                                &batch,
+                                &mut lanes,
+                                &mut vals[a],
+                                &mut stats.vm_fused_ops,
+                            ),
+                            None => {
+                                // Per-fragment scalar fallback.
+                                vals[a].clear();
+                                for r in 0..n {
+                                    vals[a].push(run_expr(
+                                        f.ops(code),
+                                        consts,
+                                        batch.rec(r),
+                                        &mut regs,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    for r in 0..n {
+                        stats.add_tuple(tuple_size);
+                        stats.add_hashes(1);
+                        for g in 0..n_groups {
+                            key[g] = gimgs[g][r];
+                        }
+                        let gi = match index.get(key.as_slice()) {
+                            Some(&gi) => gi,
+                            None => {
+                                let rec = batch.rec(r);
+                                let values = group_keys.iter().map(|k| k.value(rec)).collect();
+                                groups.push((values, vec![Accum::new(); n_aggs]));
+                                index.insert(key.clone(), groups.len() - 1);
+                                groups.len() - 1
+                            }
+                        };
+                        let accums = &mut groups[gi].1;
+                        for (a, arg) in frags.args.iter().enumerate() {
+                            match arg {
+                                Some(_) => accums[a].update(vals[a][r]),
+                                None => accums[a].update_count_only(),
+                            }
+                        }
+                    }
+                })?;
+            }
+        } else {
             let mut process = |rec: &[u8]| {
                 stats.add_tuple(tuple_size);
                 stats.add_hashes(1);
@@ -367,10 +534,22 @@ pub fn execute(
 /// dividing the heap pages across the pool.  Page chunks are merged in
 /// chunk order, so the staged relation is byte-identical for every thread
 /// count; workers observe the shared cancellation token once per page.
+///
+/// On the vectorized tier the batch is one heap page's packed record
+/// area, filled under the same pin guard the scalar loop scans under:
+/// the fused filter narrows a selection vector and the projection sweeps
+/// the survivors column-major.  Page boundaries are invariant across
+/// `chunk_ranges` splits, so `vm_batches` is deterministic per thread
+/// count.
+// The scalar kernel's parameter list plus the tier and fused-filter inputs;
+// a params struct would just rename the arguments.
+#[allow(clippy::too_many_arguments)]
 fn stage_table(
     heap: &TableHeap,
     desc: &StagedTable,
     frags: &TableFrags,
+    vec_filter: Option<&[VecStep]>,
+    tier: Tier,
     code: &[Op],
     consts: &ConstPool,
     stats: &mut ExecStats,
@@ -385,29 +564,80 @@ fn stage_table(
     let worker_outputs: Vec<Result<(Vec<u8>, ExecStats)>> = pool.map_items(&chunks, |_, pages| {
         let mut local = ExecStats::new();
         let mut out: Vec<u8> = Vec::new();
-        let mut buf = vec![0u8; out_width];
-        for p in pages.clone() {
-            cancel.check()?;
-            let page = heap.page_guard(p)?;
-            for record in page.records() {
+        if tier == Tier::Vectorized {
+            let mut sel: Vec<u32> = Vec::new();
+            for p in pages.clone() {
+                cancel.check()?;
+                let page = heap.page_guard(p)?;
+                let data = page.data();
                 // The verifier proved every fragment access in-bounds for
-                // the base schema; the record must really have that width.
+                // the base schema; the page must really hold records of
+                // that width.
                 debug_assert_eq!(
-                    record.len(),
-                    base_ts,
-                    "heap record width diverges from the schema the program was verified against"
+                    data.len() % base_ts.max(1),
+                    0,
+                    "heap page width diverges from the schema the program was verified against"
                 );
-                local.add_tuple(base_ts);
-                if !run_filter(
-                    frags.filter.ops(code),
-                    consts,
-                    record,
-                    &mut local.comparisons,
-                ) {
-                    continue;
+                let batch = Batch::Packed {
+                    data,
+                    width: base_ts,
+                };
+                let n = batch.len();
+                local.vm_batches += 1;
+                local.tuples_processed += n as u64;
+                local.bytes_touched += (n * base_ts) as u64;
+                match vec_filter {
+                    Some(steps) => run_filter_batch(
+                        steps,
+                        consts,
+                        &batch,
+                        &mut sel,
+                        &mut local.comparisons,
+                        &mut local.vm_fused_ops,
+                    ),
+                    None => {
+                        // Per-fragment scalar fallback: same selection,
+                        // row-at-a-time filter.
+                        sel.clear();
+                        for r in 0..n {
+                            if run_filter(
+                                frags.filter.ops(code),
+                                consts,
+                                batch.rec(r),
+                                &mut local.comparisons,
+                            ) {
+                                sel.push(r as u32);
+                            }
+                        }
+                    }
                 }
-                run_project(frags.project.ops(code), record, &mut buf);
-                out.extend_from_slice(&buf);
+                run_project_batch(frags.project.ops(code), &batch, &sel, out_width, &mut out);
+            }
+        } else {
+            let mut buf = vec![0u8; out_width];
+            for p in pages.clone() {
+                cancel.check()?;
+                let page = heap.page_guard(p)?;
+                for record in page.records() {
+                    // The verifier proved every fragment access in-bounds for
+                    // the base schema; the record must really have that width.
+                    debug_assert_eq!(
+                        record.len(),
+                        base_ts,
+                        "heap record width diverges from the schema the program was verified against"
+                    );
+                    local.add_tuple(base_ts);
+                    if !run_filter(
+                        frags.filter.ops(code),
+                        consts,
+                        record,
+                        &mut local.comparisons,
+                    ) {
+                        continue;
+                    }
+                    run_project(frags.project.ops(code), record, &mut buf);
+                    out.extend_from_slice(&buf);
+                }
             }
         }
         Ok((out, local))
@@ -434,6 +664,7 @@ fn hash_join(
     right: &StagedRelation,
     left_image: &[Op],
     right_image: &[Op],
+    tier: Tier,
     stats: &mut ExecStats,
     cancel: &CancelToken,
     emit: &mut impl FnMut(&[u8], &[u8]),
@@ -441,7 +672,41 @@ fn hash_join(
     // One generated join function per step.
     stats.add_calls(1);
     let rrecs: Vec<&[u8]> = right.records().collect();
-    let mut table: HashMap<i64, Vec<u32>> = HashMap::new();
+    let mut table: ImageMap<i64, Vec<u32>> = ImageMap::default();
+    if tier == Tier::Vectorized {
+        // Key images evaluate into an `i64` lane once per batch; inserts,
+        // probes and emission then run row-major in the exact build/probe
+        // order of the scalar loops, so the emitted stream is identical.
+        let mut keys: Vec<i64> = Vec::new();
+        for (c, chunk) in rrecs.chunks(BATCH).enumerate() {
+            stats.vm_batches += 1;
+            run_image_batch(right_image, &Batch::Refs(chunk), &mut keys);
+            let base = c * BATCH;
+            for (j, rec) in chunk.iter().enumerate() {
+                stats.add_tuple(rec.len());
+                stats.add_hashes(1);
+                table.entry(keys[j]).or_default().push((base + j) as u32);
+            }
+        }
+        let mut scratch: Vec<&[u8]> = Vec::new();
+        for_each_ref_batch(left.records(), &mut scratch, |batch| {
+            cancel.check()?;
+            stats.vm_batches += 1;
+            run_image_batch(left_image, &Batch::Refs(batch), &mut keys);
+            for (j, lrec) in batch.iter().enumerate() {
+                stats.add_tuple(lrec.len());
+                stats.add_hashes(1);
+                if let Some(matches) = table.get(&keys[j]) {
+                    stats.add_comparisons(matches.len() as u64);
+                    for &ri in matches {
+                        emit(lrec, rrecs[ri as usize]);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        return Ok(());
+    }
     for (i, rec) in rrecs.iter().enumerate() {
         stats.add_tuple(rec.len());
         stats.add_hashes(1);

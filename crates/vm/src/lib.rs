@@ -20,6 +20,16 @@
 //! and literal-varying classmates a cheap [`VmProgram::bind`] (signature
 //! checked, pool swapped, constants folded) instead of a full prepare.
 //!
+//! Execution has two tiers ([`exec::Tier`]): the original row-at-a-time
+//! scalar interpreter, and a vectorized tier (`vector` module,
+//! DESIGN.md §15)
+//! that dispatches each op once per batch of tuples over selection
+//! vectors and columnar register lanes, with a peephole fusion pass
+//! rewriting hot op pairs into superinstructions.  Tier selection is
+//! automatic per fragment at prepare time; results and [`ExecStats`]
+//! are bit-identical across tiers, with `vm_batches`/`vm_fused_ops`
+//! recording which tier ran.
+//!
 //! Every compiled or rebound program passes a static verifier
 //! ([`verify::verify`]) before it can reach the interpreter: abstract
 //! interpretation proving register def-before-use, operand/field type
@@ -37,10 +47,11 @@ pub mod bytecode;
 pub mod exec;
 pub mod mutate;
 pub mod program;
+pub(crate) mod vector;
 pub mod verify;
 
 pub use bytecode::{ConstPool, Frag, Op};
-pub use exec::execute;
+pub use exec::{execute, Tier};
 pub use mutate::{mutants, Mutant};
 pub use program::{collect_pool, compile, plan_signature, plan_structure, CompileMode, VmProgram};
 pub use verify::{verify, VerifyError};

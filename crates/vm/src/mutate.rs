@@ -70,7 +70,7 @@ const FAR_OFFSET: u32 = 1 << 20;
 /// nesting depth bounds the bank; parser depth keeps it tiny).
 const FAR_REGISTER: u8 = 200;
 
-const KINDS: usize = 13;
+const KINDS: usize = 16;
 
 /// Generate up to `count` single-mutation corruptions of `template`,
 /// deterministically from `seed`.  Kinds that do not apply to the program
@@ -112,6 +112,9 @@ fn apply(p: &mut VmProgram, kind: usize, rng: &mut Rng) -> Option<String> {
         10 => frag_out_of_range(p, rng),
         11 => corrupt_outputs(p, rng),
         12 => truncate_code(p),
+        13 => fused_wrong_operand_type(p, rng),
+        14 => fused_register_out_of_lattice(p, rng),
+        15 => fused_pool_oob(p, rng),
         _ => None,
     }
 }
@@ -670,6 +673,198 @@ fn truncate_code(p: &mut VmProgram) -> Option<String> {
     }
     p.code.pop();
     Some("code array: dropped the final op out from under its fragment".into())
+}
+
+/// Vectorized filter step slots, as `(table, step)` indices.
+fn vec_filter_steps(p: &VmProgram) -> Vec<(usize, usize)> {
+    p.vec
+        .filters
+        .iter()
+        .enumerate()
+        .flat_map(|(t, steps)| steps.iter().flatten().enumerate().map(move |(s, _)| (t, s)))
+        .collect()
+}
+
+/// Re-tag a test inside a fused filter step with a foreign operand type,
+/// leaving the scalar fragment intact: statically a `TypeMismatch` (or
+/// `FusedDivergence`) on the vectorized plan.
+fn fused_wrong_operand_type(p: &mut VmProgram, rng: &mut Rng) -> Option<String> {
+    let targets = vec_filter_steps(p);
+    let &(t, s) = rng.pick(&targets)?;
+    let steps = p.vec.filters[t].as_mut()?;
+    let retag = |target: &mut Op| -> Option<&'static str> {
+        let (old, new) = match *target {
+            Op::TestI32 { offset, op, rhs } => ("test-i32", Op::TestI64 { offset, op, rhs }),
+            Op::TestI64 { offset, op, rhs } => ("test-i64", Op::TestI32 { offset, op, rhs }),
+            Op::TestF64 { offset, op, .. } => (
+                "test-f64",
+                Op::TestI64 {
+                    offset,
+                    op,
+                    rhs: RhsI::Imm(0),
+                },
+            ),
+            Op::TestBytes { offset, op, .. } => (
+                "test-bytes",
+                Op::TestI32 {
+                    offset,
+                    op,
+                    rhs: RhsI::Imm(0),
+                },
+            ),
+            _ => return None,
+        };
+        *target = new;
+        Some(old)
+    };
+    let old = match &mut steps[s] {
+        crate::vector::VecStep::Op(a) | crate::vector::VecStep::TestTest(a, _) => retag(a)?,
+        crate::vector::VecStep::LoadArith(..) => return None,
+    };
+    Some(format!(
+        "vectorized staged[{t}] filter step {s}: re-tagged a {old} test with a foreign type"
+    ))
+}
+
+/// Point a register inside a fused aggregate-argument step outside the
+/// float bank, leaving the scalar fragment intact: statically a
+/// `RegisterOutOfRange` on the vectorized plan.
+fn fused_register_out_of_lattice(p: &mut VmProgram, rng: &mut Rng) -> Option<String> {
+    let targets: Vec<(usize, usize)> = p
+        .vec
+        .agg_args
+        .iter()
+        .enumerate()
+        .flat_map(|(a, steps)| steps.iter().flatten().enumerate().map(move |(s, _)| (a, s)))
+        .collect();
+    let &(ai, s) = rng.pick(&targets)?;
+    let bank = p.float_registers;
+    let which = rng.below(3);
+    let steps = p.vec.agg_args[ai].as_mut()?;
+    let mutate_reg = |r: &mut u8| {
+        let old = *r;
+        *r = FAR_REGISTER;
+        old
+    };
+    let old = match &mut steps[s] {
+        crate::vector::VecStep::Op(op) => match op {
+            Op::LoadF { dst, .. }
+            | Op::LoadI32F { dst, .. }
+            | Op::LoadI64F { dst, .. }
+            | Op::ConstF { dst, .. }
+            | Op::PoolF { dst, .. } => mutate_reg(dst),
+            Op::Arith { dst, a, b, .. } => mutate_reg(match which {
+                0 => dst,
+                1 => a,
+                _ => b,
+            }),
+            _ => return None,
+        },
+        crate::vector::VecStep::LoadArith(load, arith) => {
+            if which == 0 {
+                match load {
+                    Op::LoadF { dst, .. }
+                    | Op::LoadI32F { dst, .. }
+                    | Op::LoadI64F { dst, .. }
+                    | Op::ConstF { dst, .. }
+                    | Op::PoolF { dst, .. } => mutate_reg(dst),
+                    _ => return None,
+                }
+            } else {
+                match arith {
+                    Op::Arith { dst, a, .. } => mutate_reg(if which == 1 { a } else { dst }),
+                    _ => return None,
+                }
+            }
+        }
+        crate::vector::VecStep::TestTest(..) => return None,
+    };
+    Some(format!(
+        "vectorized aggregate arg {ai} step {s}: register r{old} -> r{FAR_REGISTER} \
+         (bank is {bank})"
+    ))
+}
+
+/// Point a pool reference inside a fused step past its section, leaving
+/// the scalar fragment and the pool intact: statically a
+/// `PoolIndexOutOfRange` on the vectorized plan.
+fn fused_pool_oob(p: &mut VmProgram, rng: &mut Rng) -> Option<String> {
+    use crate::vector::VecStep;
+    let (ints, floats, bytes) = (
+        p.pool.ints.len() as u32,
+        p.pool.floats.len() as u32,
+        p.pool.bytes.len() as u32,
+    );
+    let has_pool = |op: &Op| {
+        matches!(
+            op,
+            Op::TestI32 {
+                rhs: RhsI::Pool(_),
+                ..
+            } | Op::TestI64 {
+                rhs: RhsI::Pool(_),
+                ..
+            } | Op::TestF64 {
+                rhs: RhsF::Pool(_),
+                ..
+            } | Op::TestBytes { .. }
+                | Op::PoolF { .. }
+        )
+    };
+    let step_has_pool = |step: &VecStep| match step {
+        VecStep::Op(x) => has_pool(x),
+        VecStep::TestTest(x, y) | VecStep::LoadArith(x, y) => has_pool(x) || has_pool(y),
+    };
+    let mut targets: Vec<(usize, usize, usize)> = Vec::new();
+    for (t, steps) in p.vec.filters.iter().enumerate() {
+        for (s, step) in steps.iter().flatten().enumerate() {
+            if step_has_pool(step) {
+                targets.push((0, t, s));
+            }
+        }
+    }
+    for (a, steps) in p.vec.agg_args.iter().enumerate() {
+        for (s, step) in steps.iter().flatten().enumerate() {
+            if step_has_pool(step) {
+                targets.push((1, a, s));
+            }
+        }
+    }
+    let &(kind, fi, si) = rng.pick(&targets)?;
+    let corrupt = |op: &mut Op| -> Option<&'static str> {
+        match op {
+            Op::TestI32 { rhs, .. } | Op::TestI64 { rhs, .. } if matches!(rhs, RhsI::Pool(_)) => {
+                *rhs = RhsI::Pool(ints + 7);
+                Some("int")
+            }
+            Op::TestF64 { rhs, .. } if matches!(rhs, RhsF::Pool(_)) => {
+                *rhs = RhsF::Pool(floats + 7);
+                Some("float")
+            }
+            Op::TestBytes { pool, .. } => {
+                *pool = bytes + 7;
+                Some("bytes")
+            }
+            Op::PoolF { idx, .. } => {
+                *idx = floats + 7;
+                Some("float")
+            }
+            _ => None,
+        }
+    };
+    let step = if kind == 0 {
+        &mut p.vec.filters[fi].as_mut()?[si]
+    } else {
+        &mut p.vec.agg_args[fi].as_mut()?[si]
+    };
+    let section = match step {
+        VecStep::Op(x) => corrupt(x),
+        VecStep::TestTest(x, y) | VecStep::LoadArith(x, y) => corrupt(x).or_else(|| corrupt(y)),
+    }?;
+    let frag = if kind == 0 { "filter" } else { "aggregate arg" };
+    Some(format!(
+        "vectorized {frag} {fi} step {si}: {section} pool reference pushed past its section"
+    ))
 }
 
 #[cfg(test)]

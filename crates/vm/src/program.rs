@@ -110,6 +110,11 @@ pub struct VmProgram {
     pub(crate) structure: Vec<String>,
     pub(crate) compile_cost: Duration,
     pub(crate) verify_cost: Duration,
+    /// The vectorized tier's fused lowering of the filter and aggregate-
+    /// argument fragments, built *after* constant folding (the steps copy
+    /// the folded ops) in both [`compile`] and [`VmProgram::bind`] and
+    /// checked by the verifier against the scalar fragments.
+    pub(crate) vec: crate::vector::VecPlan,
 }
 
 impl VmProgram {
@@ -208,6 +213,11 @@ impl VmProgram {
         rebound.mode = CompileMode::Specialized;
         rebound.pool = pool;
         fold_constants(&mut rebound.code, &rebound.pool);
+        // The fused steps hold copies of the ops; rebuild them from the
+        // freshly folded code so the vectorized tier runs the rebound
+        // constants, not the template's.
+        rebound.vec =
+            crate::vector::build_vec_plan(&rebound.code, &rebound.tables, rebound.agg.as_ref());
         let verify_started = Instant::now();
         crate::verify::verify(&rebound, generated, catalog)?;
         rebound.verify_cost = verify_started.elapsed();
@@ -327,10 +337,15 @@ pub fn compile(
         structure: plan_structure(generated, catalog)?,
         compile_cost: Duration::ZERO,
         verify_cost: Duration::ZERO,
+        vec: crate::vector::VecPlan::default(),
     };
     if mode == CompileMode::Specialized {
         fold_constants(&mut program.code, &program.pool);
     }
+    // Peephole-fuse after folding so the vectorized steps carry the final
+    // (specialized) ops.
+    program.vec =
+        crate::vector::build_vec_plan(&program.code, &program.tables, program.agg.as_ref());
     let verify_started = Instant::now();
     crate::verify::verify(&program, generated, catalog)?;
     program.verify_cost = verify_started.elapsed();

@@ -1,0 +1,837 @@
+//! The vectorized dispatch tier: batch interpretation + superinstruction
+//! fusion.
+//!
+//! The scalar interpreter in [`crate::bytecode`] pays one dispatch per op
+//! per tuple — exactly the per-tuple overhead the paper's compiled kernels
+//! eliminate.  With no offline compiler available at query time, this
+//! module takes the two classic interpreter routes around it:
+//!
+//! * **Batch interpretation** (MonetDB/X100-style): each op is dispatched
+//!   once per batch of up to [`BATCH`] tuples and then runs a tight loop
+//!   over the batch.  Filters narrow a *selection vector* instead of
+//!   branching per row; expression fragments evaluate over columnar
+//!   register lanes (`Vec<f64>` per register); key images fill an `i64`
+//!   lane.
+//! * **Superinstruction fusion** (Ertl & Gregg): a peephole pass over each
+//!   fragment rewrites hot adjacent pairs — two predicate tests into a
+//!   fused conjunction, an operand load feeding an arithmetic op into a
+//!   fused load-arith — so one dispatch covers both ops.
+//!
+//! Semantics are bit-identical to the scalar tier by construction: every
+//! batch loop performs the same per-row operations in the same order the
+//! scalar loop would, including the filter's short-circuit `comparisons`
+//! accounting (test `j` is only charged for rows that survived tests
+//! `0..j`).  The verifier checks each fused plan against its scalar
+//! fragments (operand contracts plus un-fuse equality), keeping the
+//! mutation-rejection gate closed over the fused ISA.
+
+use hique_sql::ast::BinOp;
+use hique_types::tuple::{read_f64_at, read_i32_at, read_i64_at};
+use hique_types::Result;
+
+use crate::bytecode::{rhs_f, rhs_i, test_op, ConstPool, Op};
+use crate::program::{AggFrags, TableFrags};
+
+/// Maximum tuples per batch for gathered-reference batches (join build and
+/// probe sides).  Staged scans and spilled aggregation inputs batch by
+/// page instead — the page *is* the batch, which keeps `vm_batches`
+/// independent of the thread count and keeps spilled consumption at one
+/// pinned page at a time.
+pub(crate) const BATCH: usize = 1024;
+
+/// One step of a vectorized fragment: a scalar op dispatched once per
+/// batch, or a fused superinstruction covering an adjacent pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum VecStep {
+    /// A single op, batch-dispatched.
+    Op(Op),
+    /// Fused conjunction of two adjacent predicate tests: one pass over
+    /// the selection vector evaluates both, preserving the scalar
+    /// short-circuit (the second test only runs where the first passed).
+    TestTest(Op, Op),
+    /// Fused operand load + arithmetic combine — the canonical lowering's
+    /// `Load*/ConstF/PoolF {dst: b}` immediately followed by
+    /// `Arith {.., b}` pair.
+    LoadArith(Op, Op),
+}
+
+/// The vectorized lowering of a whole program.  Built by
+/// [`build_vec_plan`] after constant folding (the steps hold copies of the
+/// *folded* ops); fragments that decline to lower (`None`) fall back to
+/// the scalar loops per fragment, never per row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct VecPlan {
+    /// One entry per staged table, parallel to `VmProgram::tables`.
+    pub(crate) filters: Vec<Option<Vec<VecStep>>>,
+    /// One entry per aggregate argument, parallel to `AggFrags::args`;
+    /// `None` for `COUNT(*)` (no argument) or a scalar-fallback fragment.
+    pub(crate) agg_args: Vec<Option<Vec<VecStep>>>,
+}
+
+/// True for predicate-test ops (the only ops filter fragments contain).
+fn is_test(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::TestI32 { .. } | Op::TestI64 { .. } | Op::TestF64 { .. } | Op::TestBytes { .. }
+    )
+}
+
+/// True for register-defining operand loads (including constants).
+pub(crate) fn is_load(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::LoadF { .. }
+            | Op::LoadI32F { .. }
+            | Op::LoadI64F { .. }
+            | Op::ConstF { .. }
+            | Op::PoolF { .. }
+    )
+}
+
+/// Destination register of an expression op.
+pub(crate) fn expr_dst(op: &Op) -> usize {
+    match *op {
+        Op::LoadF { dst, .. }
+        | Op::LoadI32F { dst, .. }
+        | Op::LoadI64F { dst, .. }
+        | Op::ConstF { dst, .. }
+        | Op::PoolF { dst, .. }
+        | Op::Arith { dst, .. } => dst as usize,
+        _ => unreachable!("op has no destination register"),
+    }
+}
+
+/// Peephole-fuse a filter fragment: adjacent test pairs become
+/// [`VecStep::TestTest`] conjunctions, an odd trailing test stays scalar-
+/// dispatched.  `None` when the fragment contains a non-test op (it then
+/// runs through the scalar filter loop).
+pub(crate) fn fuse_filter(ops: &[Op]) -> Option<Vec<VecStep>> {
+    if !ops.iter().all(is_test) {
+        return None;
+    }
+    let mut steps = Vec::with_capacity(ops.len().div_ceil(2));
+    let mut i = 0;
+    while i < ops.len() {
+        if i + 1 < ops.len() {
+            steps.push(VecStep::TestTest(ops[i], ops[i + 1]));
+            i += 2;
+        } else {
+            steps.push(VecStep::Op(ops[i]));
+            i += 1;
+        }
+    }
+    Some(steps)
+}
+
+/// Peephole-fuse an expression fragment: a load whose destination is the
+/// `b` operand of the immediately following `Arith` becomes one
+/// [`VecStep::LoadArith`] — the exact adjacency the canonical expression
+/// lowering produces for every `Binary` node with a leaf right operand.
+/// `None` when the fragment contains a non-expression op.
+pub(crate) fn fuse_expr(ops: &[Op]) -> Option<Vec<VecStep>> {
+    if !ops
+        .iter()
+        .all(|op| is_load(op) || matches!(op, Op::Arith { .. }))
+    {
+        return None;
+    }
+    let mut steps = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        if i + 1 < ops.len() && is_load(&ops[i]) {
+            if let Op::Arith { b, .. } = ops[i + 1] {
+                if expr_dst(&ops[i]) == b as usize {
+                    steps.push(VecStep::LoadArith(ops[i], ops[i + 1]));
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        steps.push(VecStep::Op(ops[i]));
+        i += 1;
+    }
+    Some(steps)
+}
+
+/// Build the vectorized plan of a compiled program.  Runs after constant
+/// folding in both `compile()` and `bind()` — the steps carry copies of
+/// the folded ops, and the verifier holds them to un-fuse equality with
+/// the scalar fragments.
+pub(crate) fn build_vec_plan(
+    code: &[Op],
+    tables: &[TableFrags],
+    agg: Option<&AggFrags>,
+) -> VecPlan {
+    VecPlan {
+        filters: tables
+            .iter()
+            .map(|t| fuse_filter(t.filter.ops(code)))
+            .collect(),
+        agg_args: agg
+            .map(|a| {
+                a.args
+                    .iter()
+                    .map(|arg| arg.as_ref().and_then(|f| fuse_expr(f.ops(code))))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+/// Flatten fused steps back into the scalar op sequence they claim to
+/// batch (the verifier compares this against the scalar fragment).
+pub(crate) fn unfuse(steps: &[VecStep]) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(steps.len() * 2);
+    for s in steps {
+        match s {
+            VecStep::Op(op) => ops.push(*op),
+            VecStep::TestTest(a, b) | VecStep::LoadArith(a, b) => {
+                ops.push(*a);
+                ops.push(*b);
+            }
+        }
+    }
+    ops
+}
+
+/// A batch of records the kernels index by row: either the packed record
+/// area of one (pinned) page, or gathered record references.
+#[derive(Clone, Copy)]
+pub(crate) enum Batch<'a> {
+    /// Packed fixed-width rows (`data.len()` is a multiple of `width`).
+    Packed { data: &'a [u8], width: usize },
+    /// Gathered record references.
+    Refs(&'a [&'a [u8]]),
+}
+
+impl<'a> Batch<'a> {
+    /// Rows in the batch.
+    #[inline(always)]
+    pub(crate) fn len(&self) -> usize {
+        match *self {
+            Batch::Packed { data, width } => data.len() / width.max(1),
+            Batch::Refs(recs) => recs.len(),
+        }
+    }
+
+    /// Row `i`.
+    #[inline(always)]
+    pub(crate) fn rec(&self, i: usize) -> &'a [u8] {
+        match *self {
+            Batch::Packed { data, width } => &data[i * width..(i + 1) * width],
+            Batch::Refs(recs) => recs[i],
+        }
+    }
+}
+
+/// Visit `iter`'s records as reference batches of at most [`BATCH`] rows
+/// (the last batch may be short).  `scratch` is reused across batches.
+pub(crate) fn for_each_ref_batch<'a>(
+    iter: impl Iterator<Item = &'a [u8]>,
+    scratch: &mut Vec<&'a [u8]>,
+    mut f: impl FnMut(&[&'a [u8]]) -> Result<()>,
+) -> Result<()> {
+    scratch.clear();
+    for rec in iter {
+        scratch.push(rec);
+        if scratch.len() == BATCH {
+            f(scratch)?;
+            scratch.clear();
+        }
+    }
+    if !scratch.is_empty() {
+        f(scratch)?;
+        scratch.clear();
+    }
+    Ok(())
+}
+
+/// Run a fused filter over one batch, narrowing `sel` (reset to the
+/// identity selection first).  `comparisons` reproduces the scalar loop's
+/// short-circuit totals exactly; `fused_ops` counts one per fused step per
+/// batch.
+pub(crate) fn run_filter_batch(
+    steps: &[VecStep],
+    pool: &ConstPool,
+    batch: &Batch<'_>,
+    sel: &mut Vec<u32>,
+    comparisons: &mut u64,
+    fused_ops: &mut u64,
+) {
+    sel.clear();
+    sel.extend(0..batch.len() as u32);
+    for step in steps {
+        if sel.is_empty() {
+            break;
+        }
+        match step {
+            VecStep::Op(op) => {
+                // Every surviving row runs (and is charged for) this test.
+                *comparisons += sel.len() as u64;
+                retain_pass(op, pool, batch, sel);
+            }
+            VecStep::TestTest(a, b) => {
+                *fused_ops += 1;
+                let mut cmp = 0u64;
+                sel.retain(|&i| {
+                    let rec = batch.rec(i as usize);
+                    cmp += 1;
+                    if !test_op(a, pool, rec) {
+                        return false;
+                    }
+                    cmp += 1;
+                    test_op(b, pool, rec)
+                });
+                *comparisons += cmp;
+            }
+            VecStep::LoadArith(..) => unreachable!("expression step in filter fragment"),
+        }
+    }
+}
+
+/// One test op over the whole selection, dispatching once: the operand is
+/// resolved outside the row loop and the loop retains passing rows.
+fn retain_pass(op: &Op, pool: &ConstPool, batch: &Batch<'_>, sel: &mut Vec<u32>) {
+    match *op {
+        Op::TestI32 { offset, op, rhs } => {
+            let rhs = rhs_i(rhs, pool);
+            sel.retain(|&i| {
+                op.matches((read_i32_at(batch.rec(i as usize), offset as usize) as i64).cmp(&rhs))
+            });
+        }
+        Op::TestI64 { offset, op, rhs } => {
+            let rhs = rhs_i(rhs, pool);
+            sel.retain(|&i| {
+                op.matches(read_i64_at(batch.rec(i as usize), offset as usize).cmp(&rhs))
+            });
+        }
+        Op::TestF64 { offset, op, rhs } => {
+            let rhs = rhs_f(rhs, pool);
+            sel.retain(|&i| {
+                op.matches(read_f64_at(batch.rec(i as usize), offset as usize).total_cmp(&rhs))
+            });
+        }
+        Op::TestBytes {
+            offset,
+            width,
+            op,
+            pool: slot,
+        } => {
+            let needle = pool.bytes[slot as usize].as_slice();
+            sel.retain(|&i| {
+                let rec = batch.rec(i as usize);
+                op.matches(rec[offset as usize..(offset + width) as usize].cmp(needle))
+            });
+        }
+        _ => unreachable!("non-test op in filter fragment"),
+    }
+}
+
+/// Run a projection fragment over the selected rows of one batch,
+/// appending `sel.len()` projected records to `out`.  Column-major: each
+/// `Copy` is dispatched once and sweeps the selection.
+pub(crate) fn run_project_batch(
+    ops: &[Op],
+    batch: &Batch<'_>,
+    sel: &[u32],
+    out_width: usize,
+    out: &mut Vec<u8>,
+) {
+    let base = out.len();
+    out.resize(base + sel.len() * out_width, 0);
+    for op in ops {
+        match *op {
+            Op::Copy { src, width, dst } => {
+                let (src, width, dst) = (src as usize, width as usize, dst as usize);
+                for (j, &i) in sel.iter().enumerate() {
+                    let rec = batch.rec(i as usize);
+                    let at = base + j * out_width + dst;
+                    out[at..at + width].copy_from_slice(&rec[src..src + width]);
+                }
+            }
+            _ => unreachable!("non-copy op in projection fragment"),
+        }
+    }
+}
+
+/// Run a key-image fragment over every row of one batch, filling `out`
+/// with the same order-preserving `i64` images [`crate::bytecode::run_image`]
+/// produces row-at-a-time.
+pub(crate) fn run_image_batch(ops: &[Op], batch: &Batch<'_>, out: &mut Vec<i64>) {
+    out.clear();
+    out.resize(batch.len(), 0);
+    for op in ops {
+        match *op {
+            Op::ImageI32 { offset } => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = read_i32_at(batch.rec(i), offset as usize) as i64;
+                }
+            }
+            Op::ImageI64 { offset } => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = read_i64_at(batch.rec(i), offset as usize);
+                }
+            }
+            Op::ImageF64 { offset } => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    let bits = read_f64_at(batch.rec(i), offset as usize).to_bits() as i64;
+                    *o = bits ^ (((bits >> 63) as u64) >> 1) as i64;
+                }
+            }
+            Op::ImageChar { offset, width } => {
+                let take = (width as usize).min(8);
+                for (i, o) in out.iter_mut().enumerate() {
+                    let rec = batch.rec(i);
+                    let mut buf = [0u8; 8];
+                    buf[..take].copy_from_slice(&rec[offset as usize..offset as usize + take]);
+                    *o = i64::from_be_bytes(buf);
+                }
+            }
+            _ => unreachable!("non-image op in image fragment"),
+        }
+    }
+}
+
+#[inline(always)]
+fn apply(op: BinOp, l: f64, r: f64) -> f64 {
+    match op {
+        BinOp::Add => l + r,
+        BinOp::Sub => l - r,
+        BinOp::Mul => l * r,
+        BinOp::Div => l / r,
+    }
+}
+
+/// The value an operand-load op produces for one record.
+#[inline(always)]
+fn load_value(op: &Op, pool: &ConstPool, rec: &[u8]) -> f64 {
+    match *op {
+        Op::LoadF { offset, .. } => read_f64_at(rec, offset as usize),
+        Op::LoadI32F { offset, .. } => read_i32_at(rec, offset as usize) as f64,
+        Op::LoadI64F { offset, .. } => read_i64_at(rec, offset as usize) as f64,
+        Op::ConstF { value, .. } => value,
+        Op::PoolF { idx, .. } => pool.floats[idx as usize],
+        _ => unreachable!("non-load op in fused load slot"),
+    }
+}
+
+/// One expression op over every row of the batch, operating on the
+/// columnar register lanes.
+fn step_expr_op(op: &Op, pool: &ConstPool, batch: &Batch<'_>, lanes: &mut [Vec<f64>]) {
+    let n = batch.len();
+    match *op {
+        Op::LoadF { dst, offset } => {
+            for (r, lane) in lanes[dst as usize][..n].iter_mut().enumerate() {
+                *lane = read_f64_at(batch.rec(r), offset as usize);
+            }
+        }
+        Op::LoadI32F { dst, offset } => {
+            for (r, lane) in lanes[dst as usize][..n].iter_mut().enumerate() {
+                *lane = read_i32_at(batch.rec(r), offset as usize) as f64;
+            }
+        }
+        Op::LoadI64F { dst, offset } => {
+            for (r, lane) in lanes[dst as usize][..n].iter_mut().enumerate() {
+                *lane = read_i64_at(batch.rec(r), offset as usize) as f64;
+            }
+        }
+        Op::ConstF { dst, value } => lanes[dst as usize][..n].fill(value),
+        Op::PoolF { dst, idx } => lanes[dst as usize][..n].fill(pool.floats[idx as usize]),
+        Op::Arith { op, dst, a, b } => {
+            let (d, a, b) = (dst as usize, a as usize, b as usize);
+            // The destination may alias either operand lane (the canonical
+            // lowering reuses registers), so the lanes cannot be split into
+            // disjoint iterator borrows.
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..n {
+                let (l, rr) = (lanes[a][r], lanes[b][r]);
+                lanes[d][r] = apply(op, l, rr);
+            }
+        }
+        _ => unreachable!("non-expression op in expression fragment"),
+    }
+}
+
+/// Run a fused expression fragment over one batch: every step is
+/// dispatched once; rows are evaluated with the exact per-row operation
+/// order of the scalar interpreter (each row's lanes are independent), so
+/// the results are bit-identical.  `out` receives the per-row values of
+/// the fragment's result register.
+pub(crate) fn run_expr_batch(
+    steps: &[VecStep],
+    pool: &ConstPool,
+    batch: &Batch<'_>,
+    lanes: &mut [Vec<f64>],
+    out: &mut Vec<f64>,
+    fused_ops: &mut u64,
+) {
+    let n = batch.len();
+    for lane in lanes.iter_mut() {
+        lane.clear();
+        lane.resize(n, 0.0);
+    }
+    let mut result_lane = None;
+    for step in steps {
+        match step {
+            VecStep::Op(op) => {
+                step_expr_op(op, pool, batch, lanes);
+                result_lane = Some(expr_dst(op));
+            }
+            VecStep::LoadArith(load, arith) => {
+                *fused_ops += 1;
+                let (aop, adst, aa, ab) = match *arith {
+                    Op::Arith { op, dst, a, b } => (op, dst as usize, a as usize, b as usize),
+                    _ => unreachable!("fused arith slot holds a non-arith op"),
+                };
+                let ld = expr_dst(load);
+                // The arith's destination and operands may alias the load's
+                // lane, so the lanes cannot be split into disjoint iterator
+                // borrows.
+                #[allow(clippy::needless_range_loop)]
+                for r in 0..n {
+                    lanes[ld][r] = load_value(load, pool, batch.rec(r));
+                    let (l, rr) = (lanes[aa][r], lanes[ab][r]);
+                    lanes[adst][r] = apply(aop, l, rr);
+                }
+                result_lane = Some(adst);
+            }
+            VecStep::TestTest(..) => unreachable!("filter step in expression fragment"),
+        }
+    }
+    out.clear();
+    match result_lane {
+        Some(lane) => out.extend_from_slice(&lanes[lane][..n]),
+        // An empty fragment produces the scalar interpreter's default.
+        None => out.resize(n, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{run_expr, run_filter, run_image, run_project, RhsF, RhsI};
+    use hique_sql::ast::CmpOp;
+    use hique_types::tuple::encode_record;
+    use hique_types::{Column, DataType, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("i", DataType::Int32),
+            Column::new("f", DataType::Float64),
+            Column::new("s", DataType::Char(4)),
+            Column::new("l", DataType::Int64),
+        ])
+    }
+
+    fn record(i: i32, f: f64, s: &str, l: i64) -> Vec<u8> {
+        encode_record(
+            &schema(),
+            &[
+                Value::Int32(i),
+                Value::Float64(f),
+                Value::Str(s.into()),
+                Value::Int64(l),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn records(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                record(
+                    i as i32 % 7,
+                    i as f64 * 0.5,
+                    ["aa", "bb", "cc"][i % 3],
+                    i as i64,
+                )
+            })
+            .collect()
+    }
+
+    fn filter_ops() -> (Vec<Op>, ConstPool) {
+        let s = schema();
+        let mut pool = ConstPool::default();
+        let slot = pool.push_bytes(b"aa  ".to_vec());
+        let ops = vec![
+            Op::TestI32 {
+                offset: s.offset(0) as u32,
+                op: CmpOp::Lt,
+                rhs: RhsI::Imm(5),
+            },
+            Op::TestF64 {
+                offset: s.offset(1) as u32,
+                op: CmpOp::GtEq,
+                rhs: RhsF::Imm(2.0),
+            },
+            Op::TestBytes {
+                offset: s.offset(2) as u32,
+                width: 4,
+                op: CmpOp::NotEq,
+                pool: slot,
+            },
+        ];
+        (ops, pool)
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_selection() {
+        let (ops, pool) = filter_ops();
+        let steps = fuse_filter(&ops).unwrap();
+        let refs: Vec<&[u8]> = Vec::new();
+        let batch = Batch::Refs(&refs);
+        let (mut sel, mut cmp, mut fused) = (vec![9, 9], 0u64, 0u64);
+        run_filter_batch(&steps, &pool, &batch, &mut sel, &mut cmp, &mut fused);
+        assert!(sel.is_empty());
+        assert_eq!(cmp, 0);
+        let mut out = Vec::new();
+        run_project_batch(&[], &batch, &sel, 8, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_pass_and_last_row_only_selections() {
+        let s = schema();
+        let recs = records(6);
+        let refs: Vec<&[u8]> = recs.iter().map(|r| r.as_slice()).collect();
+        let batch = Batch::Refs(&refs);
+        let pool = ConstPool::default();
+        // All pass.
+        let steps = fuse_filter(&[Op::TestI64 {
+            offset: s.offset(3) as u32,
+            op: CmpOp::GtEq,
+            rhs: RhsI::Imm(0),
+        }])
+        .unwrap();
+        let (mut sel, mut cmp, mut fused) = (Vec::new(), 0u64, 0u64);
+        run_filter_batch(&steps, &pool, &batch, &mut sel, &mut cmp, &mut fused);
+        assert_eq!(sel, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(cmp, 6);
+        // Only the last row survives.
+        let steps = fuse_filter(&[Op::TestI64 {
+            offset: s.offset(3) as u32,
+            op: CmpOp::Eq,
+            rhs: RhsI::Imm(5),
+        }])
+        .unwrap();
+        run_filter_batch(&steps, &pool, &batch, &mut sel, &mut cmp, &mut fused);
+        assert_eq!(sel, vec![5]);
+    }
+
+    #[test]
+    fn ref_batches_split_at_the_batch_boundary() {
+        for (n, expected) in [
+            (BATCH - 1, vec![BATCH - 1]),
+            (BATCH, vec![BATCH]),
+            (BATCH + 1, vec![BATCH, 1]),
+        ] {
+            let rec = record(1, 1.0, "aa", 1);
+            let recs: Vec<&[u8]> = (0..n).map(|_| rec.as_slice()).collect();
+            let mut scratch = Vec::new();
+            let mut sizes = Vec::new();
+            for_each_ref_batch(recs.iter().copied(), &mut scratch, |batch| {
+                sizes.push(batch.len());
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(sizes, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fusion_pairs_adjacent_tests_and_load_arith() {
+        let (ops, _) = filter_ops();
+        let steps = fuse_filter(&ops).unwrap();
+        assert_eq!(steps.len(), 2);
+        assert!(matches!(steps[0], VecStep::TestTest(..)));
+        assert!(matches!(steps[1], VecStep::Op(Op::TestBytes { .. })));
+        // Copy ops are not tests: the fragment declines to lower.
+        assert!(fuse_filter(&[Op::Copy {
+            src: 0,
+            width: 4,
+            dst: 0
+        }])
+        .is_none());
+
+        // Canonical Binary lowering: load of r1 immediately feeding an
+        // arith reading r1 as `b` fuses; an arith whose `b` was defined
+        // earlier does not.
+        let s = schema();
+        let load0 = Op::LoadF {
+            dst: 0,
+            offset: s.offset(1) as u32,
+        };
+        let load1 = Op::LoadI32F {
+            dst: 1,
+            offset: s.offset(0) as u32,
+        };
+        let arith = Op::Arith {
+            op: BinOp::Mul,
+            dst: 0,
+            a: 0,
+            b: 1,
+        };
+        let steps = fuse_expr(&[load0, load1, arith]).unwrap();
+        assert_eq!(
+            steps,
+            vec![VecStep::Op(load0), VecStep::LoadArith(load1, arith)]
+        );
+        // `b` does not match the preceding load's destination: no fusion.
+        let steps = fuse_expr(&[load1, load0, arith]).unwrap();
+        assert_eq!(
+            steps,
+            vec![VecStep::Op(load1), VecStep::Op(load0), VecStep::Op(arith)]
+        );
+        assert_eq!(
+            unfuse(&fuse_expr(&[load0, load1, arith]).unwrap()),
+            vec![load0, load1, arith]
+        );
+    }
+
+    #[test]
+    fn batched_filter_matches_scalar_selection_and_comparisons() {
+        let (ops, pool) = filter_ops();
+        let steps = fuse_filter(&ops).unwrap();
+        let recs = records(100);
+        let refs: Vec<&[u8]> = recs.iter().map(|r| r.as_slice()).collect();
+        let batch = Batch::Refs(&refs);
+        let (mut sel, mut cmp, mut fused) = (Vec::new(), 0u64, 0u64);
+        run_filter_batch(&steps, &pool, &batch, &mut sel, &mut cmp, &mut fused);
+        let mut scalar_cmp = 0u64;
+        let survivors: Vec<u32> = refs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| run_filter(&ops, &pool, r, &mut scalar_cmp))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(sel, survivors);
+        assert_eq!(cmp, scalar_cmp, "short-circuit accounting must agree");
+        assert!(fused >= 1);
+    }
+
+    #[test]
+    fn batched_projection_and_images_match_scalar() {
+        let s = schema();
+        let recs = records(50);
+        let refs: Vec<&[u8]> = recs.iter().map(|r| r.as_slice()).collect();
+        let batch = Batch::Refs(&refs);
+        let proj = [
+            Op::Copy {
+                src: s.offset(3) as u32,
+                width: 8,
+                dst: 0,
+            },
+            Op::Copy {
+                src: s.offset(0) as u32,
+                width: 4,
+                dst: 8,
+            },
+        ];
+        let sel: Vec<u32> = (0..refs.len() as u32).step_by(3).collect();
+        let mut out = Vec::new();
+        run_project_batch(&proj, &batch, &sel, 12, &mut out);
+        let mut scalar = Vec::new();
+        let mut buf = vec![0u8; 12];
+        for &i in &sel {
+            run_project(&proj, refs[i as usize], &mut buf);
+            scalar.extend_from_slice(&buf);
+        }
+        assert_eq!(out, scalar);
+
+        for image in [
+            Op::ImageI32 {
+                offset: s.offset(0) as u32,
+            },
+            Op::ImageF64 {
+                offset: s.offset(1) as u32,
+            },
+            Op::ImageChar {
+                offset: s.offset(2) as u32,
+                width: 4,
+            },
+            Op::ImageI64 {
+                offset: s.offset(3) as u32,
+            },
+        ] {
+            let mut lane = Vec::new();
+            run_image_batch(&[image], &batch, &mut lane);
+            let scalar: Vec<i64> = refs.iter().map(|r| run_image(&[image], r)).collect();
+            assert_eq!(lane, scalar);
+        }
+    }
+
+    #[test]
+    fn batched_expression_is_bit_identical_to_scalar() {
+        let s = schema();
+        let recs = records(64);
+        let refs: Vec<&[u8]> = recs.iter().map(|r| r.as_slice()).collect();
+        let batch = Batch::Refs(&refs);
+        let pool = ConstPool::default();
+        // f * (1 - i) + l, lowered canonically.
+        let ops = [
+            Op::LoadF {
+                dst: 0,
+                offset: s.offset(1) as u32,
+            },
+            Op::ConstF { dst: 1, value: 1.0 },
+            Op::LoadI32F {
+                dst: 2,
+                offset: s.offset(0) as u32,
+            },
+            Op::Arith {
+                op: BinOp::Sub,
+                dst: 1,
+                a: 1,
+                b: 2,
+            },
+            Op::Arith {
+                op: BinOp::Mul,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+            Op::LoadI64F {
+                dst: 1,
+                offset: s.offset(3) as u32,
+            },
+            Op::Arith {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+        ];
+        let steps = fuse_expr(&ops).unwrap();
+        assert!(
+            steps.iter().any(|s| matches!(s, VecStep::LoadArith(..))),
+            "canonical lowering must fuse at least one pair"
+        );
+        let mut lanes = vec![Vec::new(); 3];
+        let mut out = Vec::new();
+        let mut fused = 0u64;
+        run_expr_batch(&steps, &pool, &batch, &mut lanes, &mut out, &mut fused);
+        assert!(fused >= 1);
+        let mut regs = [0.0f64; 3];
+        for (i, rec) in refs.iter().enumerate() {
+            let scalar = run_expr(&ops, &pool, rec, &mut regs);
+            assert_eq!(out[i].to_bits(), scalar.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn packed_and_ref_batches_agree() {
+        let recs = records(10);
+        let width = recs[0].len();
+        let packed: Vec<u8> = recs.concat();
+        let refs: Vec<&[u8]> = recs.iter().map(|r| r.as_slice()).collect();
+        let a = Batch::Packed {
+            data: &packed,
+            width,
+        };
+        let b = Batch::Refs(&refs);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.rec(i), b.rec(i));
+        }
+    }
+}
